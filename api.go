@@ -1,0 +1,84 @@
+// Package scalablebulk is a from-scratch reproduction of "ScalableBulk:
+// Scalable Cache Coherence for Atomic Blocks in a Lazy Environment" (Qian,
+// Ahn, Torrellas — MICRO 2010): a cycle-level simulator of a chunk-based
+// multicore (2D torus, private L1/L2, distributed directories, hardware
+// address signatures) running the ScalableBulk commit protocol and the three
+// baselines the paper compares against (Scalable TCC, SEQ-PRO, BulkSC), plus
+// synthetic models of the paper's 18 SPLASH-2/PARSEC applications and a
+// harness that regenerates every figure of the evaluation section.
+//
+// Quick start:
+//
+//	prof, _ := scalablebulk.AppByName("Radix")
+//	cfg := scalablebulk.DefaultConfig(64, scalablebulk.ProtoScalableBulk)
+//	res, err := scalablebulk.Run(prof, cfg)
+//	// res.Cycles, res.Breakdown, res.MeanCommitLatency(), ...
+//
+// See DESIGN.md for the architecture and EXPERIMENTS.md for measured
+// results vs the paper.
+package scalablebulk
+
+import (
+	"scalablebulk/internal/stats"
+	"scalablebulk/internal/system"
+	"scalablebulk/internal/workload"
+)
+
+// Protocol names (Table 3 of the paper, plus the OCI ablation).
+const (
+	// ProtoScalableBulk is the paper's protocol (package internal/core).
+	ProtoScalableBulk = system.ProtoScalableBulk
+	// ProtoTCC is the Scalable TCC baseline.
+	ProtoTCC = system.ProtoTCC
+	// ProtoSEQ is the SEQ-PRO baseline from SRC.
+	ProtoSEQ = system.ProtoSEQ
+	// ProtoBulkSC is the BulkSC centralized-arbiter baseline.
+	ProtoBulkSC = system.ProtoBulkSC
+	// ProtoNoOCI is ScalableBulk with Optimistic Commit Initiation
+	// disabled — the Figure 4(c) conservative ablation.
+	ProtoNoOCI = system.ProtoNoOCI
+)
+
+// Protocols lists the four evaluated protocols in the paper's order.
+var Protocols = system.Protocols
+
+// Config describes one simulation; DefaultConfig gives the Table 2 machine.
+type Config = system.Config
+
+// Result carries everything one run measured: execution time, the
+// Useful/CacheMiss/Commit/Squash breakdown, commit latencies, directories
+// per commit, squash classification and traffic counters.
+type Result = system.Result
+
+// Breakdown is the Figures 7/8 cycle accounting.
+type Breakdown = stats.Breakdown
+
+// Profile is a synthetic application model (§5: SPLASH-2 and PARSEC).
+type Profile = workload.Profile
+
+// DefaultConfig returns the paper's Table 2 machine configuration for the
+// given core count and protocol.
+func DefaultConfig(cores int, protocol string) Config {
+	return system.DefaultConfig(cores, protocol)
+}
+
+// Run simulates one (application, machine, protocol) combination.
+func Run(prof Profile, cfg Config) (*Result, error) { return system.Run(prof, cfg) }
+
+// RunScaled divides a whole-problem chunk count evenly across the machine
+// (the paper's strong-scaling setup), so speedups compare equal work.
+func RunScaled(prof Profile, cfg Config, totalChunks int) (*Result, error) {
+	return system.RunScaled(prof, cfg, totalChunks)
+}
+
+// Splash2 returns the 11 SPLASH-2 application models.
+func Splash2() []Profile { return workload.Splash2() }
+
+// Parsec returns the 7 PARSEC application models.
+func Parsec() []Profile { return workload.Parsec() }
+
+// Apps returns all 18 application models, SPLASH-2 first.
+func Apps() []Profile { return workload.All() }
+
+// AppByName finds an application model by name (e.g. "Radix").
+func AppByName(name string) (Profile, bool) { return workload.ByName(name) }

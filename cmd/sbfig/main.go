@@ -1,0 +1,57 @@
+// Command sbfig regenerates the paper's evaluation figures (Figures 7–19 of
+// §6) as text tables, printing the same rows/series the paper plots.
+//
+// Usage:
+//
+//	sbfig                  # regenerate every figure
+//	sbfig -fig 13          # just the commit-latency characterization
+//	sbfig -chunks 32       # higher-fidelity (slower) regeneration
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"time"
+
+	"scalablebulk"
+)
+
+func main() {
+	fig := flag.Int("fig", 0, "figure number 7–19 (0 = all)")
+	chunks := flag.Int("chunks", 16, "chunks per core at 64 processors (whole-problem work = 64× this)")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	squash := flag.Bool("squash", false, "also print the §6.1 squash classification")
+	par := flag.Int("j", 0, "parallel simulations during prefetch (0 = all CPUs)")
+	flag.Parse()
+
+	s := scalablebulk.NewSession(*chunks, *seed, os.Stdout)
+	if *fig == 0 {
+		// Regenerating everything: run the simulations in parallel first.
+		fmt.Fprintln(os.Stderr, "prefetching simulations...")
+		if err := s.Prefetch(*par); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	ids := scalablebulk.FigureIDs()
+	if *fig != 0 {
+		ids = []int{*fig}
+	}
+	start := time.Now()
+	for _, id := range ids {
+		fmt.Printf("\n================ Figure %d ================\n", id)
+		if err := s.Figure(id); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	if *squash || *fig == 0 {
+		fmt.Printf("\n================ §6.1 squashes ================\n")
+		if err := s.SquashSummary(); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+	}
+	fmt.Printf("\nregenerated in %v\n", time.Since(start).Round(time.Second))
+}

@@ -1,0 +1,121 @@
+// Command sbsim runs one simulation of the Table 2 machine and prints its
+// measurements: execution time, cycle breakdown, commit latency,
+// directories per commit, squashes and traffic.
+//
+// Usage:
+//
+//	sbsim -app Radix -cores 64 -protocol ScalableBulk -chunks 32
+//	sbsim -list
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"scalablebulk"
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/stats"
+)
+
+func main() {
+	app := flag.String("app", "Radix", "application model (see -list)")
+	cores := flag.Int("cores", 64, "number of processors (1, 32 or 64 in the paper)")
+	protocol := flag.String("protocol", scalablebulk.ProtoScalableBulk,
+		"commit protocol: ScalableBulk | TCC | SEQ | BulkSC | ScalableBulk-NoOCI")
+	chunks := flag.Int("chunks", 32, "chunks committed per core")
+	seed := flag.Int64("seed", 1, "deterministic seed")
+	list := flag.Bool("list", false, "list application models and exit")
+	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
+	flag.Parse()
+
+	if *list {
+		for _, p := range scalablebulk.Apps() {
+			fmt.Printf("%-14s %s\n", p.Name, p.Suite)
+		}
+		return
+	}
+
+	prof, ok := scalablebulk.AppByName(*app)
+	if !ok {
+		fmt.Fprintf(os.Stderr, "unknown app %q; try -list\n", *app)
+		os.Exit(1)
+	}
+	cfg := scalablebulk.DefaultConfig(*cores, *protocol)
+	cfg.ChunksPerCore = *chunks
+	cfg.Seed = *seed
+
+	res, err := scalablebulk.Run(prof, cfg)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+
+	if *asJSON {
+		emitJSON(res)
+		return
+	}
+
+	fmt.Printf("%s on %d processors under %s (%d chunks/core, seed %d)\n",
+		prof.Name, *cores, *protocol, *chunks, *seed)
+	fmt.Printf("  execution time:        %d cycles\n", res.Cycles)
+	fmt.Printf("  chunks committed:      %d\n", res.ChunksCommitted)
+	tot := float64(res.Breakdown.Total())
+	fmt.Printf("  cycle breakdown:       useful %.1f%%  cache-miss %.1f%%  commit %.1f%%  squash %.1f%%\n",
+		100*float64(res.Breakdown.Useful)/tot, 100*float64(res.Breakdown.CacheMiss)/tot,
+		100*float64(res.Breakdown.Commit)/tot, 100*float64(res.Breakdown.Squash)/tot)
+	fmt.Printf("  mean commit latency:   %.0f cycles\n", res.MeanCommitLatency())
+	dt, dw := res.Coll.MeanDirsPerCommit()
+	fmt.Printf("  directories/commit:    %.2f total, %.2f write group\n", dt, dw)
+	fmt.Printf("  squashes:              %d data-conflict, %d signature-aliasing\n",
+		res.Coll.SquashTrueConflict, res.Coll.SquashAliasing)
+	fmt.Printf("  commit failures:       %d  (bottleneck ratio %.2f, mean queue %.2f)\n",
+		res.Coll.CommitFailures, res.Coll.BottleneckRatio(), res.Coll.MeanQueueLength())
+
+	cls := stats.TrafficClasses(res.Traffic.ByKind)
+	var names []string
+	for c := 0; c < int(msg.NumClasses); c++ {
+		names = append(names, fmt.Sprintf("%s=%d", msg.Class(c), cls[c]))
+	}
+	fmt.Printf("  network messages:      %d (%s)\n", res.Traffic.Messages, strings.Join(names, " "))
+}
+
+// emitJSON prints the run's headline measurements as one JSON object, for
+// scripting sweeps around sbsim.
+func emitJSON(res *scalablebulk.Result) {
+	dt, dw := res.Coll.MeanDirsPerCommit()
+	cls := stats.TrafficClasses(res.Traffic.ByKind)
+	classes := map[string]uint64{}
+	for c := 0; c < int(msg.NumClasses); c++ {
+		classes[msg.Class(c).String()] = cls[c]
+	}
+	out := map[string]any{
+		"app":             res.App,
+		"protocol":        res.Protocol,
+		"cores":           res.Cores,
+		"cycles":          res.Cycles,
+		"chunksCommitted": res.ChunksCommitted,
+		"breakdown": map[string]uint64{
+			"useful": res.Breakdown.Useful, "cacheMiss": res.Breakdown.CacheMiss,
+			"commit": res.Breakdown.Commit, "squash": res.Breakdown.Squash,
+		},
+		"meanCommitLatency":  res.MeanCommitLatency(),
+		"dirsPerCommit":      dt,
+		"writeDirsPerCommit": dw,
+		"squashConflict":     res.Coll.SquashTrueConflict,
+		"squashAliasing":     res.Coll.SquashAliasing,
+		"commitFailures":     res.Coll.CommitFailures,
+		"bottleneckRatio":    res.Coll.BottleneckRatio(),
+		"meanQueueLength":    res.Coll.MeanQueueLength(),
+		"messages":           res.Traffic.Messages,
+		"messageClasses":     classes,
+	}
+	enc := json.NewEncoder(os.Stdout)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(out); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}

@@ -1,0 +1,44 @@
+// Chunksize demonstrates the paper's §2.2 argument — "Is Commit Really
+// Critical?". Scalable TCC's and SRC's evaluations used software-defined
+// transactions of 10K–40K instructions and concluded commit overhead hides
+// behind execution; ScalableBulk targets automatic 2000-instruction chunks,
+// where commits are an order of magnitude more frequent.
+//
+// This example sweeps the chunk size under the TCC baseline: at 2000
+// instructions its same-directory serialization queues chunks machine-wide;
+// by 32000 instructions the overhead disappears — exactly why the earlier
+// papers saw no problem and this paper does.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scalablebulk"
+)
+
+func main() {
+	prof, _ := scalablebulk.AppByName("Radix")
+	const totalInstr = 64 * 2000 // per-core instructions, held constant
+
+	fmt.Println("Radix on 64 processors under Scalable TCC, same total work:")
+	fmt.Printf("%-12s %10s %14s %12s %12s\n",
+		"chunk size", "commits", "mean lat (cy)", "chunk queue", "exec cycles")
+	for _, instr := range []int{2000, 4000, 8000, 16000, 32000} {
+		big := prof
+		big.ChunkInstr = instr
+		cfg := scalablebulk.DefaultConfig(64, scalablebulk.ProtoTCC)
+		cfg.ChunksPerCore = totalInstr / instr
+		res, err := scalablebulk.Run(big, cfg)
+		if err != nil {
+			log.Fatal(err)
+		}
+		fmt.Printf("%-12d %10d %14.0f %12.2f %12d\n",
+			instr, res.ChunksCommitted, res.MeanCommitLatency(),
+			res.Coll.MeanQueueLength(), res.Cycles)
+	}
+	fmt.Println("\nSame instructions, bigger chunks, far fewer commits: TCC's execution")
+	fmt.Println("time collapses as the commit serialization amortizes (§2.2) — which is")
+	fmt.Println("why the transaction-oriented baselines saw no commit problem and")
+	fmt.Println("ScalableBulk's always-on, 2000-instruction environment does.")
+}

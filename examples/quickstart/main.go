@@ -1,0 +1,44 @@
+// Quickstart: simulate one application on the paper's Table 2 machine and
+// print what the protocol did.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"scalablebulk"
+)
+
+func main() {
+	// Pick one of the 18 SPLASH-2 / PARSEC application models.
+	prof, ok := scalablebulk.AppByName("Barnes")
+	if !ok {
+		log.Fatal("unknown application")
+	}
+
+	// The Table 2 machine: 64 cores on a 2D torus, 32KB L1 / 512KB L2,
+	// 2Kbit signatures, 2000-instruction chunks, ScalableBulk commits.
+	cfg := scalablebulk.DefaultConfig(64, scalablebulk.ProtoScalableBulk)
+	cfg.ChunksPerCore = 16
+
+	res, err := scalablebulk.Run(prof, cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Printf("%s, %d processors, %s protocol\n", res.App, res.Cores, res.Protocol)
+	fmt.Printf("  committed %d chunks in %d cycles\n", res.ChunksCommitted, res.Cycles)
+	fmt.Printf("  mean chunk-commit latency: %.0f cycles\n", res.MeanCommitLatency())
+
+	dirsTotal, dirsWrite := res.Coll.MeanDirsPerCommit()
+	fmt.Printf("  directories per commit: %.1f (%.1f recording writes)\n", dirsTotal, dirsWrite)
+
+	tot := float64(res.Breakdown.Total())
+	fmt.Printf("  cycles: %.0f%% useful, %.0f%% cache miss, %.0f%% commit stall, %.0f%% squash\n",
+		100*float64(res.Breakdown.Useful)/tot,
+		100*float64(res.Breakdown.CacheMiss)/tot,
+		100*float64(res.Breakdown.Commit)/tot,
+		100*float64(res.Breakdown.Squash)/tot)
+	fmt.Printf("  squashes: %d true conflicts, %d signature aliasing\n",
+		res.Coll.SquashTrueConflict, res.Coll.SquashAliasing)
+}

@@ -1,0 +1,51 @@
+// Scaling sweeps machine sizes on fixed whole-problem work (the paper's
+// strong-scaling setup) and prints the speedup curve per protocol —
+// the essence of Figures 7/8: distributed protocols scale from 32 to 64
+// processors; the centralized BulkSC arbiter stops scaling.
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+
+	"scalablebulk"
+)
+
+func main() {
+	app := "Water-S"
+	if len(os.Args) > 1 {
+		app = os.Args[1]
+	}
+	prof, ok := scalablebulk.AppByName(app)
+	if !ok {
+		log.Fatalf("unknown app %q", app)
+	}
+
+	const totalWork = 1024 // whole-problem chunks, split across the cores
+	sizes := []int{1, 4, 16, 32, 64}
+
+	fmt.Printf("%s, %d chunks of total work — execution cycles (speedup vs 1 core)\n", app, totalWork)
+	fmt.Printf("%-8s", "cores")
+	for _, protocol := range scalablebulk.Protocols {
+		fmt.Printf(" %22s", protocol)
+	}
+	fmt.Println()
+
+	base := map[string]float64{}
+	for _, cores := range sizes {
+		fmt.Printf("%-8d", cores)
+		for _, protocol := range scalablebulk.Protocols {
+			cfg := scalablebulk.DefaultConfig(cores, protocol)
+			res, err := scalablebulk.RunScaled(prof, cfg, totalWork)
+			if err != nil {
+				log.Fatal(err)
+			}
+			if cores == 1 {
+				base[protocol] = float64(res.Cycles)
+			}
+			fmt.Printf(" %13d (%5.1fx)", res.Cycles, base[protocol]/float64(res.Cycles))
+		}
+		fmt.Println()
+	}
+}

@@ -1,0 +1,539 @@
+package scalablebulk
+
+import (
+	"fmt"
+	"io"
+	"runtime"
+	"sort"
+	"sync"
+
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/stats"
+	"scalablebulk/internal/workload"
+)
+
+// Session runs and caches simulations for the figure generators, so figures
+// that share configurations (most of them) do not repeat runs. A Session is
+// sized by ChunksPerCore at 64 processors; smaller machines get
+// proportionally more chunks per core (strong scaling over the same total
+// work), exactly like running the paper's reference inputs on fewer threads.
+type Session struct {
+	// ChunksPerCore at 64 cores; the whole-problem work is 64× this.
+	ChunksPerCore int
+	// Seed makes every run deterministic.
+	Seed int64
+	// Out receives the generated rows (default: io.Discard).
+	Out io.Writer
+
+	cache map[runKey]*Result
+}
+
+type runKey struct {
+	app      string
+	protocol string
+	cores    int
+}
+
+// NewSession builds a figure-generation session. chunksPerCore ≤ 0 selects
+// a default sized for minutes-scale regeneration of every figure.
+func NewSession(chunksPerCore int, seed int64, out io.Writer) *Session {
+	if chunksPerCore <= 0 {
+		chunksPerCore = 16
+	}
+	if out == nil {
+		out = io.Discard
+	}
+	return &Session{ChunksPerCore: chunksPerCore, Seed: seed, Out: out, cache: map[runKey]*Result{}}
+}
+
+func (s *Session) printf(format string, args ...any) {
+	fmt.Fprintf(s.Out, format, args...)
+}
+
+// TotalWork is the whole-problem chunk count shared by all machine sizes.
+func (s *Session) TotalWork() int { return 64 * s.ChunksPerCore }
+
+// Result runs (or returns the cached) simulation of app × protocol × cores.
+// Not safe for concurrent use; see Prefetch for parallel population.
+func (s *Session) Result(app, protocol string, cores int) (*Result, error) {
+	k := runKey{app, protocol, cores}
+	if r, ok := s.cache[k]; ok {
+		return r, nil
+	}
+	r, err := s.run(k)
+	if err != nil {
+		return nil, err
+	}
+	s.cache[k] = r
+	return r, nil
+}
+
+func (s *Session) run(k runKey) (*Result, error) {
+	prof, ok := workload.ByName(k.app)
+	if !ok {
+		return nil, fmt.Errorf("unknown application %q", k.app)
+	}
+	cfg := DefaultConfig(k.cores, k.protocol)
+	cfg.Seed = s.Seed
+	return RunScaled(prof, cfg, s.TotalWork())
+}
+
+// Prefetch runs, in parallel across OS threads, every simulation the full
+// figure set needs: each application under each protocol at 32 and 64
+// processors, plus the 1-processor ScalableBulk baselines. Each simulation
+// is an independent deterministic machine, so parallelism does not affect
+// results. parallelism ≤ 0 selects GOMAXPROCS.
+func (s *Session) Prefetch(parallelism int) error {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	var keys []runKey
+	for _, prof := range Apps() {
+		keys = append(keys, runKey{prof.Name, ProtoScalableBulk, 1})
+		for _, protocol := range Protocols {
+			for _, cores := range []int{32, 64} {
+				keys = append(keys, runKey{prof.Name, protocol, cores})
+			}
+		}
+	}
+	var (
+		mu       sync.Mutex
+		wg       sync.WaitGroup
+		firstErr error
+		work     = make(chan runKey)
+	)
+	for w := 0; w < parallelism; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for k := range work {
+				r, err := s.run(k)
+				mu.Lock()
+				if err != nil && firstErr == nil {
+					firstErr = err
+				}
+				if err == nil {
+					s.cache[k] = r
+				}
+				mu.Unlock()
+			}
+		}()
+	}
+	for _, k := range keys {
+		if _, ok := s.cache[k]; ok {
+			continue
+		}
+		work <- k
+	}
+	close(work)
+	wg.Wait()
+	return firstErr
+}
+
+func names(ps []Profile) []string {
+	out := make([]string, len(ps))
+	for i, p := range ps {
+		out[i] = p.Name
+	}
+	return out
+}
+
+// executionTime generates one Figure 7/8 panel: per-app normalized execution
+// time breakdowns and speedups for one protocol, 32 and 64 processors,
+// normalized to the single-processor ScalableBulk run on the same work.
+func (s *Session) executionTime(title string, apps []string, protocol string) error {
+	s.printf("%s — execution time normalized to 1-processor ScalableBulk (protocol %s)\n", title, protocol)
+	s.printf("%-16s %7s %9s %9s %9s %9s %9s %9s\n",
+		"app_procs", "speedup", "normtime", "useful", "cachemiss", "commit", "squash", "cycles")
+	var avg [2]struct {
+		speedup, norm float64
+		n             int
+	}
+	for _, app := range apps {
+		base, err := s.Result(app, ProtoScalableBulk, 1)
+		if err != nil {
+			return err
+		}
+		for i, cores := range []int{32, 64} {
+			r, err := s.Result(app, protocol, cores)
+			if err != nil {
+				return err
+			}
+			speedup := float64(base.Cycles) / float64(r.Cycles)
+			norm := 1 / speedup
+			tot := float64(r.Breakdown.Total())
+			s.printf("%-16s %7.1f %9.4f %9.3f %9.3f %9.3f %9.3f %9d\n",
+				fmt.Sprintf("%s_%d", app, cores), speedup, norm,
+				float64(r.Breakdown.Useful)/tot, float64(r.Breakdown.CacheMiss)/tot,
+				float64(r.Breakdown.Commit)/tot, float64(r.Breakdown.Squash)/tot,
+				r.Cycles)
+			avg[i].speedup += speedup
+			avg[i].norm += norm
+			avg[i].n++
+		}
+	}
+	for i, cores := range []int{32, 64} {
+		s.printf("%-16s %7.1f %9.4f\n",
+			fmt.Sprintf("AVERAGE_%d", cores), avg[i].speedup/float64(avg[i].n), avg[i].norm/float64(avg[i].n))
+	}
+	return nil
+}
+
+// Figure7 regenerates the SPLASH-2 execution-time panels for one protocol
+// (call once per protocol for the paper's four panels).
+func (s *Session) Figure7(protocol string) error {
+	return s.executionTime("Figure 7 (SPLASH-2)", names(Splash2()), protocol)
+}
+
+// Figure8 regenerates the PARSEC execution-time panels for one protocol.
+func (s *Session) Figure8(protocol string) error {
+	return s.executionTime("Figure 8 (PARSEC)", names(Parsec()), protocol)
+}
+
+// dirsPerCommit generates Figure 9/10: average directories accessed per
+// chunk commit under ScalableBulk, split into write groups and read-only
+// groups, for 32 and 64 processors.
+func (s *Session) dirsPerCommit(title string, apps []string) error {
+	s.printf("%s — directories accessed per chunk commit (ScalableBulk)\n", title)
+	s.printf("%-16s %8s %8s %8s\n", "app_procs", "total", "write", "readonly")
+	var sumT, sumW [2]float64
+	for _, app := range apps {
+		for i, cores := range []int{32, 64} {
+			r, err := s.Result(app, ProtoScalableBulk, cores)
+			if err != nil {
+				return err
+			}
+			tot, wr := r.Coll.MeanDirsPerCommit()
+			s.printf("%-16s %8.2f %8.2f %8.2f\n",
+				fmt.Sprintf("%s_%d", app, cores), tot, wr, tot-wr)
+			sumT[i] += tot
+			sumW[i] += wr
+		}
+	}
+	n := float64(len(apps))
+	for i, cores := range []int{32, 64} {
+		s.printf("%-16s %8.2f %8.2f %8.2f\n",
+			fmt.Sprintf("AVERAGE_%d", cores), sumT[i]/n, sumW[i]/n, (sumT[i]-sumW[i])/n)
+	}
+	return nil
+}
+
+// Figure9 regenerates the SPLASH-2 directories-per-commit averages.
+func (s *Session) Figure9() error {
+	return s.dirsPerCommit("Figure 9 (SPLASH-2)", names(Splash2()))
+}
+
+// Figure10 regenerates the PARSEC directories-per-commit averages.
+func (s *Session) Figure10() error {
+	return s.dirsPerCommit("Figure 10 (PARSEC)", names(Parsec()))
+}
+
+// dirsDistribution generates Figure 11/12: the per-app distribution of the
+// number of directories accessed per commit at 64 processors.
+func (s *Session) dirsDistribution(title string, apps []string) error {
+	s.printf("%s — %% of commits accessing N directories (ScalableBulk, 64 procs)\n", title)
+	s.printf("%-14s", "app")
+	for i := 0; i <= 14; i++ {
+		s.printf("%6d", i)
+	}
+	s.printf("%6s\n", "more")
+	for _, app := range apps {
+		r, err := s.Result(app, ProtoScalableBulk, 64)
+		if err != nil {
+			return err
+		}
+		d := r.Coll.DirsDistribution(14)
+		s.printf("%-14s", app)
+		for _, v := range d {
+			s.printf("%6.1f", v)
+		}
+		s.printf("\n")
+	}
+	return nil
+}
+
+// Figure11 regenerates the SPLASH-2 directory-count distribution.
+func (s *Session) Figure11() error {
+	return s.dirsDistribution("Figure 11 (SPLASH-2)", names(Splash2()))
+}
+
+// Figure12 regenerates the PARSEC directory-count distribution.
+func (s *Session) Figure12() error {
+	return s.dirsDistribution("Figure 12 (PARSEC)", names(Parsec()))
+}
+
+// Figure13 regenerates the chunk-commit latency characterization: the
+// all-application mean per protocol at 32 and 64 processors (the paper's
+// headline numbers are 74/402/107/98 at 32p and 91/411/153/2954 at 64p) and
+// a latency histogram per protocol at 64 processors.
+func (s *Session) Figure13() error {
+	apps := names(Apps())
+	s.printf("Figure 13 — chunk commit latency\n")
+	for _, cores := range []int{32, 64} {
+		s.printf("%d processors:\n", cores)
+		for _, protocol := range Protocols {
+			var all []uint32
+			var sum float64
+			for _, app := range apps {
+				r, err := s.Result(app, protocol, cores)
+				if err != nil {
+					return err
+				}
+				all = append(all, r.Coll.CommitLat...)
+			}
+			for _, v := range all {
+				sum += float64(v)
+			}
+			mean := sum / float64(len(all))
+			s.printf("  %-13s mean=%7.0f cycles", protocol, mean)
+			if cores == 64 {
+				// Histogram like the paper's distribution plots.
+				width, buckets := latencyBuckets(protocol)
+				h := histogram(all, width, buckets)
+				s.printf("  hist(width=%d):", width)
+				for _, v := range h {
+					s.printf(" %4.1f%%", v)
+				}
+			}
+			s.printf("\n")
+		}
+	}
+	return nil
+}
+
+func latencyBuckets(protocol string) (width uint32, buckets int) {
+	switch protocol {
+	case ProtoBulkSC, ProtoSEQ:
+		return 500, 10
+	case ProtoTCC:
+		return 100, 10
+	default:
+		return 50, 10
+	}
+}
+
+func histogram(vals []uint32, width uint32, buckets int) []float64 {
+	h := make([]float64, buckets)
+	for _, v := range vals {
+		b := int(v / width)
+		if b >= buckets {
+			b = buckets - 1
+		}
+		h[b]++
+	}
+	for i := range h {
+		h[i] = h[i] * 100 / float64(len(vals))
+	}
+	return h
+}
+
+// bottleneckRatio generates Figure 14/15 for ScalableBulk, TCC and SEQ at
+// 64 processors (BulkSC forms no groups and is omitted, as in the paper).
+func (s *Session) bottleneckRatio(title string, apps []string) error {
+	s.printf("%s — bottleneck ratio at 64 processors\n", title)
+	s.printf("%-14s %12s %12s %12s\n", "app", ProtoScalableBulk, ProtoTCC, ProtoSEQ)
+	sums := map[string]float64{}
+	for _, app := range apps {
+		s.printf("%-14s", app)
+		for _, protocol := range []string{ProtoScalableBulk, ProtoTCC, ProtoSEQ} {
+			r, err := s.Result(app, protocol, 64)
+			if err != nil {
+				return err
+			}
+			br := r.Coll.BottleneckRatio()
+			sums[protocol] += br
+			s.printf(" %12.2f", br)
+		}
+		s.printf("\n")
+	}
+	s.printf("%-14s", "AVERAGE")
+	for _, protocol := range []string{ProtoScalableBulk, ProtoTCC, ProtoSEQ} {
+		s.printf(" %12.2f", sums[protocol]/float64(len(apps)))
+	}
+	s.printf("\n")
+	return nil
+}
+
+// Figure14 regenerates the SPLASH-2 bottleneck ratios.
+func (s *Session) Figure14() error {
+	return s.bottleneckRatio("Figure 14 (SPLASH-2)", names(Splash2()))
+}
+
+// Figure15 regenerates the PARSEC bottleneck ratios.
+func (s *Session) Figure15() error {
+	return s.bottleneckRatio("Figure 15 (PARSEC)", names(Parsec()))
+}
+
+// chunkQueue generates Figure 16/17: average machine-wide chunk queue
+// lengths in TCC and SEQ at 64 processors (chunks do not queue in
+// ScalableBulk, §6.4.2).
+func (s *Session) chunkQueue(title string, apps []string) error {
+	s.printf("%s — chunk queue length at 64 processors\n", title)
+	s.printf("%-14s %10s %10s\n", "app", ProtoTCC, ProtoSEQ)
+	for _, app := range apps {
+		s.printf("%-14s", app)
+		for _, protocol := range []string{ProtoTCC, ProtoSEQ} {
+			r, err := s.Result(app, protocol, 64)
+			if err != nil {
+				return err
+			}
+			s.printf(" %10.2f", r.Coll.MeanQueueLength())
+		}
+		s.printf("\n")
+	}
+	return nil
+}
+
+// Figure16 regenerates the SPLASH-2 chunk queue lengths.
+func (s *Session) Figure16() error {
+	return s.chunkQueue("Figure 16 (SPLASH-2)", names(Splash2()))
+}
+
+// Figure17 regenerates the PARSEC chunk queue lengths.
+func (s *Session) Figure17() error {
+	return s.chunkQueue("Figure 17 (PARSEC)", names(Parsec()))
+}
+
+// traffic generates Figure 18/19: message counts by class at 64 processors,
+// normalized to TCC's total for the same application.
+func (s *Session) traffic(title string, apps []string) error {
+	s.printf("%s — messages by class at 64 processors, %% of TCC total\n", title)
+	s.printf("%-12s %-13s %8s %8s %8s %8s %8s %8s\n",
+		"app", "protocol", "total", "MemRd", "ShRd", "DirtyRd", "LargeC", "SmallC")
+	for _, app := range apps {
+		var tccTotal float64
+		for _, protocol := range []string{ProtoTCC, ProtoScalableBulk, ProtoSEQ, ProtoBulkSC} {
+			r, err := s.Result(app, protocol, 64)
+			if err != nil {
+				return err
+			}
+			cls := stats.TrafficClasses(r.Traffic.ByKind)
+			var total uint64
+			for _, v := range cls {
+				total += v
+			}
+			if protocol == ProtoTCC {
+				tccTotal = float64(total)
+			}
+			s.printf("%-12s %-13s %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%% %7.1f%%\n",
+				app, protocol, 100*float64(total)/tccTotal,
+				100*float64(cls[msg.ClassMemRd])/tccTotal,
+				100*float64(cls[msg.ClassRemoteShRd])/tccTotal,
+				100*float64(cls[msg.ClassRemoteDirtyRd])/tccTotal,
+				100*float64(cls[msg.ClassLargeC])/tccTotal,
+				100*float64(cls[msg.ClassSmallC])/tccTotal)
+		}
+	}
+	return nil
+}
+
+// Figure18 regenerates the SPLASH-2 traffic characterization.
+func (s *Session) Figure18() error {
+	return s.traffic("Figure 18 (SPLASH-2)", names(Splash2()))
+}
+
+// Figure19 regenerates the PARSEC traffic characterization.
+func (s *Session) Figure19() error {
+	return s.traffic("Figure 19 (PARSEC)", names(Parsec()))
+}
+
+// SquashSummary reports the §6.1 squash statistics for ScalableBulk at 64
+// processors: the paper measured 1.5% of chunks squashed by data conflicts
+// and 2.3% by signature aliasing.
+func (s *Session) SquashSummary() error {
+	apps := names(Apps())
+	s.printf("Squash classification (ScalableBulk, 64 processors, %% of committed chunks)\n")
+	s.printf("%-14s %10s %10s\n", "app", "conflict%", "aliasing%")
+	var sc, sa float64
+	for _, app := range apps {
+		r, err := s.Result(app, ProtoScalableBulk, 64)
+		if err != nil {
+			return err
+		}
+		c := 100 * float64(r.Coll.SquashTrueConflict) / float64(r.ChunksCommitted)
+		a := 100 * float64(r.Coll.SquashAliasing) / float64(r.ChunksCommitted)
+		s.printf("%-14s %9.1f%% %9.1f%%\n", app, c, a)
+		sc += c
+		sa += a
+	}
+	n := float64(len(apps))
+	s.printf("%-14s %9.1f%% %9.1f%%\n", "AVERAGE", sc/n, sa/n)
+	return nil
+}
+
+// FigureIDs lists every regenerable figure in order.
+func FigureIDs() []int {
+	ids := make([]int, 0, 13)
+	for i := 7; i <= 19; i++ {
+		ids = append(ids, i)
+	}
+	return ids
+}
+
+// Figure dispatches by figure number; Figures 7 and 8 render all four
+// protocol panels.
+func (s *Session) Figure(id int) error {
+	switch id {
+	case 7, 8:
+		f := s.Figure7
+		if id == 8 {
+			f = s.Figure8
+		}
+		for _, p := range Protocols {
+			if err := f(p); err != nil {
+				return err
+			}
+		}
+		return nil
+	case 9:
+		return s.Figure9()
+	case 10:
+		return s.Figure10()
+	case 11:
+		return s.Figure11()
+	case 12:
+		return s.Figure12()
+	case 13:
+		return s.Figure13()
+	case 14:
+		return s.Figure14()
+	case 15:
+		return s.Figure15()
+	case 16:
+		return s.Figure16()
+	case 17:
+		return s.Figure17()
+	case 18:
+		return s.Figure18()
+	case 19:
+		return s.Figure19()
+	default:
+		return fmt.Errorf("no figure %d (have 7–19)", id)
+	}
+}
+
+// MeanLatencyTable returns the Figure 13 headline means per protocol at the
+// given core count, keyed by protocol (used by tests and EXPERIMENTS.md).
+func (s *Session) MeanLatencyTable(cores int) (map[string]float64, error) {
+	out := map[string]float64{}
+	for _, protocol := range Protocols {
+		var sum, n float64
+		for _, app := range names(Apps()) {
+			r, err := s.Result(app, protocol, cores)
+			if err != nil {
+				return nil, err
+			}
+			sum += r.MeanCommitLatency() * float64(len(r.Coll.CommitLat))
+			n += float64(len(r.Coll.CommitLat))
+		}
+		out[protocol] = sum / n
+	}
+	return out, nil
+}
+
+// sortedApps is a test helper: deterministic app iteration order.
+func sortedApps() []string {
+	out := names(Apps())
+	sort.Strings(out)
+	return out
+}

@@ -1,0 +1,3 @@
+module scalablebulk
+
+go 1.22

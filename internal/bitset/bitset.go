@@ -1,0 +1,132 @@
+// Package bitset provides the small dense bit vectors the protocols use for
+// processor sets (inval_vec: sharers to invalidate) and directory-module sets
+// (g_vec: group participants). They mirror the fixed-width hardware bit
+// vectors carried inside protocol messages (Table 1 of the paper).
+package bitset
+
+import (
+	"fmt"
+	"math/bits"
+	"strings"
+)
+
+// Set is a growable bit vector. The zero value is an empty set.
+type Set struct {
+	w []uint64
+}
+
+// New returns a set pre-sized to hold n bits.
+func New(n int) Set { return Set{w: make([]uint64, (n+63)/64)} }
+
+func (s *Set) grow(i int) {
+	need := i/64 + 1
+	for len(s.w) < need {
+		s.w = append(s.w, 0)
+	}
+}
+
+// Add inserts bit i.
+func (s *Set) Add(i int) {
+	s.grow(i)
+	s.w[i/64] |= 1 << (i % 64)
+}
+
+// Remove clears bit i.
+func (s *Set) Remove(i int) {
+	if i/64 < len(s.w) {
+		s.w[i/64] &^= 1 << (i % 64)
+	}
+}
+
+// Has reports whether bit i is set.
+func (s *Set) Has(i int) bool {
+	return i/64 < len(s.w) && s.w[i/64]&(1<<(i%64)) != 0
+}
+
+// Count returns the number of set bits.
+func (s *Set) Count() int {
+	n := 0
+	for _, w := range s.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Empty reports whether no bit is set.
+func (s *Set) Empty() bool {
+	for _, w := range s.w {
+		if w != 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Or merges o into s (set union), as directory modules do when accumulating
+// inval_vec fields along the g message chain.
+func (s *Set) Or(o Set) {
+	for i, w := range o.w {
+		if w == 0 {
+			continue
+		}
+		s.grow(i*64 + 63)
+		s.w[i] |= w
+	}
+}
+
+// Clear empties the set, retaining capacity.
+func (s *Set) Clear() {
+	for i := range s.w {
+		s.w[i] = 0
+	}
+}
+
+// Clone returns an independent copy.
+func (s *Set) Clone() Set {
+	c := Set{w: make([]uint64, len(s.w))}
+	copy(c.w, s.w)
+	return c
+}
+
+// ForEach calls fn for every set bit in ascending order.
+func (s *Set) ForEach(fn func(i int)) {
+	for wi, w := range s.w {
+		for w != 0 {
+			b := bits.TrailingZeros64(w)
+			fn(wi*64 + b)
+			w &= w - 1
+		}
+	}
+}
+
+// Members returns the set bits in ascending order.
+func (s *Set) Members() []int {
+	out := make([]int, 0, s.Count())
+	s.ForEach(func(i int) { out = append(out, i) })
+	return out
+}
+
+// FromMembers builds a set containing each listed bit.
+func FromMembers(ms ...int) Set {
+	var s Set
+	for _, m := range ms {
+		s.Add(m)
+	}
+	return s
+}
+
+// String renders the set as "{1,5,9}".
+func (s *Set) String() string {
+	var b strings.Builder
+	b.WriteByte('{')
+	first := true
+	s.ForEach(func(i int) {
+		if !first {
+			b.WriteByte(',')
+		}
+		first = false
+		fmt.Fprintf(&b, "%d", i)
+	})
+	b.WriteByte('}')
+	return b.String()
+}

@@ -1,0 +1,106 @@
+package bitset
+
+import (
+	"testing"
+	"testing/quick"
+)
+
+func TestAddHasRemove(t *testing.T) {
+	var s Set
+	if s.Has(3) || !s.Empty() {
+		t.Fatal("zero value not empty")
+	}
+	s.Add(3)
+	s.Add(200)
+	if !s.Has(3) || !s.Has(200) || s.Has(4) {
+		t.Fatal("membership wrong after Add")
+	}
+	if s.Count() != 2 {
+		t.Fatalf("Count = %d, want 2", s.Count())
+	}
+	s.Remove(3)
+	if s.Has(3) || !s.Has(200) {
+		t.Fatal("Remove broke membership")
+	}
+	s.Remove(10000) // out of range: no-op
+}
+
+func TestOrAccumulatesInvalVec(t *testing.T) {
+	a := FromMembers(1, 2)
+	b := FromMembers(2, 65)
+	a.Or(b)
+	for _, i := range []int{1, 2, 65} {
+		if !a.Has(i) {
+			t.Fatalf("missing %d after Or", i)
+		}
+	}
+	if a.Count() != 3 {
+		t.Fatalf("Count = %d, want 3", a.Count())
+	}
+}
+
+func TestMembersOrdered(t *testing.T) {
+	s := FromMembers(70, 3, 9, 0)
+	got := s.Members()
+	want := []int{0, 3, 9, 70}
+	if len(got) != len(want) {
+		t.Fatalf("Members = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Members = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestCloneIndependent(t *testing.T) {
+	a := FromMembers(5)
+	b := a.Clone()
+	b.Add(6)
+	if a.Has(6) {
+		t.Fatal("Clone shares storage")
+	}
+}
+
+func TestClearString(t *testing.T) {
+	s := FromMembers(1, 2)
+	if s.String() != "{1,2}" {
+		t.Fatalf("String = %q", s.String())
+	}
+	s.Clear()
+	if !s.Empty() {
+		t.Fatal("Clear left bits set")
+	}
+	if s.String() != "{}" {
+		t.Fatalf("String = %q", s.String())
+	}
+}
+
+func TestPropertyMembership(t *testing.T) {
+	f := func(adds []uint16) bool {
+		var s Set
+		ref := map[int]bool{}
+		for _, a := range adds {
+			s.Add(int(a))
+			ref[int(a)] = true
+		}
+		if s.Count() != len(ref) {
+			return false
+		}
+		for k := range ref {
+			if !s.Has(k) {
+				return false
+			}
+		}
+		ok := true
+		s.ForEach(func(i int) {
+			if !ref[i] {
+				ok = false
+			}
+		})
+		return ok
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100}); err != nil {
+		t.Fatal(err)
+	}
+}

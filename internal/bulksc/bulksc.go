@@ -1,0 +1,238 @@
+// Package bulksc implements the BulkSC baseline commit protocol (Table 3:
+// "Protocol from [5] with arbiter in the center"). A centralized arbiter —
+// placed on the tile nearest the torus center — receives every commit
+// request, allows concurrent commits of chunks whose address signatures are
+// disjoint, and serializes its own decision making. The centralization is
+// exactly what makes BulkSC scale poorly from 32 to 64 processors in the
+// paper's Figure 13 (mean commit latency 98 → 2954 cycles).
+package bulksc
+
+import (
+	"fmt"
+
+	"scalablebulk/internal/chunk"
+	"scalablebulk/internal/dir"
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/sig"
+)
+
+// Config tunes the arbiter.
+type Config struct {
+	// ServiceTime is the arbiter's base per-request decision time;
+	// requests are serialized behind it (the centralization bottleneck).
+	ServiceTime event.Time
+	// PerInflight adds decision time per in-flight commit the request must
+	// be intersected against. This load dependence is what collapses the
+	// centralized arbiter between 32 and 64 processors (Figure 13: mean
+	// commit latency 98 → 2954 cycles): more cores → more in-flight
+	// signatures → slower decisions → longer queues → more in flight.
+	PerInflight event.Time
+	// RetryBackoff is how long a denied processor waits before re-sending
+	// its permission-to-commit request.
+	RetryBackoff event.Time
+}
+
+// DefaultConfig mirrors a fast centralized arbiter.
+func DefaultConfig() Config { return Config{ServiceTime: 6, PerInflight: 5, RetryBackoff: 30} }
+
+type inflight struct {
+	tag        msg.CTag
+	rsig, wsig sig.Sig
+	writeLines []sig.Line
+	try        int
+}
+
+// commitJob is the committing processor's side of a granted commit.
+type commitJob struct {
+	ck          *chunk.Chunk
+	pendingAcks int
+}
+
+// Protocol is the BulkSC engine; it implements dir.Protocol.
+type Protocol struct {
+	env *dir.Env
+	cfg Config
+
+	arbNode  int
+	busy     event.Time // arbiter pipeline: time its queue drains
+	inflight []*inflight
+
+	jobs map[int]*commitJob // committing processor → job
+}
+
+var _ dir.Protocol = (*Protocol)(nil)
+
+// New builds a BulkSC engine over env.
+func New(env *dir.Env, cfg Config) *Protocol {
+	if cfg.ServiceTime == 0 {
+		cfg.ServiceTime = 6
+	}
+	if cfg.RetryBackoff == 0 {
+		cfg.RetryBackoff = 30
+	}
+	return &Protocol{env: env, cfg: cfg, arbNode: env.Net.Center(), jobs: make(map[int]*commitJob)}
+}
+
+// Name implements dir.Protocol.
+func (p *Protocol) Name() string { return "BulkSC" }
+
+// ArbiterNode returns the tile hosting the centralized arbiter.
+func (p *Protocol) ArbiterNode() int { return p.arbNode }
+
+// RequestCommit implements dir.Protocol: send the signatures to the central
+// arbiter and wait for OK / not-OK.
+func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
+	p.env.Coll.CommitStarted(proc, ck.Tag.Seq, ck.Retries, p.env.Eng.Now())
+	p.jobs[proc] = &commitJob{ck: ck}
+	p.env.Net.Send(&msg.Msg{
+		Kind: msg.ArbRequest, Src: proc, Dst: p.arbNode, Tag: ck.Tag,
+		RSig: ck.RSig, WSig: ck.WSig, WriteLines: ck.WriteLines,
+		TID: uint64(ck.Retries),
+	})
+}
+
+// HandleDir implements dir.Protocol: arbiter-side processing.
+func (p *Protocol) HandleDir(node int, m *msg.Msg) {
+	if node != p.arbNode {
+		panic(fmt.Sprintf("bulksc: directory message %s at non-arbiter node %d", m, node))
+	}
+	switch m.Kind {
+	case msg.ArbRequest:
+		p.onRequest(m)
+	case msg.ArbDone:
+		p.onDone(m)
+	default:
+		panic(fmt.Sprintf("bulksc: unexpected directory message %s", m))
+	}
+}
+
+// onRequest queues the decision behind the arbiter's serialized pipeline.
+func (p *Protocol) onRequest(m *msg.Msg) {
+	now := p.env.Eng.Now()
+	if p.busy < now {
+		p.busy = now
+	}
+	p.busy += p.cfg.ServiceTime + p.cfg.PerInflight*event.Time(len(p.inflight))
+	p.env.Eng.At(p.busy, func() { p.decide(m) })
+}
+
+func (p *Protocol) decide(m *msg.Msg) {
+	for _, f := range p.inflight {
+		// The arbiter allows concurrent commits as long as the addresses a
+		// chunk wrote do not overlap the addresses accessed by any other
+		// committing chunk (§2.1).
+		if m.WSig.Overlaps(&f.wsig) || m.WSig.Overlaps(&f.rsig) || m.RSig.Overlaps(&f.wsig) {
+			p.env.Net.Send(&msg.Msg{Kind: msg.ArbDeny, Src: p.arbNode, Dst: m.Tag.Proc, Tag: m.Tag})
+			return
+		}
+	}
+	p.inflight = append(p.inflight, &inflight{
+		tag: m.Tag, rsig: m.RSig, wsig: m.WSig, writeLines: m.WriteLines, try: int(m.TID),
+	})
+	p.env.Coll.GroupFormed(m.Tag.Proc, m.Tag.Seq, int(m.TID), p.env.Eng.Now())
+	p.env.Net.Send(&msg.Msg{Kind: msg.ArbGrant, Src: p.arbNode, Dst: m.Tag.Proc, Tag: m.Tag})
+}
+
+func (p *Protocol) onDone(m *msg.Msg) {
+	for i, f := range p.inflight {
+		if f.tag == m.Tag {
+			// The commit is globally visible: update directory state.
+			for _, l := range f.writeLines {
+				p.env.State.ApplyCommitWrite(l, f.tag.Proc)
+			}
+			p.inflight = append(p.inflight[:i], p.inflight[i+1:]...)
+			return
+		}
+	}
+}
+
+// HandleProc implements dir.Protocol: committing-processor side.
+func (p *Protocol) HandleProc(node int, m *msg.Msg) {
+	switch m.Kind {
+	case msg.ArbGrant:
+		p.onGrant(node, m)
+	case msg.ArbDeny:
+		p.onDeny(node, m)
+	case msg.ArbInv:
+		// Bulk invalidation from another committing processor. A processor
+		// awaiting its arbiter decision defers it (no ack until consumed);
+		// otherwise invalidate, disambiguate, and ack.
+		if p.env.Cores[node].MaybeDefer(m) {
+			return
+		}
+		p.env.Cores[node].BulkInvalidate(&m.WSig, m.WriteLines, m.Tag.Proc)
+		p.env.Net.Send(&msg.Msg{Kind: msg.ArbInvAck, Src: node, Dst: m.Src, Tag: m.Tag})
+	case msg.ArbInvAck:
+		p.onInvAck(node, m)
+	default:
+		panic(fmt.Sprintf("bulksc: unexpected processor message %s", m))
+	}
+}
+
+// onGrant: OK to commit — broadcast the W signature to every other
+// processor for cached-line invalidation and chunk disambiguation.
+func (p *Protocol) onGrant(node int, m *msg.Msg) {
+	job := p.jobs[node]
+	if job == nil || job.ck.Tag != m.Tag {
+		return // stale grant (chunk already resolved)
+	}
+	// The decision arrived: the conservative deferral window ends and any
+	// buffered invalidations are consumed (they cannot conflict with the
+	// granted chunk — the arbiter checked it against everything their
+	// senders still have in flight).
+	p.env.Cores[node].ResumeInvalidations()
+	n := p.env.Net.Nodes()
+	job.pendingAcks = n - 1
+	if job.pendingAcks == 0 {
+		p.complete(node, job)
+		return
+	}
+	for d := 0; d < n; d++ {
+		if d == node {
+			continue
+		}
+		p.env.Net.Send(&msg.Msg{
+			Kind: msg.ArbInv, Src: node, Dst: d, Tag: m.Tag,
+			WSig: job.ck.WSig, WriteLines: job.ck.WriteLines,
+		})
+	}
+}
+
+func (p *Protocol) onDeny(node int, m *msg.Msg) {
+	job := p.jobs[node]
+	if job == nil || job.ck.Tag != m.Tag {
+		return
+	}
+	delete(p.jobs, node)
+	p.env.Cores[node].CommitRefused(m.Tag)
+}
+
+func (p *Protocol) onInvAck(node int, m *msg.Msg) {
+	job := p.jobs[node]
+	if job == nil || job.ck.Tag != m.Tag {
+		return
+	}
+	job.pendingAcks--
+	if job.pendingAcks == 0 {
+		p.complete(node, job)
+	}
+}
+
+func (p *Protocol) complete(node int, job *commitJob) {
+	delete(p.jobs, node)
+	tag := job.ck.Tag
+	p.env.Net.Send(&msg.Msg{Kind: msg.ArbDone, Src: node, Dst: p.arbNode, Tag: tag})
+	p.env.Cores[node].CommitFinished(tag)
+}
+
+// ReadBlocked implements dir.Protocol: BulkSC directories hold no committing
+// signatures, so reads are never nacked at the directory.
+//
+// Note on squash safety: BulkSC processors are conservative (§3.3) — they
+// buffer incoming invalidation signatures while awaiting the arbiter's
+// decision and ack only on consumption, so a sender stays in-flight at the
+// arbiter until every receiver consumed its W signature. A chunk whose
+// commit has been granted therefore can never be squashed by a buffered
+// invalidation: the arbiter checked it against everything still in flight.
+func (p *Protocol) ReadBlocked(node int, l sig.Line) bool { return false }

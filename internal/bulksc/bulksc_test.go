@@ -1,0 +1,91 @@
+package bulksc_test
+
+import (
+	"testing"
+
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/system"
+	"scalablebulk/internal/workload"
+)
+
+func run(t *testing.T, app string, cores, chunks int) *system.Result {
+	t.Helper()
+	prof, ok := workload.ByName(app)
+	if !ok {
+		t.Fatalf("unknown app %s", app)
+	}
+	cfg := system.DefaultConfig(cores, system.ProtoBulkSC)
+	cfg.ChunksPerCore = chunks
+	res, err := system.Run(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestArbiterRoundTrip: every commit makes an arbiter round trip (request →
+// grant/deny), and grants are eventually released with arb_done.
+func TestArbiterRoundTrip(t *testing.T) {
+	res := run(t, "FFT", 16, 6)
+	st := res.Traffic
+	if st.ByKind[msg.ArbRequest] < res.ChunksCommitted {
+		t.Fatalf("arb requests %d < commits %d", st.ByKind[msg.ArbRequest], res.ChunksCommitted)
+	}
+	if st.ByKind[msg.ArbGrant] != st.ByKind[msg.ArbDone] {
+		t.Fatalf("grants %d != dones %d (in-flight leak)",
+			st.ByKind[msg.ArbGrant], st.ByKind[msg.ArbDone])
+	}
+	if st.ByKind[msg.ArbGrant]+st.ByKind[msg.ArbDeny] != st.ByKind[msg.ArbRequest] {
+		t.Fatalf("decisions %d != requests %d",
+			st.ByKind[msg.ArbGrant]+st.ByKind[msg.ArbDeny], st.ByKind[msg.ArbRequest])
+	}
+}
+
+// TestInvalidationBroadcast: a granted commit broadcasts its W signature to
+// every other processor (n-1 arb_inv per grant), all acked.
+func TestInvalidationBroadcast(t *testing.T) {
+	const cores = 16
+	res := run(t, "LU", cores, 4)
+	st := res.Traffic
+	wantInv := st.ByKind[msg.ArbGrant] * (cores - 1)
+	if st.ByKind[msg.ArbInv] != wantInv {
+		t.Fatalf("arb_inv = %d, want grants×(n-1) = %d", st.ByKind[msg.ArbInv], wantInv)
+	}
+	if st.ByKind[msg.ArbInvAck] != st.ByKind[msg.ArbInv] {
+		t.Fatalf("acks %d != invs %d", st.ByKind[msg.ArbInvAck], st.ByKind[msg.ArbInv])
+	}
+}
+
+// TestDenyAndRetry: overlapping chunks get denied and retry until granted.
+func TestDenyAndRetry(t *testing.T) {
+	res := run(t, "Canneal", 64, 8)
+	if res.ChunksCommitted != 64*8 {
+		t.Fatalf("committed %d", res.ChunksCommitted)
+	}
+	if res.Traffic.ByKind[msg.ArbDeny] == 0 {
+		t.Fatal("expected arbiter denials on a conflicting 64-processor run")
+	}
+}
+
+// TestCentralizationCollapse is the Figure 13 cliff: with the same per-core
+// work, the 64-processor machine's mean commit latency is far above the
+// 16-processor machine's, because every decision funnels through one
+// arbiter whose service time grows with the in-flight set.
+func TestCentralizationCollapse(t *testing.T) {
+	small := run(t, "Barnes", 16, 8)
+	big := run(t, "Barnes", 64, 8)
+	if big.MeanCommitLatency() < 1.5*small.MeanCommitLatency() {
+		t.Fatalf("no collapse: 64p latency %.0f vs 16p %.0f",
+			big.MeanCommitLatency(), small.MeanCommitLatency())
+	}
+}
+
+// TestConservativeWindowDeadlockFree: processors defer invalidations while
+// awaiting the arbiter's decision; mutual deferral must not deadlock.
+func TestConservativeWindowDeadlockFree(t *testing.T) {
+	// Heavy mutual sharing maximizes the cross-deferral window.
+	res := run(t, "Blackscholes", 32, 6)
+	if res.ChunksCommitted != 32*6 {
+		t.Fatalf("committed %d", res.ChunksCommitted)
+	}
+}

@@ -1,0 +1,141 @@
+// Package chunk represents the atomic instruction blocks the machine
+// continuously executes: ~2000 dynamic instructions (Table 2), with read and
+// write sets captured in hardware address signatures and, as the chunk
+// executes, a list of the home directory modules of its accesses (the g_vec
+// of Table 1, "formed by the processor as it executes a chunk").
+package chunk
+
+import (
+	"sort"
+
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/sig"
+)
+
+// Access is one memory reference at cache-line granularity.
+type Access struct {
+	Line  sig.Line
+	Write bool
+}
+
+// Chunk is one atomic block, as produced by the workload generator and
+// executed by a processor.
+type Chunk struct {
+	Tag msg.CTag
+	// Instr is the dynamic instruction count of the block (2000 unless the
+	// chunk was cut short by a cache overflow or system call).
+	Instr int
+	// Accesses are the distinct-line memory references in program order.
+	Accesses []Access
+
+	// Derived at the end of execution:
+
+	// RSig and WSig are the chunk's read and write signatures. WSig covers
+	// written lines; RSig covers lines that were only read (a line both
+	// read and written appears in WSig — conflicts are detected against
+	// either set, and this mirrors how Bulk inserts).
+	RSig, WSig sig.Sig
+	// ReadLines and WriteLines are the distinct lines per set.
+	ReadLines, WriteLines []sig.Line
+	// Dirs is the g_vec: ascending IDs of every home directory of the
+	// chunk's accesses. WriteDirs are those homing at least one write.
+	Dirs      []int
+	WriteDirs []int
+
+	// Retries counts failed commit attempts (for starvation handling and
+	// statistics). Squashes counts how many times the chunk was squashed.
+	Retries  int
+	Squashes int
+
+	// ExecUseful and ExecMiss are filled by the processor model: cycles of
+	// useful execution and of cache-miss stall spent on the (latest)
+	// execution of this chunk. They move to the Squash bucket if the chunk
+	// is squashed, or to Useful/CacheMiss when it commits (Figures 7/8).
+	ExecUseful uint64
+	ExecMiss   uint64
+}
+
+// Finalize computes signatures, distinct line sets and the g_vec once the
+// chunk has executed. home maps a line to its home directory module.
+func (c *Chunk) Finalize(home func(sig.Line) int) {
+	c.RSig.Clear()
+	c.WSig.Clear()
+	c.ReadLines = c.ReadLines[:0]
+	c.WriteLines = c.WriteLines[:0]
+
+	written := make(map[sig.Line]bool, len(c.Accesses))
+	read := make(map[sig.Line]bool, len(c.Accesses))
+	for _, a := range c.Accesses {
+		if a.Write {
+			written[a.Line] = true
+		} else {
+			read[a.Line] = true
+		}
+	}
+
+	dirSet := make(map[int]bool, 8)
+	wDirSet := make(map[int]bool, 8)
+	for l := range written {
+		c.WSig.Insert(l)
+		c.WriteLines = append(c.WriteLines, l)
+		d := home(l)
+		dirSet[d] = true
+		wDirSet[d] = true
+	}
+	for l := range read {
+		if written[l] {
+			continue // write set subsumes
+		}
+		c.RSig.Insert(l)
+		c.ReadLines = append(c.ReadLines, l)
+		dirSet[home(l)] = true
+	}
+	sortLines(c.ReadLines)
+	sortLines(c.WriteLines)
+
+	c.Dirs = c.Dirs[:0]
+	for d := range dirSet {
+		c.Dirs = append(c.Dirs, d)
+	}
+	sort.Ints(c.Dirs)
+	c.WriteDirs = c.WriteDirs[:0]
+	for d := range wDirSet {
+		c.WriteDirs = append(c.WriteDirs, d)
+	}
+	sort.Ints(c.WriteDirs)
+}
+
+func sortLines(ls []sig.Line) {
+	sort.Slice(ls, func(i, j int) bool { return ls[i] < ls[j] })
+}
+
+// ReadOnlyDirs returns how many participating directories record only reads
+// (the "Read Group" bars of Figures 9 and 10).
+func (c *Chunk) ReadOnlyDirs() int { return len(c.Dirs) - len(c.WriteDirs) }
+
+// ConflictsWith reports whether committing `other` would squash this chunk:
+// other's write signature overlaps this chunk's read or write signature
+// (bulk disambiguation, §3.1). Signature-based, so aliasing can report a
+// conflict that is not real — exactly as in hardware.
+func (c *Chunk) ConflictsWith(otherW *sig.Sig) bool {
+	return otherW.Overlaps(&c.RSig) || otherW.Overlaps(&c.WSig)
+}
+
+// TrulyConflictsWith reports whether an exact line of ws is really in the
+// chunk's read or write set; used only to classify squashes into "data
+// conflict" vs "signature aliasing" for the §6.1 statistics.
+func (c *Chunk) TrulyConflictsWith(ws []sig.Line) bool {
+	mine := make(map[sig.Line]bool, len(c.ReadLines)+len(c.WriteLines))
+	for _, l := range c.ReadLines {
+		mine[l] = true
+	}
+	for _, l := range c.WriteLines {
+		mine[l] = true
+	}
+	for _, l := range ws {
+		if mine[l] {
+			return true
+		}
+	}
+	return false
+}

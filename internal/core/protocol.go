@@ -1,0 +1,715 @@
+// Package core implements the ScalableBulk protocol — the paper's primary
+// contribution: a directory-based cache-coherence protocol that commits
+// chunks with no centralized structure, communicating only with the relevant
+// directory modules, and overlapping the commit of any chunks whose updated
+// addresses do not overlap (§2.3, §3).
+//
+// The engine realizes the three generic primitives of §3:
+//
+//  1. Preventing access to a set of directory entries: while a chunk's W
+//     signature is held at a module, overlapping loads are nacked and
+//     overlapping commits collide (§3.1).
+//  2. Grouping directory modules: the Group Formation protocol — a g (grab)
+//     message traverses the participating modules in priority order starting
+//     at the leader and returns to it; incompatible groups are resolved at
+//     the lowest common ("Collision") module, which declares as winner the
+//     first group for which it saw both the signature pair and the g
+//     message (§3.2).
+//  3. Optimistic Commit Initiation: a committing processor keeps consuming
+//     bulk invalidations; if one squashes the chunk it sent out for commit,
+//     the cancellation travels as a commit_recall piggy-backed on the
+//     bulk_inv_ack and then on the commit_done, reaching the Collision
+//     module (§3.3, §3.4).
+//
+// Message orderings follow Appendix A, Tables 4 and 5.
+package core
+
+import (
+	"fmt"
+
+	"scalablebulk/internal/bitset"
+	"scalablebulk/internal/chunk"
+	"scalablebulk/internal/dir"
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/sig"
+)
+
+// chunkState is the lifecycle of a CST entry (Figure 6: the h and c bits).
+type chunkState int
+
+const (
+	// stPending: signatures and/or g received, module not yet admitted.
+	stPending chunkState = iota
+	// stHeld: h=1 — no conflicts found here, module admitted into the
+	// group, g passed onward.
+	stHeld
+	// stConfirmed: c=1 — the group formed; directory state is updated.
+	stConfirmed
+)
+
+// cstEntry is one Chunk State Table entry (Figure 6).
+type cstEntry struct {
+	tag  msg.CTag
+	try  int
+	rsig sig.Sig
+	wsig sig.Sig
+	// gvec is the participating modules in group (priority) order; the
+	// leader is gvec[0].
+	gvec       []int
+	writeLines []sig.Line
+
+	state    chunkState
+	gotSigs  bool
+	expanded bool // sharer computation done (W "expansion", §3.1)
+	gotG     bool
+
+	// invalVec accumulates the sharer processors to invalidate: own sharers
+	// merged with the vector carried by the incoming g message.
+	invalVec bitset.Set
+
+	// Leader-only bookkeeping.
+	leader      bool
+	pendingAcks int
+	recalls     []*msg.RecallInfo
+}
+
+// module is one directory module's protocol engine state.
+type module struct {
+	id  int
+	cst []*cstEntry
+	// reserved is the starving chunk this module is reserved for (§3.2.2).
+	reserved *msg.CTag
+	// squashes counts observed commit failures per chunk for starvation.
+	squashes map[msg.CTag]int
+	// failedTry tombstones the latest attempt known to have failed, so
+	// late-arriving messages of that attempt are discarded.
+	failedTry map[msg.CTag]int
+	// lookout holds commit_recalls waiting for the loser's (R,W)+g (§3.4).
+	lookout map[msg.CTag]int // tag → try to kill
+}
+
+// Config tunes the protocol.
+type Config struct {
+	// OCI enables Optimistic Commit Initiation (§3.3). Disabling it yields
+	// the conservative Figure 4(c) behavior — an ablation knob.
+	OCI bool
+	// MaxSquashes is the §3.2.2 MAX threshold after which the group's
+	// modules reserve themselves for a starving chunk.
+	MaxSquashes int
+	// RotationInterval, if nonzero, rotates directory-ID priorities every
+	// interval for long-term fairness (§3.2.2). Zero keeps the baseline
+	// lowest-ID-is-leader policy.
+	RotationInterval event.Time
+}
+
+// DefaultConfig returns the configuration used in the paper's evaluation.
+func DefaultConfig() Config { return Config{OCI: true, MaxSquashes: 12} }
+
+// FailStats counts group-formation failures by cause; used by the ablation
+// benchmarks and diagnostics.
+type FailStats struct {
+	Collision uint64 // lost to an incompatible group (§3.2.1)
+	Reserved  uint64 // bounced by a starvation reservation (§3.2.2)
+	Recalled  uint64 // killed by a commit_recall lookout (§3.4)
+}
+
+// Protocol is the ScalableBulk engine. It implements dir.Protocol.
+type Protocol struct {
+	env  *dir.Env
+	cfg  Config
+	mods []*module
+
+	// Fails tallies group-formation failures by cause.
+	Fails FailStats
+
+	// Trace, when set, receives a line per protocol event (for the
+	// grouptrace tooling). Keep nil for performance runs.
+	Trace func(format string, args ...any)
+}
+
+var _ dir.Protocol = (*Protocol)(nil)
+
+// New builds a ScalableBulk engine over env.
+func New(env *dir.Env, cfg Config) *Protocol {
+	if cfg.MaxSquashes <= 0 {
+		cfg.MaxSquashes = 12
+	}
+	p := &Protocol{env: env, cfg: cfg}
+	n := env.Net.Nodes()
+	for i := 0; i < n; i++ {
+		p.mods = append(p.mods, &module{
+			id:        i,
+			squashes:  make(map[msg.CTag]int),
+			failedTry: make(map[msg.CTag]int),
+			lookout:   make(map[msg.CTag]int),
+		})
+	}
+	return p
+}
+
+// Name implements dir.Protocol.
+func (p *Protocol) Name() string { return "ScalableBulk" }
+
+func (p *Protocol) trace(format string, args ...any) {
+	if p.Trace != nil {
+		p.Trace(format, args...)
+	}
+}
+
+// rank returns a module's current priority rank (lower = higher priority).
+// With rotation disabled this is the module ID (baseline policy, §3.2.1).
+func (p *Protocol) rank(d int) int {
+	if p.cfg.RotationInterval == 0 {
+		return d
+	}
+	n := p.env.Net.Nodes()
+	epoch := int(p.env.Eng.Now()/p.cfg.RotationInterval) % n
+	return (d - epoch + n) % n
+}
+
+// orderGVec sorts the participating modules by current priority; the first
+// element is the leader.
+func (p *Protocol) orderGVec(dirs []int) []int {
+	out := append([]int(nil), dirs...)
+	// Insertion sort by rank: gvecs are tiny (2–6 entries typically).
+	for i := 1; i < len(out); i++ {
+		for j := i; j > 0 && p.rank(out[j]) < p.rank(out[j-1]); j-- {
+			out[j], out[j-1] = out[j-1], out[j]
+		}
+	}
+	return out
+}
+
+// RequestCommit implements dir.Protocol: the committing processor sends the
+// (R,W) signature pair and the g_vec to every participating directory
+// module (Figure 3(a)).
+func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
+	try := ck.Retries
+	p.env.Coll.CommitStarted(proc, ck.Tag.Seq, try, p.env.Eng.Now())
+
+	if len(ck.Dirs) == 0 {
+		// A chunk with no memory footprint commits trivially.
+		p.env.Eng.After(1, func() {
+			p.env.Net.Send(&msg.Msg{Kind: msg.CommitSuccess, Src: proc, Dst: proc, Tag: ck.Tag})
+		})
+		p.env.Coll.GroupFormed(proc, ck.Tag.Seq, try, p.env.Eng.Now())
+		return
+	}
+
+	gvec := p.orderGVec(ck.Dirs)
+	p.trace("P%d commit_request %s gvec=%v", proc, ck.Tag, gvec)
+	for _, d := range gvec {
+		p.env.Net.Send(&msg.Msg{
+			Kind: msg.CommitRequest, Src: proc, Dst: d, Tag: ck.Tag,
+			RSig: ck.RSig, WSig: ck.WSig, GVec: gvec,
+			WriteLines: ck.WriteLines, TID: uint64(try),
+		})
+	}
+}
+
+// HandleProc implements dir.Protocol. ScalableBulk has no processor-side
+// messages beyond the generic ones the core consumes.
+func (p *Protocol) HandleProc(node int, m *msg.Msg) {
+	panic(fmt.Sprintf("core: unexpected processor message %s", m))
+}
+
+// ReadBlocked implements dir.Protocol (§3.1): loads that hit any currently
+// held W signature at the module are nacked.
+func (p *Protocol) ReadBlocked(node int, l sig.Line) bool {
+	for _, e := range p.mods[node].cst {
+		if e.gotSigs && e.wsig.Member(l) {
+			return true
+		}
+	}
+	return false
+}
+
+// HandleDir implements dir.Protocol: the directory-side state machine.
+func (p *Protocol) HandleDir(node int, m *msg.Msg) {
+	mod := p.mods[node]
+	switch m.Kind {
+	case msg.CommitRequest:
+		p.onCommitRequest(mod, m)
+	case msg.Grab:
+		p.onGrab(mod, m)
+	case msg.GSuccess:
+		p.onGSuccess(mod, m)
+	case msg.GFailure:
+		p.onGFailure(mod, m)
+	case msg.BulkInvAck:
+		p.onBulkInvAck(mod, m)
+	case msg.CommitDone:
+		p.onCommitDone(mod, m)
+	default:
+		panic(fmt.Sprintf("core: unexpected directory message %s", m))
+	}
+}
+
+func (mod *module) find(tag msg.CTag) *cstEntry {
+	for _, e := range mod.cst {
+		if e.tag == tag {
+			return e
+		}
+	}
+	return nil
+}
+
+func (mod *module) remove(tag msg.CTag) {
+	for i, e := range mod.cst {
+		if e.tag == tag {
+			mod.cst = append(mod.cst[:i], mod.cst[i+1:]...)
+			return
+		}
+	}
+}
+
+func (mod *module) getOrCreate(tag msg.CTag) *cstEntry {
+	if e := mod.find(tag); e != nil {
+		return e
+	}
+	e := &cstEntry{tag: tag}
+	mod.cst = append(mod.cst, e)
+	return e
+}
+
+// incompatible implements the §3.2.1 group-compatibility test: two groups
+// are incompatible if their W signatures overlap or if the R signature of
+// one overlaps the W signature of the other.
+func incompatible(a, b *cstEntry) bool {
+	return a.wsig.Overlaps(&b.wsig) || a.wsig.Overlaps(&b.rsig) || a.rsig.Overlaps(&b.wsig)
+}
+
+// entryFor resolves the CST entry for an attempt, handling attempt
+// staleness: messages of an older attempt than the entry's are dropped
+// (nil), and an entry left over from an older, failed attempt is replaced —
+// the processor only ever starts attempt N+1 after attempt N failed, so a
+// lower-try entry is provably stale even if this module missed the
+// g_failure (possible under message races); this keeps half-formed groups
+// from wedging the module.
+func (p *Protocol) entryFor(mod *module, tag msg.CTag, try int) *cstEntry {
+	e := mod.find(tag)
+	if e == nil {
+		e = mod.getOrCreate(tag)
+		e.try = try
+		return e
+	}
+	if try < e.try {
+		return nil // stale message of an older attempt
+	}
+	if try > e.try {
+		p.trace("D%d clears stale attempt %s try %d (newer try %d arrived)", mod.id, tag, e.try, try)
+		if e.gotSigs {
+			p.multicastFailure(mod, tag, e.try, e.gvec)
+		}
+		p.deallocate(mod, e, false)
+		e = mod.getOrCreate(tag)
+		e.try = try
+	}
+	return e
+}
+
+// multicastFailure broadcasts g_failure for a dead attempt to its group so
+// every module holding it unwinds; the no-starve flag is set (Line == 0).
+func (p *Protocol) multicastFailure(mod *module, tag msg.CTag, try int, gvec []int) {
+	for _, d := range gvec {
+		if d == mod.id {
+			continue
+		}
+		p.env.Net.Send(&msg.Msg{Kind: msg.GFailure, Src: mod.id, Dst: d, Tag: tag, TID: uint64(try)})
+	}
+}
+
+func (p *Protocol) onCommitRequest(mod *module, m *msg.Msg) {
+	try := int(m.TID)
+	if ft, ok := mod.failedTry[m.Tag]; ok && try <= ft {
+		// This attempt already failed (a g_failure beat the request here).
+		// Tell the processor: normally its leader does (Table 4,
+		// "R:commit_request & R:g_failure (from leader)"), but under
+		// message races the leader can miss the failure, and a silent drop
+		// would strand the half-formed group forever. Duplicate failure
+		// notifications are discarded by the processor.
+		p.sendCommitFailure(mod.id, m.Tag, try)
+		return
+	}
+	e := p.entryFor(mod, m.Tag, try)
+	if e == nil || e.gotSigs {
+		return // stale or duplicate
+	}
+	e.rsig, e.wsig = m.RSig, m.WSig
+	e.gvec = m.GVec
+	e.writeLines = m.WriteLines
+	e.gotSigs = true
+	e.leader = len(m.GVec) > 0 && m.GVec[0] == mod.id
+
+	// Expand the W signature against the local directory to find sharers.
+	// This takes DirLookup cycles but typically completes before the g
+	// message arrives, keeping it off the critical path (§3.2.1).
+	p.env.Eng.After(p.env.DirLookup, func() {
+		if mod.find(m.Tag) != e || e.expanded {
+			return // deallocated (failed) meanwhile
+		}
+		e.expanded = true
+		p.env.State.SharersOf(e.writeLines, mod.id, p.env.Map, e.tag.Proc, &e.invalVec)
+		p.tryAdvance(mod, e)
+	})
+}
+
+func (p *Protocol) onGrab(mod *module, m *msg.Msg) {
+	if ft, ok := mod.failedTry[m.Tag]; ok && int(m.TID) <= ft {
+		// The attempt already failed (or committed) here, but upstream
+		// modules hold it: unwind them, otherwise the orphaned chain
+		// blocks live chunks forever.
+		p.multicastFailure(mod, m.Tag, int(m.TID), m.GVec)
+		return
+	}
+	e := p.entryFor(mod, m.Tag, int(m.TID))
+	if e == nil {
+		p.multicastFailure(mod, m.Tag, int(m.TID), m.GVec)
+		return // stale g of an older attempt
+	}
+	if e.leader && e.state == stHeld {
+		// The g message returned to the leader: the group is formed
+		// (Figure 3(c)).
+		e.invalVec.Or(m.InvalVec)
+		p.confirmGroup(mod, e)
+		return
+	}
+	e.gotG = true
+	e.invalVec.Or(m.InvalVec)
+	p.tryAdvance(mod, e)
+}
+
+// tryAdvance attempts the module's admission decision for a pending entry:
+// the module "wins" the entry (sets h, forwards g) if it has everything it
+// needs and no incompatible chunk already holds the module.
+func (p *Protocol) tryAdvance(mod *module, e *cstEntry) {
+	if e.state != stPending || !e.gotSigs || !e.expanded {
+		return
+	}
+	if !e.leader && !e.gotG {
+		return
+	}
+
+	// Starvation reservation (§3.2.2): a reserved module treats every other
+	// chunk as a collision loser.
+	if mod.reserved != nil && *mod.reserved != e.tag && !tagOlder(e.tag, *mod.reserved) {
+		// A reserved module bounces chunks younger than the starving one.
+		// Two deviations from a literal reading of §3.2.2, both needed for
+		// liveness: bounces do not feed the victims' own starvation
+		// counters (otherwise reservations breed reservations and the
+		// machine convoys), and chunks older than the reservation holder
+		// pass through (otherwise modules reserved for different chunks of
+		// overlapping groups deadlock each other) — the globally oldest
+		// chunk passes every reservation and is guaranteed progress.
+		p.Fails.Reserved++
+		p.failGroup(mod, e, false)
+		return
+	}
+	// A commit_recall on the lookout kills this attempt (§3.4).
+	if try, ok := mod.lookout[e.tag]; ok {
+		if e.try <= try {
+			delete(mod.lookout, e.tag)
+			p.Fails.Recalled++
+			p.failGroup(mod, e, false)
+			return
+		}
+		delete(mod.lookout, e.tag) // stale lookout for an older attempt
+	}
+	// Collision detection: an incompatible group that already holds this
+	// module wins; this entry loses (§3.2.1).
+	for _, o := range mod.cst {
+		if o != e && o.state != stPending && incompatible(e, o) {
+			p.trace("D%d collision: %s loses to %s", mod.id, e.tag, o.tag)
+			p.Fails.Collision++
+			p.failGroup(mod, e, true)
+			return
+		}
+	}
+
+	// Win: h ← 1, push g onward, irrevocably choosing this group here.
+	e.state = stHeld
+	p.trace("D%d holds %s", mod.id, e.tag)
+	if e.leader && len(e.gvec) == 1 {
+		p.confirmGroup(mod, e)
+		return
+	}
+	next := p.successor(e, mod.id)
+	p.env.Net.Send(&msg.Msg{
+		Kind: msg.Grab, Src: mod.id, Dst: next, Tag: e.tag,
+		InvalVec: e.invalVec.Clone(), TID: uint64(e.try), GVec: e.gvec,
+	})
+}
+
+// successor returns the next module after d in the group's traversal order,
+// wrapping from the last module back to the leader.
+func (p *Protocol) successor(e *cstEntry, d int) int {
+	for i, g := range e.gvec {
+		if g == d {
+			if i+1 < len(e.gvec) {
+				return e.gvec[i+1]
+			}
+			return e.gvec[0] // back to the leader
+		}
+	}
+	panic(fmt.Sprintf("core: module %d not in gvec %v", d, e.gvec))
+}
+
+// confirmGroup runs at the leader when the g message returns: the group is
+// formed (Figure 3(c)/(d)).
+func (p *Protocol) confirmGroup(mod *module, e *cstEntry) {
+	e.state = stConfirmed
+	p.trace("D%d group formed for %s", mod.id, e.tag)
+	p.env.Coll.GroupFormed(e.tag.Proc, e.tag.Seq, e.try, p.env.Eng.Now())
+
+	// g_success to all members (Figure 3(c)).
+	for _, d := range e.gvec[1:] {
+		p.env.Net.Send(&msg.Msg{Kind: msg.GSuccess, Src: mod.id, Dst: d, Tag: e.tag})
+	}
+	// commit_success to the committing processor, W to the sharers
+	// (Figure 3(d)).
+	p.env.Net.Send(&msg.Msg{Kind: msg.CommitSuccess, Src: mod.id, Dst: e.tag.Proc, Tag: e.tag})
+	p.applyWrites(mod.id, e)
+
+	targets := e.invalVec.Members()
+	e.pendingAcks = len(targets)
+	for _, t := range targets {
+		p.env.Net.Send(&msg.Msg{
+			Kind: msg.BulkInv, Src: mod.id, Dst: t, Tag: e.tag,
+			WSig: e.wsig, WriteLines: e.writeLines,
+		})
+	}
+	if e.pendingAcks == 0 {
+		p.finishCommit(mod, e)
+	}
+}
+
+// applyWrites updates this module's directory entries for the committed
+// chunk's written lines homed here.
+func (p *Protocol) applyWrites(node int, e *cstEntry) {
+	for _, l := range e.writeLines {
+		if h, ok := p.env.Map.HomeIfMapped(l); ok && h == node {
+			p.env.State.ApplyCommitWrite(l, e.tag.Proc)
+		}
+	}
+}
+
+func (p *Protocol) onGSuccess(mod *module, m *msg.Msg) {
+	e := mod.find(m.Tag)
+	if e == nil {
+		return
+	}
+	e.state = stConfirmed
+	p.applyWrites(mod.id, e)
+}
+
+// onBulkInvAck runs at the leader; acks may piggy-back commit_recalls.
+func (p *Protocol) onBulkInvAck(mod *module, m *msg.Msg) {
+	e := mod.find(m.Tag)
+	if e == nil || !e.leader {
+		return
+	}
+	if m.Recall != nil {
+		e.recalls = append(e.recalls, m.Recall)
+	}
+	e.pendingAcks--
+	if e.pendingAcks == 0 {
+		p.finishCommit(mod, e)
+	}
+}
+
+// finishCommit runs at the leader once every sharer acked: commit_done is
+// multicast (carrying any commit_recalls), the group breaks down, and the
+// signatures are deallocated (Figure 3(e)).
+func (p *Protocol) finishCommit(mod *module, e *cstEntry) {
+	p.trace("D%d commit done for %s", mod.id, e.tag)
+	for _, d := range e.gvec[1:] {
+		p.env.Net.Send(&msg.Msg{Kind: msg.CommitDone, Src: mod.id, Dst: d, Tag: e.tag,
+			Recall: firstRecall(e.recalls)})
+	}
+	// Extra recalls (rare: several sharers squashed concurrently) ride in
+	// separate commit_done messages, as piggy-backing implies one each.
+	for _, r := range e.recalls[min(1, len(e.recalls)):] {
+		for _, d := range e.gvec[1:] {
+			p.env.Net.Send(&msg.Msg{Kind: msg.CommitDone, Src: mod.id, Dst: d, Tag: e.tag, Recall: r})
+		}
+	}
+	for _, r := range e.recalls {
+		p.handleRecall(mod, e, r)
+	}
+	p.deallocate(mod, e, true)
+}
+
+func firstRecall(rs []*msg.RecallInfo) *msg.RecallInfo {
+	if len(rs) == 0 {
+		return nil
+	}
+	return rs[0]
+}
+
+func (p *Protocol) onCommitDone(mod *module, m *msg.Msg) {
+	e := mod.find(m.Tag)
+	if m.Recall != nil {
+		if e != nil {
+			p.handleRecall(mod, e, m.Recall)
+		}
+	}
+	if e == nil {
+		return
+	}
+	p.deallocate(mod, e, true)
+}
+
+// handleRecall implements §3.4: the recall acts only at the Collision
+// module — the first module, in the winner group's traversal order, common
+// to both groups.
+func (p *Protocol) handleRecall(mod *module, winner *cstEntry, r *msg.RecallInfo) {
+	common := -1
+	inLoser := make(map[int]bool, len(r.GVec))
+	for _, d := range r.GVec {
+		inLoser[d] = true
+	}
+	for _, d := range winner.gvec {
+		if inLoser[d] {
+			common = d
+			break
+		}
+	}
+	if common != mod.id {
+		return // not the Collision module: no action
+	}
+	try := int(r.Try)
+	if ft, ok := mod.failedTry[r.Tag]; ok && try <= ft {
+		return // already sent g_failure for that attempt: discard (§3.4)
+	}
+	if loser := mod.find(r.Tag); loser != nil && loser.try == try {
+		// Already has (R,W) and/or g for the loser.
+		if loser.state == stPending {
+			p.Fails.Recalled++
+			p.failGroup(mod, loser, false)
+		}
+		// If the loser somehow advanced here it will be killed by the
+		// processor discarding commit_success; cannot happen in practice
+		// because this module held the winner until now.
+		return
+	}
+	// Be on the lookout for the loser's (R,W)+g (§3.4).
+	p.trace("D%d recall lookout for %s try %d", mod.id, r.Tag, try)
+	mod.lookout[r.Tag] = try
+}
+
+// failGroup runs at the module that detects a collision (or enforces a
+// reservation/recall): it multicasts g_failure to the losing group and, if
+// it is itself the loser's leader, notifies the processor (Tables 4/5).
+func (p *Protocol) failGroup(mod *module, e *cstEntry, countSquash bool) {
+	p.trace("D%d fails group %s", mod.id, e.tag)
+	var aux uint64
+	if countSquash {
+		aux = 1
+	}
+	for _, d := range e.gvec {
+		if d == mod.id {
+			continue
+		}
+		p.env.Net.Send(&msg.Msg{Kind: msg.GFailure, Src: mod.id, Dst: d, Tag: e.tag,
+			TID: uint64(e.try), Line: sig.Line(aux)})
+	}
+	if e.leader {
+		p.sendCommitFailure(mod.id, e.tag, e.try)
+	}
+	p.noteFailure(mod, e.tag, e.try, countSquash)
+	p.deallocate(mod, e, false)
+}
+
+func (p *Protocol) sendCommitFailure(node int, tag msg.CTag, try int) {
+	// The attempt index rides along so the processor can discard stale
+	// failure notifications (several modules may report the same failed
+	// attempt): without it, each stale copy would cancel a fresh attempt
+	// and the retries would multiply exponentially.
+	p.env.Net.Send(&msg.Msg{Kind: msg.CommitFailure, Src: node, Dst: tag.Proc, Tag: tag, TID: uint64(try)})
+}
+
+// onGFailure: a member of a failing group tears the entry down; the loser's
+// leader notifies the committing processor (Table 5).
+func (p *Protocol) onGFailure(mod *module, m *msg.Msg) {
+	p.noteFailure(mod, m.Tag, int(m.TID), m.Line != 0)
+	e := mod.find(m.Tag)
+	if e == nil {
+		return
+	}
+	if e.leader {
+		p.sendCommitFailure(mod.id, e.tag, int(m.TID))
+	}
+	p.deallocate(mod, e, false)
+}
+
+// tagOlder imposes a global total order on chunks (lower sequence number
+// first, processor ID as tie-break). It decides which starving chunk a
+// module reserves itself for when several starve at once: without a global
+// order, modules reserved for different chunks of overlapping groups
+// deadlock each other — a failure mode §3.2.2 does not discuss but that
+// arises immediately under heavy contention.
+func tagOlder(a, b msg.CTag) bool {
+	if a.Seq != b.Seq {
+		return a.Seq < b.Seq
+	}
+	return a.Proc < b.Proc
+}
+
+// noteFailure counts a chunk's commit failure and, past MAX, reserves the
+// module for that chunk (§3.2.2). If the module is already reserved for a
+// younger starving chunk, the reservation switches to the older one; the
+// globally oldest starving chunk therefore eventually holds reservations at
+// every module of its group and commits, guaranteeing forward progress.
+func (p *Protocol) noteFailure(mod *module, tag msg.CTag, try int, countSquash bool) {
+	if ft, ok := mod.failedTry[tag]; !ok || try > ft {
+		mod.failedTry[tag] = try
+	}
+	if !countSquash {
+		return
+	}
+	mod.squashes[tag]++
+	if mod.squashes[tag] >= p.cfg.MaxSquashes &&
+		(mod.reserved == nil || tagOlder(tag, *mod.reserved)) {
+		t := tag
+		mod.reserved = &t
+		p.trace("D%d reserved for starving %s", mod.id, tag)
+	}
+}
+
+// DebugModule renders one directory module's CST for deadlock diagnostics.
+func (p *Protocol) DebugModule(i int) string {
+	mod := p.mods[i]
+	if len(mod.cst) == 0 && mod.reserved == nil && len(mod.lookout) == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("D%d reserved=%v lookout=%v:", mod.id, mod.reserved, mod.lookout)
+	for _, e := range mod.cst {
+		s += fmt.Sprintf(" [%s try=%d st=%d sigs=%v g=%v leader=%v acks=%d gvec=%v]",
+			e.tag, e.try, e.state, e.gotSigs, e.gotG, e.leader, e.pendingAcks, e.gvec)
+	}
+	return s
+}
+
+// deallocate removes a CST entry; successful commits clear any reservation
+// and failure history for the chunk, and other pending chunks blocked on
+// this entry get another chance to advance.
+func (p *Protocol) deallocate(mod *module, e *cstEntry, success bool) {
+	mod.remove(e.tag)
+	if success {
+		delete(mod.squashes, e.tag)
+		// A committed chunk never tries again: tombstone every attempt so
+		// a contention-delayed message of an old attempt cannot form a
+		// ghost group that blocks live chunks.
+		mod.failedTry[e.tag] = int(^uint(0) >> 1)
+		if mod.reserved != nil && *mod.reserved == e.tag {
+			mod.reserved = nil
+		}
+	}
+	// Unblocked entries may now win the module.
+	for _, o := range append([]*cstEntry(nil), mod.cst...) {
+		if o.state == stPending {
+			p.tryAdvance(mod, o)
+		}
+	}
+}

@@ -1,0 +1,241 @@
+// Package dir provides the substrate shared by all four commit protocols:
+// the distributed directory state (per-line sharer/owner tracking), the
+// environment handed to a protocol engine (network, clock, mapper, cores,
+// statistics), and the conventional read path that serves cache misses
+// between chunk commits.
+//
+// One directory module lives on every tile; module i owns exactly the lines
+// whose pages were first-touch mapped to tile i (see package mem). The
+// protocol engines (packages core, tcc, seqpro, bulksc) layer chunk-commit
+// transactions on top of this state.
+package dir
+
+import (
+	"scalablebulk/internal/bitset"
+	"scalablebulk/internal/chunk"
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/mem"
+	"scalablebulk/internal/mesh"
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/sig"
+	"scalablebulk/internal/stats"
+)
+
+// LineInfo is the directory entry for one cache line.
+type LineInfo struct {
+	Sharers bitset.Set
+	Owner   int // processor holding the line dirty, or -1
+	Dirty   bool
+}
+
+// State is the machine-wide directory content. Each module only ever
+// touches lines homed at it, so a single map keyed by line is equivalent to
+// per-module storage while keeping lookups one-hop.
+type State struct {
+	lines map[sig.Line]*LineInfo
+}
+
+// NewState returns empty directory state.
+func NewState() *State { return &State{lines: make(map[sig.Line]*LineInfo)} }
+
+// Get returns the entry for a line, or nil if it was never cached.
+func (s *State) Get(l sig.Line) *LineInfo { return s.lines[l] }
+
+// Touch returns the entry for a line, creating it if needed.
+func (s *State) Touch(l sig.Line) *LineInfo {
+	if li, ok := s.lines[l]; ok {
+		return li
+	}
+	li := &LineInfo{Owner: -1}
+	s.lines[l] = li
+	return li
+}
+
+// AddSharer records that processor p now caches line l.
+func (s *State) AddSharer(l sig.Line, p int) { s.Touch(l).Sharers.Add(p) }
+
+// ApplyCommitWrite updates the directory for one committed written line:
+// all copies except the writer's are (being) invalidated, and the writer
+// becomes the dirty owner.
+func (s *State) ApplyCommitWrite(l sig.Line, writer int) {
+	li := s.Touch(l)
+	li.Sharers.Clear()
+	li.Sharers.Add(writer)
+	li.Owner = writer
+	li.Dirty = true
+}
+
+// SharersOf accumulates into dst the processors (other than exclude) that
+// share any of the given lines whose home is the module home. This is the
+// directory-side "expand the W signature and compile the list of sharers"
+// step of §3.1; the exact line list stands in for signature expansion (see
+// DESIGN.md §2).
+func (s *State) SharersOf(lines []sig.Line, home int, mapper *mem.Mapper, exclude int, dst *bitset.Set) {
+	for _, l := range lines {
+		if h, ok := mapper.HomeIfMapped(l); !ok || h != home {
+			continue
+		}
+		li := s.lines[l]
+		if li == nil {
+			continue
+		}
+		li.Sharers.ForEach(func(p int) {
+			if p != exclude {
+				dst.Add(p)
+			}
+		})
+	}
+}
+
+// SharersOfAll accumulates into dst every processor other than exclude that
+// shares any of the given lines, regardless of home module. Baseline
+// protocols whose invalidation fan-out is computed at a central point
+// (BulkSC's committing processor, SEQ-PRO's occupier) use this.
+func (s *State) SharersOfAll(lines []sig.Line, exclude int, dst *bitset.Set) {
+	for _, l := range lines {
+		li := s.lines[l]
+		if li == nil {
+			continue
+		}
+		li.Sharers.ForEach(func(p int) {
+			if p != exclude {
+				dst.Add(p)
+			}
+		})
+	}
+}
+
+// Core is the face a processor shows to the protocol engines.
+type Core interface {
+	// CommitFinished tells the core that chunk tag committed successfully.
+	CommitFinished(tag msg.CTag)
+	// CommitRefused tells the core that the commit attempt failed; the core
+	// waits and retries (§3.2: "prompts it to wait for a while and then
+	// retry the commit request").
+	CommitRefused(tag msg.CTag)
+	// BulkInvalidate delivers a committing chunk's W signature for cached
+	// line invalidation and chunk disambiguation. lines is the exact write
+	// set behind the signature (simulation-only; see DESIGN.md §2). It
+	// returns the tag of a chunk that was squashed while in commit flight —
+	// the Optimistic Commit Initiation case needing a commit_recall — or
+	// nil if no in-flight commit was hurt.
+	BulkInvalidate(w *sig.Sig, lines []sig.Line, committer int) *msg.CTag
+	// InvalidateLine is the per-line variant used by Scalable TCC, whose
+	// invalidations are individual cache-line messages (exact, no
+	// signature aliasing). Semantics otherwise match BulkInvalidate.
+	InvalidateLine(l sig.Line, committer int) *msg.CTag
+	// MaybeDefer lets a conservative core buffer an incoming invalidation
+	// while it awaits its commit decision (BulkSC's pre-OCI behavior,
+	// §3.3); it reports whether the message was deferred. Deferred
+	// messages are consumed — and acknowledged — once the decision lands.
+	MaybeDefer(m *msg.Msg) bool
+	// ResumeInvalidations ends the conservative deferral window early:
+	// BulkSC's arbiter grant is a decision even though the commit is still
+	// completing.
+	ResumeInvalidations()
+}
+
+// Protocol is a chunk-commit protocol engine (ScalableBulk or a baseline).
+type Protocol interface {
+	// Name returns the Table 3 protocol name.
+	Name() string
+	// RequestCommit starts committing chunk ck from processor p. The chunk
+	// is finalized (signatures and g_vec built).
+	RequestCommit(p int, ck *chunk.Chunk)
+	// HandleDir processes a directory-side message arriving at node.
+	HandleDir(node int, m *msg.Msg)
+	// HandleProc processes protocol-specific processor-side messages that
+	// the generic core logic does not consume.
+	HandleProc(node int, m *msg.Msg)
+	// ReadBlocked reports whether a load to line l arriving at directory
+	// node must be nacked because it hits a committing chunk's write set
+	// (§3.1).
+	ReadBlocked(node int, l sig.Line) bool
+}
+
+// Env is everything a protocol engine or read path needs from the machine.
+type Env struct {
+	Eng   *event.Engine
+	Net   *mesh.Network
+	Map   *mem.Mapper
+	State *State
+	Cores []Core
+	Coll  *stats.Collector
+
+	// DirLookup is the directory-module processing latency charged per
+	// transaction step (signature expansion, CST lookup).
+	DirLookup event.Time
+	// MemLatency is the memory round-trip latency (Table 2: 300 cycles).
+	MemLatency event.Time
+}
+
+// ReadPath serves conventional cache-miss transactions at every directory
+// module. The active protocol is consulted so reads that hit a committing
+// chunk's write set are nacked (§3.1).
+type ReadPath struct {
+	Env   *Env
+	Proto Protocol
+}
+
+// HandleDir processes read-path messages addressed to a directory module.
+// It reports whether the message was a read-path message.
+func (rp *ReadPath) HandleDir(node int, m *msg.Msg) bool {
+	switch m.Kind {
+	case msg.ReadReq:
+		rp.serve(node, m)
+		return true
+	case msg.ReadDirtyFwd:
+		// This tile's cache owns the dirty line: forward the data to the
+		// requester (recorded in Tag.Proc).
+		rp.Env.Net.Send(&msg.Msg{
+			Kind: msg.ReadDirtyReply, Src: node, Dst: m.Tag.Proc,
+			Tag: m.Tag, Line: m.Line,
+		})
+		return true
+	default:
+		return false
+	}
+}
+
+// serve handles a ReadReq at its home module.
+func (rp *ReadPath) serve(node int, m *msg.Msg) {
+	env := rp.Env
+	requester := m.Src
+	l := m.Line
+
+	if rp.Proto != nil && rp.Proto.ReadBlocked(node, l) {
+		env.Coll.ReadNacks++
+		env.Net.Send(&msg.Msg{Kind: msg.ReadNack, Src: node, Dst: requester, Tag: m.Tag, Line: l})
+		return
+	}
+
+	li := env.State.Get(l)
+	switch {
+	case li != nil && li.Dirty && li.Owner != requester && li.Owner >= 0:
+		// Served by the remote dirty owner (RemoteDirtyRd). The forward
+		// carries the requester in Tag.Proc. After the read the data is
+		// shared: the owner keeps a copy, memory is considered updated.
+		owner := li.Owner
+		li.Dirty = false
+		li.Owner = -1
+		li.Sharers.Add(requester)
+		env.Eng.After(env.DirLookup, func() {
+			env.Net.Send(&msg.Msg{
+				Kind: msg.ReadDirtyFwd, Src: node, Dst: owner,
+				Tag: msg.CTag{Proc: requester}, Line: l,
+			})
+		})
+	case li != nil && !li.Sharers.Empty():
+		// Served cache-to-cache from a shared copy (RemoteShRd).
+		li.Sharers.Add(requester)
+		env.Eng.After(env.DirLookup, func() {
+			env.Net.Send(&msg.Msg{Kind: msg.ReadShReply, Src: node, Dst: requester, Tag: m.Tag, Line: l})
+		})
+	default:
+		// Served from memory (MemRd).
+		env.State.AddSharer(l, requester)
+		env.Eng.After(env.DirLookup+env.MemLatency, func() {
+			env.Net.Send(&msg.Msg{Kind: msg.ReadMemReply, Src: node, Dst: requester, Tag: m.Tag, Line: l})
+		})
+	}
+}

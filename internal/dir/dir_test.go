@@ -1,0 +1,201 @@
+package dir
+
+import (
+	"testing"
+
+	"scalablebulk/internal/bitset"
+	"scalablebulk/internal/chunk"
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/mem"
+	"scalablebulk/internal/mesh"
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/sig"
+	"scalablebulk/internal/stats"
+)
+
+func TestStateTouchAndSharers(t *testing.T) {
+	s := NewState()
+	if s.Get(5) != nil {
+		t.Fatal("untouched line has an entry")
+	}
+	s.AddSharer(5, 2)
+	s.AddSharer(5, 7)
+	li := s.Get(5)
+	if li == nil || !li.Sharers.Has(2) || !li.Sharers.Has(7) {
+		t.Fatal("sharers not recorded")
+	}
+	if li.Dirty || li.Owner != -1 {
+		t.Fatal("fresh line must be clean and unowned")
+	}
+}
+
+func TestApplyCommitWrite(t *testing.T) {
+	s := NewState()
+	s.AddSharer(9, 1)
+	s.AddSharer(9, 2)
+	s.ApplyCommitWrite(9, 3)
+	li := s.Get(9)
+	if !li.Dirty || li.Owner != 3 {
+		t.Fatal("commit write did not set dirty owner")
+	}
+	if li.Sharers.Has(1) || li.Sharers.Has(2) || !li.Sharers.Has(3) {
+		t.Fatalf("sharers after commit = %s", li.Sharers.String())
+	}
+}
+
+func TestSharersOfFiltersByHome(t *testing.T) {
+	s := NewState()
+	mp := mem.NewMapper(4)
+	// Page of line 0 homed at dir 1; page of line 128 homed at dir 2.
+	mp.Home(0, 1)
+	mp.Home(128, 2)
+	s.AddSharer(0, 5)
+	s.AddSharer(128, 6)
+
+	var dst bitset.Set
+	s.SharersOf([]sig.Line{0, 128}, 1, mp, -1, &dst)
+	if !dst.Has(5) || dst.Has(6) {
+		t.Fatalf("home filter failed: %s", dst.String())
+	}
+	// Exclusion of the committer.
+	dst.Clear()
+	s.SharersOf([]sig.Line{0}, 1, mp, 5, &dst)
+	if !dst.Empty() {
+		t.Fatalf("committer not excluded: %s", dst.String())
+	}
+	// Unmapped lines are skipped.
+	dst.Clear()
+	s.SharersOf([]sig.Line{99999}, 1, mp, -1, &dst)
+	if !dst.Empty() {
+		t.Fatal("unmapped line produced sharers")
+	}
+}
+
+// fakeProto nacks reads to one specific line.
+type fakeProto struct{ blocked sig.Line }
+
+func (f *fakeProto) Name() string                          { return "fake" }
+func (f *fakeProto) RequestCommit(int, *chunk.Chunk)       {}
+func (f *fakeProto) HandleDir(int, *msg.Msg)               {}
+func (f *fakeProto) HandleProc(int, *msg.Msg)              {}
+func (f *fakeProto) ReadBlocked(node int, l sig.Line) bool { return l == f.blocked }
+
+var _ Protocol = (*fakeProto)(nil)
+
+func testEnv(t *testing.T, nodes int) (*Env, *mesh.Network, *event.Engine) {
+	t.Helper()
+	eng := event.New()
+	net := mesh.New(eng, mesh.Config{Nodes: nodes, LinkLatency: 7})
+	env := &Env{
+		Eng: eng, Net: net, Map: mem.NewMapper(nodes), State: NewState(),
+		Coll: stats.New(), DirLookup: 2, MemLatency: 300,
+	}
+	return env, net, eng
+}
+
+func TestReadPathMemoryRead(t *testing.T) {
+	env, net, eng := testEnv(t, 4)
+	rp := &ReadPath{Env: env}
+	var got *msg.Msg
+	net.Register(0, func(m *msg.Msg) { got = m })
+	net.Register(1, func(m *msg.Msg) { rp.HandleDir(1, m) })
+
+	env.Map.Home(10, 1)
+	net.Send(&msg.Msg{Kind: msg.ReadReq, Src: 0, Dst: 1, Line: 10})
+	eng.Run()
+	if got == nil || got.Kind != msg.ReadMemReply {
+		t.Fatalf("got %v, want read_mem_reply", got)
+	}
+	if eng.Now() < 300 {
+		t.Fatalf("memory read completed in %d cycles, faster than memory", eng.Now())
+	}
+	if li := env.State.Get(10); li == nil || !li.Sharers.Has(0) {
+		t.Fatal("requester not recorded as sharer")
+	}
+}
+
+func TestReadPathSharedRead(t *testing.T) {
+	env, net, eng := testEnv(t, 4)
+	rp := &ReadPath{Env: env}
+	var got *msg.Msg
+	net.Register(0, func(m *msg.Msg) { got = m })
+	net.Register(1, func(m *msg.Msg) { rp.HandleDir(1, m) })
+
+	env.Map.Home(10, 1)
+	env.State.AddSharer(10, 3) // someone already caches it
+	net.Send(&msg.Msg{Kind: msg.ReadReq, Src: 0, Dst: 1, Line: 10})
+	eng.Run()
+	if got == nil || got.Kind != msg.ReadShReply {
+		t.Fatalf("got %v, want read_sh_reply", got)
+	}
+	if eng.Now() >= 300 {
+		t.Fatal("shared read paid memory latency")
+	}
+}
+
+func TestReadPathDirtyForward(t *testing.T) {
+	env, net, eng := testEnv(t, 4)
+	rp := &ReadPath{Env: env}
+	var got *msg.Msg
+	net.Register(0, func(m *msg.Msg) { got = m })
+	net.Register(1, func(m *msg.Msg) { rp.HandleDir(1, m) })
+	net.Register(2, func(m *msg.Msg) { rp.HandleDir(2, m) }) // owner tile
+
+	env.Map.Home(10, 1)
+	env.State.ApplyCommitWrite(10, 2) // P2 owns line 10 dirty
+	net.Send(&msg.Msg{Kind: msg.ReadReq, Src: 0, Dst: 1, Line: 10})
+	eng.Run()
+	if got == nil || got.Kind != msg.ReadDirtyReply {
+		t.Fatalf("got %v, want read_dirty_reply", got)
+	}
+	li := env.State.Get(10)
+	if li.Dirty || !li.Sharers.Has(0) {
+		t.Fatal("dirty read did not downgrade to shared")
+	}
+	// Second read is now a shared read.
+	st := net.Stats()
+	if st.ByKind[msg.ReadDirtyFwd] != 1 {
+		t.Fatalf("dirty fwd count = %d", st.ByKind[msg.ReadDirtyFwd])
+	}
+}
+
+func TestReadPathNack(t *testing.T) {
+	env, net, eng := testEnv(t, 4)
+	rp := &ReadPath{Env: env, Proto: &fakeProto{blocked: 10}}
+	var got *msg.Msg
+	net.Register(0, func(m *msg.Msg) { got = m })
+	net.Register(1, func(m *msg.Msg) { rp.HandleDir(1, m) })
+
+	env.Map.Home(10, 1)
+	net.Send(&msg.Msg{Kind: msg.ReadReq, Src: 0, Dst: 1, Line: 10})
+	eng.Run()
+	if got == nil || got.Kind != msg.ReadNack {
+		t.Fatalf("got %v, want read_nack", got)
+	}
+	if env.Coll.ReadNacks != 1 {
+		t.Fatalf("ReadNacks = %d", env.Coll.ReadNacks)
+	}
+}
+
+func TestReadPathIgnoresNonReadMessages(t *testing.T) {
+	env, _, _ := testEnv(t, 4)
+	rp := &ReadPath{Env: env}
+	if rp.HandleDir(0, &msg.Msg{Kind: msg.Grab}) {
+		t.Fatal("read path consumed a protocol message")
+	}
+}
+
+func TestSharersOfAllIgnoresHomes(t *testing.T) {
+	s := NewState()
+	s.AddSharer(0, 5)
+	s.AddSharer(128, 6)
+	s.AddSharer(128, 7)
+	var dst bitset.Set
+	s.SharersOfAll([]sig.Line{0, 128, 999}, 6, &dst)
+	if !dst.Has(5) || !dst.Has(7) {
+		t.Fatalf("missing sharers: %s", dst.String())
+	}
+	if dst.Has(6) {
+		t.Fatal("exclusion failed")
+	}
+}

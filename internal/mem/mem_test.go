@@ -1,0 +1,83 @@
+package mem
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scalablebulk/internal/sig"
+)
+
+func TestPageOf(t *testing.T) {
+	if PageOf(0) != 0 || PageOf(127) != 0 {
+		t.Fatal("lines 0..127 must share page 0")
+	}
+	if PageOf(128) != 1 {
+		t.Fatalf("line 128 in page %d, want 1", PageOf(128))
+	}
+}
+
+func TestLineOfAddr(t *testing.T) {
+	if LineOfAddr(0) != 0 || LineOfAddr(31) != 0 || LineOfAddr(32) != 1 {
+		t.Fatal("byte→line conversion wrong")
+	}
+}
+
+func TestFirstTouchSticky(t *testing.T) {
+	m := NewMapper(8)
+	l := sig.Line(1000)
+	h := m.Home(l, 5)
+	if h != 5 {
+		t.Fatalf("first touch by 5 assigned home %d", h)
+	}
+	// Subsequent touches by other nodes do not move the page.
+	if got := m.Home(l, 2); got != 5 {
+		t.Fatalf("home moved to %d", got)
+	}
+	// Same page, different line → same home.
+	if got := m.Home(l+1, 7); got != 5 {
+		t.Fatalf("same-page line got home %d", got)
+	}
+	// Different page is independent.
+	if got := m.Home(l+LinesPerPage, 7); got != 7 {
+		t.Fatalf("new page home = %d, want 7", got)
+	}
+}
+
+func TestHomeIfMapped(t *testing.T) {
+	m := NewMapper(4)
+	if _, ok := m.HomeIfMapped(50); ok {
+		t.Fatal("unmapped page reported mapped")
+	}
+	m.Home(50, 3)
+	d, ok := m.HomeIfMapped(50)
+	if !ok || d != 3 {
+		t.Fatalf("HomeIfMapped = %d,%v", d, ok)
+	}
+	if m.MappedPages() != 1 {
+		t.Fatalf("MappedPages = %d", m.MappedPages())
+	}
+}
+
+func TestSingleDirectoryMachine(t *testing.T) {
+	m := NewMapper(1)
+	for i := 0; i < 100; i++ {
+		if m.Home(sig.Line(i*1000), i%7) != 0 {
+			t.Fatal("single-dir machine must home everything at 0")
+		}
+	}
+}
+
+// Property: the home of any line is a valid directory and stable across
+// repeated touches from arbitrary nodes.
+func TestPropertyHomeStable(t *testing.T) {
+	m := NewMapper(16)
+	f := func(line uint32, t1, t2 uint8) bool {
+		l := sig.Line(line)
+		h1 := m.Home(l, int(t1)%16)
+		h2 := m.Home(l, int(t2)%16)
+		return h1 == h2 && h1 >= 0 && h1 < 16
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,240 @@
+// Package mesh models the on-chip 2D torus interconnect of the simulated
+// multicore (Table 2: "Interconnect: 2D torus, link latency: 7 cycles",
+// after the network simulator of Das et al. used by the paper).
+//
+// Nodes are tiles laid out on a W×H torus; each tile hosts one core, its
+// private caches, and one directory module. Messages are routed
+// dimension-order (X then Y) along the minimal wraparound direction, and pay
+// the per-hop link latency plus flit serialization. With contention enabled
+// (the default), each directed link is a resource that a message occupies
+// for its flit count, so bursts of commit traffic queue — this is what lets
+// Scalable TCC's skip/probe broadcasts congest the network in Figures 18/19.
+package mesh
+
+import (
+	"fmt"
+
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/msg"
+)
+
+// Config configures a torus network.
+type Config struct {
+	Nodes       int        // number of tiles; factored into a near-square torus
+	LinkLatency event.Time // per-hop latency in cycles (paper: 7)
+	Contention  bool       // model per-link occupancy and queueing
+	LocalDelay  event.Time // latency of a node talking to itself (default 1)
+}
+
+// Handler receives messages delivered to a node.
+type Handler func(*msg.Msg)
+
+// Stats aggregates traffic accounting.
+type Stats struct {
+	ByKind   [msg.NumKinds]uint64 // messages sent, per kind
+	FlitHops uint64               // total flits × hops (link utilization)
+	Messages uint64               // total messages sent
+}
+
+// Network is a deterministic 2D torus.
+type Network struct {
+	eng      *event.Engine
+	w, h     int
+	linkLat  event.Time
+	localLat event.Time
+	cont     bool
+	handlers []Handler
+	// busy[node][dir] is the time a directed output link is free again.
+	busy  [][4]event.Time
+	stats Stats
+
+	// OnSend, when non-nil, observes every injected message (protocol
+	// conformance tests and the sbtrace tool). It must not mutate the
+	// message.
+	OnSend func(*msg.Msg)
+	// OnDeliver, when non-nil, observes every delivered message at its
+	// delivery time, before the destination handler runs.
+	OnDeliver func(*msg.Msg)
+}
+
+// Link directions for dimension-order routing.
+const (
+	dirEast = iota
+	dirWest
+	dirNorth
+	dirSouth
+)
+
+// dims factors n into the most square W×H grid with W ≥ H.
+func dims(n int) (w, h int) {
+	w, h = n, 1
+	for d := 1; d*d <= n; d++ {
+		if n%d == 0 {
+			w, h = n/d, d
+		}
+	}
+	return w, h
+}
+
+// New builds a torus for cfg.Nodes tiles.
+func New(eng *event.Engine, cfg Config) *Network {
+	if cfg.Nodes <= 0 {
+		panic("mesh: need at least one node")
+	}
+	if cfg.LinkLatency == 0 {
+		cfg.LinkLatency = 7
+	}
+	if cfg.LocalDelay == 0 {
+		cfg.LocalDelay = 1
+	}
+	w, h := dims(cfg.Nodes)
+	return &Network{
+		eng:      eng,
+		w:        w,
+		h:        h,
+		linkLat:  cfg.LinkLatency,
+		localLat: cfg.LocalDelay,
+		cont:     cfg.Contention,
+		handlers: make([]Handler, cfg.Nodes),
+		busy:     make([][4]event.Time, cfg.Nodes),
+	}
+}
+
+// Nodes returns the number of tiles.
+func (n *Network) Nodes() int { return n.w * n.h }
+
+// Dims returns the torus width and height.
+func (n *Network) Dims() (w, h int) { return n.w, n.h }
+
+// Register installs the message handler for a node. Each node has exactly
+// one handler (the tile demultiplexer installed by the system assembly).
+func (n *Network) Register(node int, h Handler) {
+	if n.handlers[node] != nil {
+		panic(fmt.Sprintf("mesh: node %d already has a handler", node))
+	}
+	n.handlers[node] = h
+}
+
+func (n *Network) coord(id int) (x, y int) { return id % n.w, id / n.w }
+
+// Hops returns the dimension-order torus distance between two nodes.
+func (n *Network) Hops(a, b int) int {
+	ax, ay := n.coord(a)
+	bx, by := n.coord(b)
+	dx := torusDist(ax, bx, n.w)
+	dy := torusDist(ay, by, n.h)
+	return dx + dy
+}
+
+func torusDist(a, b, size int) int {
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	if size-d < d {
+		d = size - d
+	}
+	return d
+}
+
+// Diameter returns the maximum hop count between any two nodes.
+func (n *Network) Diameter() int { return n.w/2 + n.h/2 }
+
+// Center returns the node nearest the torus center; BulkSC's arbiter and
+// Scalable TCC's TID vendor live there ("arbiter in the center", Table 3).
+func (n *Network) Center() int { return (n.h/2)*n.w + n.w/2 }
+
+// Send injects a message. Delivery is scheduled on the event engine after
+// routing latency; the destination handler runs at the delivery time.
+func (n *Network) Send(m *msg.Msg) {
+	n.stats.ByKind[m.Kind]++
+	n.stats.Messages++
+	if n.OnSend != nil {
+		n.OnSend(m)
+	}
+	flits := event.Time(m.Kind.FlitsOf())
+
+	if m.Src == m.Dst {
+		n.deliverAt(n.eng.Now()+n.localLat, m)
+		return
+	}
+
+	// Dimension-order route: X first (minimal wrap direction), then Y.
+	sx, sy := n.coord(m.Src)
+	dx, dy := n.coord(m.Dst)
+	t := n.eng.Now()
+	hops := 0
+
+	step := func(node int, dir int) {
+		if n.cont {
+			if n.busy[node][dir] > t {
+				t = n.busy[node][dir]
+			}
+			n.busy[node][dir] = t + flits
+		}
+		t += n.linkLat
+		hops++
+	}
+
+	x, y := sx, sy
+	for x != dx {
+		dir, nx := xStep(x, dx, n.w)
+		step(y*n.w+x, dir)
+		x = nx
+	}
+	for y != dy {
+		dir, ny := yStep(y, dy, n.h)
+		step(y*n.w+x, dir)
+		y = ny
+	}
+
+	// Tail serialization: the message body follows the head flit.
+	t += flits - 1
+	n.stats.FlitHops += uint64(flits) * uint64(hops)
+	n.deliverAt(t, m)
+}
+
+// xStep picks the minimal X direction on the torus and returns the next x.
+func xStep(x, dx, w int) (dir, next int) {
+	fwd := (dx - x + w) % w
+	if fwd <= w-fwd {
+		return dirEast, (x + 1) % w
+	}
+	return dirWest, (x - 1 + w) % w
+}
+
+func yStep(y, dy, h int) (dir, next int) {
+	fwd := (dy - y + h) % h
+	if fwd <= h-fwd {
+		return dirSouth, (y + 1) % h
+	}
+	return dirNorth, (y - 1 + h) % h
+}
+
+func (n *Network) deliverAt(t event.Time, m *msg.Msg) {
+	h := n.handlers[m.Dst]
+	if h == nil {
+		panic(fmt.Sprintf("mesh: no handler at node %d for %s", m.Dst, m))
+	}
+	n.eng.At(t, func() {
+		if n.OnDeliver != nil {
+			n.OnDeliver(m)
+		}
+		h(m)
+	})
+}
+
+// Latency estimates the uncontended delivery latency from a to b for a
+// message of the given kind (used by analytic models and tests).
+func (n *Network) Latency(a, b int, k msg.Kind) event.Time {
+	if a == b {
+		return n.localLat
+	}
+	return event.Time(n.Hops(a, b))*n.linkLat + event.Time(k.FlitsOf()) - 1
+}
+
+// Stats returns a copy of the traffic counters.
+func (n *Network) Stats() Stats { return n.stats }
+
+// ResetStats zeroes the traffic counters (used to exclude warm-up).
+func (n *Network) ResetStats() { n.stats = Stats{} }

@@ -1,0 +1,267 @@
+package mesh
+
+import (
+	"testing"
+	"testing/quick"
+
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/msg"
+)
+
+func newNet(t *testing.T, nodes int, cont bool) (*event.Engine, *Network) {
+	t.Helper()
+	eng := event.New()
+	n := New(eng, Config{Nodes: nodes, LinkLatency: 7, Contention: cont})
+	return eng, n
+}
+
+func TestDims(t *testing.T) {
+	cases := map[int][2]int{
+		1:  {1, 1},
+		4:  {2, 2},
+		32: {8, 4},
+		64: {8, 8},
+		6:  {3, 2},
+	}
+	for n, want := range cases {
+		w, h := dims(n)
+		if w != want[0] || h != want[1] {
+			t.Errorf("dims(%d) = %dx%d, want %dx%d", n, w, h, want[0], want[1])
+		}
+		if w*h != n {
+			t.Errorf("dims(%d) does not cover all nodes", n)
+		}
+	}
+}
+
+func TestHopsBasic(t *testing.T) {
+	_, n := newNet(t, 64, false) // 8x8
+	if got := n.Hops(0, 0); got != 0 {
+		t.Errorf("Hops(0,0) = %d", got)
+	}
+	if got := n.Hops(0, 1); got != 1 {
+		t.Errorf("Hops(0,1) = %d", got)
+	}
+	// Torus wraparound: node 0 to node 7 (same row, opposite end) is 1 hop.
+	if got := n.Hops(0, 7); got != 1 {
+		t.Errorf("Hops(0,7) = %d, want 1 (wraparound)", got)
+	}
+	// 0 (0,0) to 36 (4,4) is 4+4 = 8 hops = diameter.
+	if got := n.Hops(0, 36); got != 8 {
+		t.Errorf("Hops(0,36) = %d, want 8", got)
+	}
+	if n.Diameter() != 8 {
+		t.Errorf("Diameter = %d, want 8", n.Diameter())
+	}
+}
+
+func TestCenterIsCentral(t *testing.T) {
+	_, n := newNet(t, 64, false)
+	c := n.Center()
+	worst := 0
+	for i := 0; i < 64; i++ {
+		if h := n.Hops(c, i); h > worst {
+			worst = h
+		}
+	}
+	if worst > n.Diameter() {
+		t.Fatalf("center %d has eccentricity %d > diameter", c, worst)
+	}
+}
+
+func TestDeliveryLatencyUncontended(t *testing.T) {
+	eng, n := newNet(t, 64, false)
+	var deliveredAt event.Time
+	n.Register(9, func(m *msg.Msg) { deliveredAt = eng.Now() })
+	m := &msg.Msg{Kind: msg.Grab, Src: 0, Dst: 9}
+	n.Send(m)
+	eng.Run()
+	// 0→9 on 8x8: dx=1, dy=1 → 2 hops × 7 = 14, 1 flit → +0.
+	if deliveredAt != 14 {
+		t.Fatalf("delivered at %d, want 14", deliveredAt)
+	}
+	if got := n.Latency(0, 9, msg.Grab); got != 14 {
+		t.Fatalf("Latency = %d, want 14", got)
+	}
+}
+
+func TestLargeMessageSerialization(t *testing.T) {
+	eng, n := newNet(t, 64, false)
+	var at event.Time
+	n.Register(1, func(m *msg.Msg) { at = eng.Now() })
+	n.Send(&msg.Msg{Kind: msg.CommitRequest, Src: 0, Dst: 1})
+	eng.Run()
+	want := event.Time(7 + msg.CommitRequest.FlitsOf() - 1)
+	if at != want {
+		t.Fatalf("delivered at %d, want %d", at, want)
+	}
+}
+
+func TestLocalDelivery(t *testing.T) {
+	eng, n := newNet(t, 4, false)
+	var at event.Time
+	fired := false
+	n.Register(2, func(m *msg.Msg) { at, fired = eng.Now(), true })
+	n.Send(&msg.Msg{Kind: msg.Grab, Src: 2, Dst: 2})
+	eng.Run()
+	if !fired || at != 1 {
+		t.Fatalf("local delivery at %d (fired=%v), want 1", at, fired)
+	}
+}
+
+func TestContentionSerializesSharedLink(t *testing.T) {
+	// Two large messages over the same link: the second must arrive later
+	// than it would uncontended.
+	engFree, nFree := newNet(t, 64, false)
+	engCont, nCont := newNet(t, 64, true)
+
+	run := func(eng *event.Engine, n *Network) event.Time {
+		var last event.Time
+		n.Register(1, func(m *msg.Msg) { last = eng.Now() })
+		n.Send(&msg.Msg{Kind: msg.CommitRequest, Src: 0, Dst: 1})
+		n.Send(&msg.Msg{Kind: msg.CommitRequest, Src: 0, Dst: 1})
+		eng.Run()
+		return last
+	}
+	free := run(engFree, nFree)
+	cont := run(engCont, nCont)
+	if cont <= free {
+		t.Fatalf("contention did not delay: contended %d <= free %d", cont, free)
+	}
+}
+
+func TestStatsCounting(t *testing.T) {
+	eng, n := newNet(t, 16, false)
+	got := 0
+	n.Register(3, func(m *msg.Msg) { got++ })
+	n.Send(&msg.Msg{Kind: msg.Grab, Src: 0, Dst: 3})
+	n.Send(&msg.Msg{Kind: msg.BulkInv, Src: 0, Dst: 3})
+	eng.Run()
+	st := n.Stats()
+	if st.Messages != 2 || st.ByKind[msg.Grab] != 1 || st.ByKind[msg.BulkInv] != 1 {
+		t.Fatalf("stats = %+v", st)
+	}
+	if got != 2 {
+		t.Fatalf("delivered %d, want 2", got)
+	}
+	n.ResetStats()
+	if n.Stats().Messages != 0 {
+		t.Fatal("ResetStats did not zero")
+	}
+}
+
+func TestSameCycleFIFODelivery(t *testing.T) {
+	// Equidistant messages injected in order arrive in order.
+	eng, n := newNet(t, 16, false)
+	var order []int
+	n.Register(5, func(m *msg.Msg) { order = append(order, m.Src) })
+	n.Register(1, func(m *msg.Msg) {})
+	// 4 and 6 are both 1 hop from 5 on a 4x4 torus.
+	n.Send(&msg.Msg{Kind: msg.Grab, Src: 4, Dst: 5})
+	n.Send(&msg.Msg{Kind: msg.Grab, Src: 6, Dst: 5})
+	eng.Run()
+	if len(order) != 2 || order[0] != 4 || order[1] != 6 {
+		t.Fatalf("order = %v, want [4 6]", order)
+	}
+}
+
+// Property: hop distance is symmetric, zero iff same node, and bounded by
+// the diameter.
+func TestPropertyHops(t *testing.T) {
+	_, n := newNet(t, 64, false)
+	f := func(a, b uint8) bool {
+		x, y := int(a)%64, int(b)%64
+		h := n.Hops(x, y)
+		if h != n.Hops(y, x) {
+			return false
+		}
+		if (h == 0) != (x == y) {
+			return false
+		}
+		return h <= n.Diameter()
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: routed delivery time always equals Latency() when uncontended.
+func TestPropertyRoutedLatencyMatchesAnalytic(t *testing.T) {
+	f := func(a, b uint8) bool {
+		src, dst := int(a)%32, int(b)%32
+		eng := event.New()
+		n := New(eng, Config{Nodes: 32, LinkLatency: 7})
+		var at event.Time
+		n.Register(dst, func(m *msg.Msg) { at = eng.Now() })
+		if src != dst {
+			n.Register(src, func(m *msg.Msg) {})
+		}
+		n.Send(&msg.Msg{Kind: msg.BulkInv, Src: src, Dst: dst})
+		eng.Run()
+		return at == n.Latency(src, dst, msg.BulkInv)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 200}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestDoubleRegisterPanics(t *testing.T) {
+	_, n := newNet(t, 4, false)
+	n.Register(0, func(m *msg.Msg) {})
+	defer func() {
+		if recover() == nil {
+			t.Fatal("double Register did not panic")
+		}
+	}()
+	n.Register(0, func(m *msg.Msg) {})
+}
+
+func BenchmarkSend64(b *testing.B) {
+	eng := event.New()
+	n := New(eng, Config{Nodes: 64, LinkLatency: 7, Contention: true})
+	for i := 0; i < 64; i++ {
+		n.Register(i, func(m *msg.Msg) {})
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		n.Send(&msg.Msg{Kind: msg.Grab, Src: i % 64, Dst: (i * 7) % 64})
+		if i%64 == 63 {
+			eng.Run()
+		}
+	}
+	eng.Run()
+}
+
+func TestContentionPreservesPerLinkFIFO(t *testing.T) {
+	// Two messages on the same source→destination path must arrive in
+	// injection order even when the first congests the links.
+	eng := event.New()
+	n := New(eng, Config{Nodes: 16, LinkLatency: 7, Contention: true})
+	var order []msg.Kind
+	n.Register(3, func(m *msg.Msg) { order = append(order, m.Kind) })
+	n.Register(0, func(m *msg.Msg) {})
+	n.Send(&msg.Msg{Kind: msg.CommitRequest, Src: 0, Dst: 3}) // 17 flits
+	n.Send(&msg.Msg{Kind: msg.Grab, Src: 0, Dst: 3})          // 1 flit
+	eng.Run()
+	if len(order) != 2 || order[0] != msg.CommitRequest || order[1] != msg.Grab {
+		t.Fatalf("per-link FIFO violated: %v", order)
+	}
+}
+
+func TestLatencyGrowsUnderSaturation(t *testing.T) {
+	// Saturating one link makes later messages arrive later: the queueing
+	// behavior behind the BulkSC/TCC congestion effects.
+	eng := event.New()
+	n := New(eng, Config{Nodes: 16, LinkLatency: 7, Contention: true})
+	var last event.Time
+	n.Register(1, func(m *msg.Msg) { last = eng.Now() })
+	n.Register(0, func(m *msg.Msg) {})
+	for i := 0; i < 50; i++ {
+		n.Send(&msg.Msg{Kind: msg.CommitRequest, Src: 0, Dst: 1})
+	}
+	eng.Run()
+	uncontended := n.Latency(0, 1, msg.CommitRequest)
+	if last < 10*uncontended {
+		t.Fatalf("no queueing under saturation: last arrival %d vs uncontended %d", last, uncontended)
+	}
+}

@@ -1,0 +1,133 @@
+package msg
+
+import (
+	"strings"
+	"testing"
+)
+
+// TestMessageTable1Complete checks that all ten ScalableBulk message types of
+// Table 1 exist, with the paper's names.
+func TestMessageTable1Complete(t *testing.T) {
+	table1 := map[Kind]string{
+		CommitRequest: "commit_request",
+		Grab:          "g",
+		GFailure:      "g_failure",
+		GSuccess:      "g_success",
+		CommitFailure: "commit_failure",
+		CommitSuccess: "commit_success",
+		BulkInv:       "bulk_inv",
+		BulkInvAck:    "bulk_inv_ack",
+		CommitDone:    "commit_done",
+		CommitRecall:  "commit_recall",
+	}
+	if len(table1) != 10 {
+		t.Fatalf("Table 1 has ten message types, got %d", len(table1))
+	}
+	for k, name := range table1 {
+		if k.String() != name {
+			t.Errorf("kind %d = %q, want %q", int(k), k.String(), name)
+		}
+	}
+}
+
+func TestEveryKindNamed(t *testing.T) {
+	for k := Kind(0); int(k) < NumKinds; k++ {
+		if strings.HasPrefix(k.String(), "kind(") {
+			t.Errorf("kind %d has no name", int(k))
+		}
+	}
+}
+
+// TestSignatureCarryingMessagesAreLarge encodes §6.5: "in ScalableBulk, the
+// LargeCMessage are those that carry signatures, namely commit_request and
+// bulk_inv; SmallCMessage are the rest of the messages in Table 1."
+func TestSignatureCarryingMessagesAreLarge(t *testing.T) {
+	large := map[Kind]bool{CommitRequest: true, BulkInv: true}
+	table1 := []Kind{CommitRequest, Grab, GFailure, GSuccess, CommitFailure,
+		CommitSuccess, BulkInv, BulkInvAck, CommitDone, CommitRecall}
+	for _, k := range table1 {
+		want := ClassSmallC
+		if large[k] {
+			want = ClassLargeC
+		}
+		if got := k.ClassOf(); got != want {
+			t.Errorf("%s class = %s, want %s", k, got, want)
+		}
+	}
+}
+
+func TestReadClassMapping(t *testing.T) {
+	cases := map[Kind]Class{
+		ReadMemReply:   ClassMemRd,
+		ReadShReply:    ClassRemoteShRd,
+		ReadDirtyFwd:   ClassRemoteDirtyRd,
+		ReadDirtyReply: ClassRemoteDirtyRd,
+	}
+	for k, want := range cases {
+		if got := k.ClassOf(); got != want {
+			t.Errorf("%s class = %s, want %s", k, got, want)
+		}
+	}
+}
+
+func TestFlitSizes(t *testing.T) {
+	if CommitRequest.FlitsOf() <= BulkInv.FlitsOf() {
+		t.Error("commit_request carries two signatures, must exceed bulk_inv")
+	}
+	if BulkInv.FlitsOf() <= Grab.FlitsOf() {
+		t.Error("bulk_inv carries a signature, must exceed g")
+	}
+	if Grab.FlitsOf() != SmallFlits {
+		t.Errorf("g is a small message, got %d flits", Grab.FlitsOf())
+	}
+}
+
+func TestCTagString(t *testing.T) {
+	tag := CTag{Proc: 3, Seq: 17}
+	if tag.String() != "P3.17" {
+		t.Fatalf("CTag.String = %q", tag.String())
+	}
+	m := &Msg{Kind: Grab, Src: 1, Dst: 2, Tag: tag}
+	if !strings.Contains(m.String(), "g 1→2 P3.17") {
+		t.Fatalf("Msg.String = %q", m.String())
+	}
+}
+
+func TestSideRouting(t *testing.T) {
+	procSide := []Kind{CommitSuccess, CommitFailure, BulkInv, ReadMemReply,
+		ReadNack, TIDReply, TCCInval, SeqGrant, SeqInval, ArbGrant, ArbInv}
+	dirSide := []Kind{CommitRequest, Grab, GFailure, GSuccess, BulkInvAck,
+		CommitDone, ReadReq, TIDRequest, TCCProbe, TCCSkip, TCCMark,
+		SeqOccupy, SeqRelease, ArbRequest, ArbDone, ReadDirtyFwd}
+	for _, k := range procSide {
+		if k.SideOf() != SideProc {
+			t.Errorf("%s routed to dir, want proc", k)
+		}
+	}
+	for _, k := range dirSide {
+		if k.SideOf() != SideDir {
+			t.Errorf("%s routed to proc, want dir", k)
+		}
+	}
+}
+
+func TestBaselineInvalidationsCarrySignatures(t *testing.T) {
+	// BulkSC and SEQ invalidations carry W signatures (large); Scalable TCC
+	// invalidates per line (small) — the root of its small-message traffic.
+	if ArbInv.ClassOf() != ClassLargeC || SeqInval.ClassOf() != ClassLargeC {
+		t.Error("signature invalidations must be LargeCMessage")
+	}
+	if TCCInval.ClassOf() != ClassSmallC || TCCMark.ClassOf() != ClassSmallC ||
+		TCCSkip.ClassOf() != ClassSmallC || TCCProbe.ClassOf() != ClassSmallC {
+		t.Error("TCC per-line commit messages must be SmallCMessage")
+	}
+}
+
+func TestClassNames(t *testing.T) {
+	want := []string{"MemRd", "RemoteShRd", "RemoteDirtyRd", "LargeCMessage", "SmallCMessage"}
+	for i, w := range want {
+		if Class(i).String() != w {
+			t.Errorf("class %d = %q, want %q", i, Class(i).String(), w)
+		}
+	}
+}

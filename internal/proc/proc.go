@@ -1,0 +1,617 @@
+// Package proc models one tile's processor: a 1-IPC core with private
+// L1/L2 caches that continuously executes 2000-instruction chunks (Table 2),
+// keeps up to two chunks in flight (executing the next chunk while the
+// previous one commits), disambiguates incoming invalidations against its
+// chunks' signatures, squashes and re-executes on conflicts, and accounts
+// every cycle into the Useful / Cache Miss / Commit / Squash breakdown of
+// Figures 7 and 8.
+package proc
+
+import (
+	"fmt"
+	"math/rand"
+
+	"scalablebulk/internal/cache"
+	"scalablebulk/internal/chunk"
+	"scalablebulk/internal/dir"
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/sig"
+	"scalablebulk/internal/stats"
+)
+
+// Generator produces the chunk stream of one thread. It must be
+// deterministic in (proc, seq): a squashed chunk re-executes the same
+// accesses.
+type Generator interface {
+	NextChunk(proc int, seq uint64) *chunk.Chunk
+}
+
+// Config tunes the processor model.
+type Config struct {
+	// L2Latency is the private L2 round trip beyond the (hidden) L1 time.
+	L2Latency event.Time
+	// MaxActiveChunks caps in-flight chunks per core (Table 2: 2 — one
+	// committing plus one executing).
+	MaxActiveChunks int
+	// RetryBackoff is the wait before retrying a failed commit; a per-core
+	// jitter is added to break symmetric livelock.
+	RetryBackoff event.Time
+	// NackRetry is the wait before re-issuing a nacked read (§3.1).
+	NackRetry event.Time
+	// ConservativeInv buffers incoming invalidation signatures while a
+	// commit decision is pending, acknowledging only on consumption — the
+	// pre-OCI behavior of Figure 4(c) and of BulkSC.
+	ConservativeInv bool
+	// OCIRecall piggy-backs commit_recall on bulk_inv_ack when an
+	// invalidation squashes the in-flight commit (ScalableBulk §3.3).
+	OCIRecall bool
+	// Seed randomizes backoff jitter deterministically.
+	Seed int64
+}
+
+// DefaultConfig returns the ScalableBulk processor configuration.
+func DefaultConfig() Config {
+	return Config{
+		L2Latency:       8,
+		MaxActiveChunks: 2,
+		RetryBackoff:    48,
+		NackRetry:       20,
+		OCIRecall:       true,
+	}
+}
+
+// Proc is one processor. It implements dir.Core.
+type Proc struct {
+	ID    int
+	env   *dir.Env
+	proto dir.Protocol
+	hier  *cache.Hierarchy
+	gen   Generator
+	cfg   Config
+	rng   *rand.Rand
+
+	nextSeq uint64
+	target  int
+	done    bool
+
+	// Pipeline slots. Invariant: `finished` is only non-nil while
+	// `committing` occupies the commit slot (the core stalls).
+	executing *chunk.Chunk
+	execEpoch uint64 // invalidates stale execution continuations
+	pc        int
+
+	committing  *chunk.Chunk
+	commitReqAt event.Time
+
+	finished   *chunk.Chunk
+	stallStart event.Time
+
+	pendingRead *pendingRead
+	lastMiss    sig.Line   // previous miss line, for the spatial prefetcher
+	deferred    []*msg.Msg // conservative-mode buffered invalidations
+	draining    bool       // consuming deferred messages: do not re-defer
+	awaiting    bool       // commit decision pending (conservative window)
+
+	// Accounting.
+	Acct      stats.Breakdown
+	Committed int
+	Squashes  int
+	FinishAt  event.Time // when this core committed its last target chunk
+}
+
+type pendingRead struct {
+	acc      chunk.Access
+	issuedAt event.Time
+	epoch    uint64
+}
+
+// New builds a processor. l1 and l2 size the private hierarchy (Table 2).
+func New(env *dir.Env, proto dir.Protocol, gen Generator, id, target int, l1, l2 cache.Config, cfg Config) *Proc {
+	if cfg.MaxActiveChunks == 0 {
+		cfg.MaxActiveChunks = 2
+	}
+	p := &Proc{
+		ID: id, env: env, proto: proto, gen: gen, cfg: cfg,
+		hier:   cache.NewHierarchy(l1, l2),
+		target: target,
+		rng:    rand.New(rand.NewSource(cfg.Seed + int64(id)*7919)),
+	}
+	if target <= 0 {
+		p.done = true // nothing to do: born finished
+	}
+	return p
+}
+
+var _ dir.Core = (*Proc)(nil)
+
+// Hierarchy exposes the cache hierarchy (for tests and tooling).
+func (p *Proc) Hierarchy() *cache.Hierarchy { return p.hier }
+
+// Done reports whether the core committed its target number of chunks.
+func (p *Proc) Done() bool { return p.done }
+
+// Start begins executing the chunk stream.
+func (p *Proc) Start() { p.startNextChunk() }
+
+func (p *Proc) startNextChunk() {
+	if p.done || p.executing != nil || p.finished != nil {
+		return
+	}
+	active := 0
+	if p.committing != nil {
+		active++
+	}
+	if active >= p.cfg.MaxActiveChunks {
+		return
+	}
+	if p.Committed+active >= p.target {
+		return // enough chunks in flight to reach the target
+	}
+	ck := p.gen.NextChunk(p.ID, p.nextSeq)
+	p.nextSeq++
+	p.beginExecute(ck)
+}
+
+// beginExecute (re)starts a chunk from its first access.
+func (p *Proc) beginExecute(ck *chunk.Chunk) {
+	p.executing = ck
+	p.pc = 0
+	ck.ExecUseful, ck.ExecMiss = 0, 0
+	ck.RSig.Clear()
+	ck.WSig.Clear()
+	p.execEpoch++
+	p.pendingRead = nil
+	p.step(p.execEpoch)
+}
+
+// prefetchStall is the residual stall of a miss hidden by the spatial
+// streamer (line contiguous with the previous miss).
+const prefetchStall event.Time = 12
+
+// writeMissStall is the store-buffer cost of a write miss; stores need no
+// coherence permission in a lazy chunk machine.
+const writeMissStall event.Time = 4
+
+// instrGap spreads the chunk's non-memory instructions evenly between its
+// accesses: one cycle per instruction (1 IPC).
+func instrGap(ck *chunk.Chunk) event.Time {
+	return event.Time(ck.Instr / (len(ck.Accesses) + 1))
+}
+
+// step runs the executing chunk forward, batching cache hits locally and
+// yielding to the event engine on a miss or at chunk end.
+func (p *Proc) step(epoch uint64) {
+	if epoch != p.execEpoch || p.executing == nil {
+		return
+	}
+	ck := p.executing
+	gap := instrGap(ck)
+	var local event.Time
+	for p.pc < len(ck.Accesses) {
+		a := ck.Accesses[p.pc]
+		local += gap
+		ck.ExecUseful += uint64(gap)
+		// Signatures are built incrementally in hardware as the chunk
+		// executes, so mid-chunk disambiguation works.
+		if a.Write {
+			ck.WSig.Insert(a.Line)
+		} else {
+			ck.RSig.Insert(a.Line)
+		}
+		lvl := p.hier.Access(a.Line, a.Write)
+		p.pc++
+		switch lvl {
+		case cache.L1Hit:
+			// 2-cycle round trip, hidden by the pipeline.
+		case cache.L2Hit:
+			local += p.cfg.L2Latency
+			ck.ExecMiss += uint64(p.cfg.L2Latency)
+		case cache.Miss:
+			if a.Write {
+				// Writes never block: in a lazy chunk machine a store
+				// needs no coherence permission — the line is allocated
+				// locally and stays speculative until commit (§2). The
+				// read request still goes out so the directory learns the
+				// writer caches the line (and for traffic accounting).
+				local += writeMissStall
+				ck.ExecMiss += uint64(writeMissStall)
+				p.sendRead(a.Line)
+				p.hier.Fill(a.Line, true)
+				continue
+			}
+			if a.Line == p.lastMiss+1 {
+				// Spatial streaming: the prefetcher already has the next
+				// line of the run in flight (MSHRs, Table 2), so the core
+				// pays only a short drain instead of the full round trip.
+				// The read still goes out for directory bookkeeping and
+				// traffic accounting; its reply is consumed silently.
+				p.lastMiss = a.Line
+				local += prefetchStall
+				ck.ExecMiss += uint64(prefetchStall)
+				p.sendRead(a.Line)
+				p.hier.Fill(a.Line, a.Write)
+				continue
+			}
+			acc := a
+			p.env.Eng.After(local, func() { p.issueRead(acc, epoch) })
+			return
+		}
+	}
+	local += gap
+	ck.ExecUseful += uint64(gap)
+	p.env.Eng.After(local, func() { p.finishExecution(epoch) })
+}
+
+// issueRead sends the miss to the line's home directory.
+func (p *Proc) issueRead(a chunk.Access, epoch uint64) {
+	if epoch != p.execEpoch {
+		return
+	}
+	p.pendingRead = &pendingRead{acc: a, issuedAt: p.env.Eng.Now(), epoch: epoch}
+	p.sendRead(a.Line)
+}
+
+func (p *Proc) sendRead(l sig.Line) {
+	home := p.env.Map.Home(l, p.ID)
+	p.env.Net.Send(&msg.Msg{
+		Kind: msg.ReadReq, Src: p.ID, Dst: home,
+		Tag: msg.CTag{Proc: p.ID}, Line: l,
+	})
+}
+
+func (p *Proc) onReadReply(m *msg.Msg) {
+	pr := p.pendingRead
+	if pr == nil || pr.acc.Line != m.Line || pr.epoch != p.execEpoch {
+		return // stale reply for a squashed execution
+	}
+	p.pendingRead = nil
+	stall := uint64(p.env.Eng.Now() - pr.issuedAt)
+	p.lastMiss = m.Line
+	p.executing.ExecMiss += stall
+	p.hier.Fill(m.Line, pr.acc.Write)
+	p.step(p.execEpoch)
+}
+
+func (p *Proc) onReadNack(m *msg.Msg) {
+	pr := p.pendingRead
+	if pr == nil || pr.acc.Line != m.Line || pr.epoch != p.execEpoch {
+		return
+	}
+	line, epoch := pr.acc.Line, pr.epoch
+	// Keep issuedAt: the retry time is part of the miss stall. Re-issue
+	// after a short backoff (§3.1: bounced requests are retried).
+	p.env.Eng.After(p.cfg.NackRetry, func() {
+		if epoch != p.execEpoch || p.pendingRead != pr {
+			return
+		}
+		p.sendRead(line)
+	})
+}
+
+// finishExecution: the chunk completed; request its commit or stall if the
+// commit slot is occupied.
+func (p *Proc) finishExecution(epoch uint64) {
+	if epoch != p.execEpoch || p.executing == nil {
+		return
+	}
+	ck := p.executing
+	p.executing = nil
+	ck.Finalize(func(l sig.Line) int { return p.env.Map.Home(l, p.ID) })
+	if p.committing == nil {
+		p.submitCommit(ck)
+		p.startNextChunk()
+		return
+	}
+	// Commit stall: the previous chunk has not finished committing
+	// (Figures 7/8, "Commit" category).
+	p.finished = ck
+	p.stallStart = p.env.Eng.Now()
+}
+
+func (p *Proc) submitCommit(ck *chunk.Chunk) {
+	p.committing = ck
+	p.commitReqAt = p.env.Eng.Now()
+	p.awaiting = true
+	p.proto.RequestCommit(p.ID, ck)
+}
+
+// CommitFinished implements dir.Core.
+func (p *Proc) CommitFinished(tag msg.CTag) {
+	if p.committing != nil && p.committing.Tag == tag {
+		p.completeCommit()
+		return
+	}
+	// Late commit_success for a chunk that was squashed under OCI and is
+	// re-executing: the squash was provably due to signature aliasing (a
+	// true conflict always shares a home module and fails the group), so
+	// the commit stands and the re-execution is abandoned.
+	if p.executing != nil && p.executing.Tag == tag {
+		ck := p.executing
+		p.Acct.Squash += ck.ExecUseful + ck.ExecMiss // partial re-execution wasted
+		p.executing = nil
+		p.execEpoch++
+		p.pendingRead = nil
+		p.countCommit(ck)
+		p.startNextChunk()
+	}
+}
+
+func (p *Proc) completeCommit() {
+	ck := p.committing
+	p.committing = nil
+	p.awaiting = false
+	now := p.env.Eng.Now()
+	p.env.Coll.CommitEnded(p.ID, ck.Tag.Seq, ck.Retries, now, true)
+	p.env.Coll.CommitLatency(now - p.commitReqAt)
+	p.env.Coll.DirsPerCommit(len(ck.Dirs), len(ck.WriteDirs))
+	p.countCommit(ck)
+	p.drainDeferred()
+	if p.done {
+		return
+	}
+	if p.finished != nil {
+		p.Acct.Commit += uint64(now - p.stallStart)
+		next := p.finished
+		p.finished = nil
+		p.submitCommit(next)
+	}
+	p.startNextChunk()
+}
+
+// countCommit retires a chunk: caches finalize its lines and its execution
+// cycles land in the Useful/CacheMiss buckets.
+func (p *Proc) countCommit(ck *chunk.Chunk) {
+	p.hier.Commit(ck.WriteLines)
+	p.Acct.Useful += ck.ExecUseful
+	p.Acct.CacheMiss += ck.ExecMiss
+	p.Committed++
+	if p.Committed >= p.target && !p.done {
+		p.done = true
+		p.FinishAt = p.env.Eng.Now()
+		// Abandon any speculative work beyond the target.
+		p.executing = nil
+		p.finished = nil
+		p.execEpoch++
+		p.pendingRead = nil
+	}
+}
+
+// CommitRefused implements dir.Core: wait and retry (§3.2.1).
+func (p *Proc) CommitRefused(tag msg.CTag) {
+	if p.committing == nil || p.committing.Tag != tag {
+		return // stale failure (e.g. after an OCI recall); discard (§3.3)
+	}
+	ck := p.committing
+	p.awaiting = false
+	p.env.Coll.CommitEnded(p.ID, ck.Tag.Seq, ck.Retries, p.env.Eng.Now(), false)
+	ck.Retries++
+	// Exponential backoff with a cap: under heavy collision bursts a fixed
+	// retry interval lets 64 processors' request storms saturate the torus
+	// (latencies then diverge and retries compound). Backing off spreads
+	// the retries until the concurrent group set becomes feasible.
+	shift := ck.Retries
+	if shift > 5 {
+		shift = 5
+	}
+	backoff := p.cfg.RetryBackoff<<uint(shift) + event.Time(p.rng.Intn(64))
+	p.env.Eng.After(backoff, func() {
+		if p.committing == ck {
+			p.commitReqAt = p.env.Eng.Now()
+			p.awaiting = true
+			p.proto.RequestCommit(p.ID, ck)
+		}
+	})
+	// The refusal is a decision: consume invalidations deferred during the
+	// conservative window (Figure 4(c)) — this may squash ck, cancelling
+	// the scheduled retry.
+	p.drainDeferred()
+}
+
+// ResumeInvalidations implements dir.Core: the protocol's decision arrived
+// (e.g. BulkSC's arbiter grant), ending the conservative deferral window.
+func (p *Proc) ResumeInvalidations() {
+	p.awaiting = false
+	p.drainDeferred()
+}
+
+// requeueFor restarts execution at chunk ck, regenerating the chunk stream
+// after it (abandoned younger chunks re-execute later in program order).
+func (p *Proc) requeueFor(ck *chunk.Chunk) {
+	if p.done {
+		return
+	}
+	if p.executing != nil && p.executing.Tag.Seq < p.nextSeq {
+		p.nextSeq = p.executing.Tag.Seq
+	}
+	if p.finished != nil && p.finished.Tag.Seq < p.nextSeq {
+		p.nextSeq = p.finished.Tag.Seq
+	}
+	p.executing = nil
+	p.finished = nil
+	p.beginExecute(ck)
+}
+
+// squashExecuting discards the executing (or finished-waiting) chunk and
+// restarts it.
+func (p *Proc) squashExecuting(trueConflict bool) {
+	var ck *chunk.Chunk
+	now := p.env.Eng.Now()
+	switch {
+	case p.executing != nil:
+		ck = p.executing
+	case p.finished != nil:
+		ck = p.finished
+		// The commit stall so far is charged to Commit; the re-execution
+		// restarts the clock.
+		p.Acct.Commit += uint64(now - p.stallStart)
+	default:
+		return
+	}
+	p.Squashes++
+	p.env.Coll.Squashed(trueConflict)
+	p.Acct.Squash += ck.ExecUseful + ck.ExecMiss
+	ck.Squashes++
+	p.hier.Squash(ck.WriteLines)
+	p.executing = nil
+	p.finished = nil
+	p.beginExecute(ck)
+}
+
+// squashInFlight squashes the committing chunk (and, by program order, any
+// younger chunk) and restarts execution at the squashed chunk. It returns
+// the recall info for the cancelled attempt.
+func (p *Proc) squashInFlight(trueConflict bool) *msg.RecallInfo {
+	ck := p.committing
+	now := p.env.Eng.Now()
+	p.Squashes++
+	p.env.Coll.Squashed(trueConflict)
+	p.env.Coll.CommitEnded(p.ID, ck.Tag.Seq, ck.Retries, now, false)
+	p.Acct.Squash += ck.ExecUseful + ck.ExecMiss
+	ck.Squashes++
+	p.hier.Squash(ck.WriteLines)
+	recall := &msg.RecallInfo{Tag: ck.Tag, Try: uint64(ck.Retries), GVec: append([]int(nil), ck.Dirs...)}
+	// The younger chunk is squashed too (program order).
+	if p.finished != nil {
+		p.Acct.Commit += uint64(now - p.stallStart)
+		p.Acct.Squash += p.finished.ExecUseful + p.finished.ExecMiss
+	}
+	if p.executing != nil {
+		p.Acct.Squash += p.executing.ExecUseful + p.executing.ExecMiss
+	}
+	p.execEpoch++
+	p.pendingRead = nil
+	p.committing = nil
+	p.awaiting = false
+	ck.Retries++
+	// Re-execute the squashed chunk immediately (§3.3: "the processor
+	// squashes and restarts the chunk"); a later commit_failure for the
+	// old attempt is discarded by CommitRefused.
+	p.requeueFor(ck)
+	return recall
+}
+
+// BulkInvalidate implements dir.Core (§3.1, §3.3): invalidate the cached
+// lines of a committing chunk's write set and disambiguate against the
+// local chunks.
+func (p *Proc) BulkInvalidate(w *sig.Sig, lines []sig.Line, committer int) *msg.CTag {
+	r := p.bulkInvalidate(w, lines)
+	if r == nil {
+		return nil
+	}
+	tag := r.Tag
+	return &tag
+}
+
+// bulkInvalidate is the full-information variant used by the ScalableBulk
+// message path, which needs the recall payload.
+func (p *Proc) bulkInvalidate(w *sig.Sig, lines []sig.Line) *msg.RecallInfo {
+	for _, l := range lines {
+		p.hier.Invalidate(l)
+	}
+	if p.committing != nil && p.committing.ConflictsWith(w) {
+		return p.squashInFlight(p.committing.TrulyConflictsWith(lines))
+	}
+	active := p.executing
+	if active == nil {
+		active = p.finished
+	}
+	if active != nil && active.ConflictsWith(w) {
+		p.squashExecuting(active.TrulyConflictsWith(lines))
+	}
+	return nil
+}
+
+// InvalidateLine implements dir.Core: the per-line (Scalable TCC) variant.
+// Disambiguation is exact — no signature aliasing.
+func (p *Proc) InvalidateLine(l sig.Line, committer int) *msg.CTag {
+	p.hier.Invalidate(l)
+	one := []sig.Line{l}
+	if p.committing != nil && p.committing.TrulyConflictsWith(one) {
+		r := p.squashInFlight(true)
+		tag := r.Tag
+		return &tag
+	}
+	active := p.executing
+	if active == nil {
+		active = p.finished
+	}
+	if active != nil && active.TrulyConflictsWith(one) {
+		p.squashExecuting(true)
+	}
+	return nil
+}
+
+// MaybeDefer buffers an invalidation while a commit decision is pending
+// (conservative mode, Figure 4(c)). Deferred messages are consumed — and
+// only then acknowledged — when the decision arrives.
+func (p *Proc) MaybeDefer(m *msg.Msg) bool {
+	if !p.cfg.ConservativeInv || !p.awaiting || p.draining {
+		return false
+	}
+	p.deferred = append(p.deferred, m)
+	return true
+}
+
+func (p *Proc) drainDeferred() {
+	if len(p.deferred) == 0 || p.draining {
+		return
+	}
+	p.draining = true
+	for len(p.deferred) > 0 {
+		m := p.deferred[0]
+		p.deferred = p.deferred[1:]
+		p.Handle(m)
+	}
+	p.draining = false
+}
+
+// Handle dispatches a processor-side message.
+func (p *Proc) Handle(m *msg.Msg) {
+	switch m.Kind {
+	case msg.CommitSuccess:
+		p.CommitFinished(m.Tag)
+	case msg.CommitFailure:
+		// ScalableBulk failure notices carry the attempt index; stale
+		// notices for already-retried attempts are discarded (§3.3 says
+		// the same for failures arriving after an OCI squash).
+		if p.committing != nil && p.committing.Tag == m.Tag &&
+			uint64(p.committing.Retries) != m.TID {
+			return
+		}
+		p.CommitRefused(m.Tag)
+	case msg.ReadMemReply, msg.ReadShReply, msg.ReadDirtyReply:
+		p.onReadReply(m)
+	case msg.ReadNack:
+		p.onReadNack(m)
+	case msg.BulkInv:
+		if p.MaybeDefer(m) {
+			return
+		}
+		recall := p.bulkInvalidate(&m.WSig, m.WriteLines)
+		ack := &msg.Msg{Kind: msg.BulkInvAck, Src: p.ID, Dst: m.Src, Tag: m.Tag}
+		if recall != nil && p.cfg.OCIRecall {
+			ack.Recall = recall
+		}
+		p.env.Net.Send(ack)
+	default:
+		p.proto.HandleProc(p.ID, m)
+	}
+}
+
+func (p *Proc) String() string {
+	return fmt.Sprintf("P%d committed=%d acct=%+v", p.ID, p.Committed, p.Acct)
+}
+
+// DebugState renders the pipeline slots for deadlock diagnostics.
+func (p *Proc) DebugState() string {
+	f := func(c *chunk.Chunk) string {
+		if c == nil {
+			return "-"
+		}
+		return fmt.Sprintf("%s(try %d, sq %d)", c.Tag, c.Retries, c.Squashes)
+	}
+	return fmt.Sprintf("P%d done=%v committed=%d/%d committing=%s executing=%s finished=%s awaiting=%v deferred=%d pendingRead=%v",
+		p.ID, p.done, p.Committed, p.target, f(p.committing), f(p.executing), f(p.finished),
+		p.awaiting, len(p.deferred), p.pendingRead != nil)
+}

@@ -1,0 +1,287 @@
+package proc
+
+import (
+	"testing"
+
+	"scalablebulk/internal/cache"
+	"scalablebulk/internal/chunk"
+	"scalablebulk/internal/dir"
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/mem"
+	"scalablebulk/internal/mesh"
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/sig"
+	"scalablebulk/internal/stats"
+)
+
+// scriptProto is a controllable protocol: it records commit requests and
+// lets the test resolve them explicitly.
+type scriptProto struct {
+	env      *dir.Env
+	requests []*chunk.Chunk
+}
+
+func (f *scriptProto) Name() string                    { return "script" }
+func (f *scriptProto) HandleDir(node int, m *msg.Msg)  {}
+func (f *scriptProto) HandleProc(node int, m *msg.Msg) {}
+func (f *scriptProto) ReadBlocked(int, sig.Line) bool  { return false }
+func (f *scriptProto) RequestCommit(p int, c *chunk.Chunk) {
+	f.env.Coll.CommitStarted(p, c.Tag.Seq, c.Retries, f.env.Eng.Now())
+	f.requests = append(f.requests, c)
+}
+
+// fixedGen deals fixed-size private chunks (always cache-resident after the
+// first fill, so timing is easy to reason about).
+type fixedGen struct{ accesses int }
+
+func (g fixedGen) NextChunk(proc int, seq uint64) *chunk.Chunk {
+	ck := &chunk.Chunk{Tag: msg.CTag{Proc: proc, Seq: seq}, Instr: 2000}
+	for i := 0; i < g.accesses; i++ {
+		ck.Accesses = append(ck.Accesses, chunk.Access{
+			Line:  sig.Line(1000*(proc+1) + 100*int(seq) + i),
+			Write: i%3 == 0,
+		})
+	}
+	return ck
+}
+
+func rig(t *testing.T, cfg Config) (*Proc, *scriptProto, *event.Engine) {
+	t.Helper()
+	eng := event.New()
+	net := mesh.New(eng, mesh.Config{Nodes: 4, LinkLatency: 7})
+	env := &dir.Env{
+		Eng: eng, Net: net, Map: mem.NewMapper(4), State: dir.NewState(),
+		Coll: stats.New(), DirLookup: 2, MemLatency: 300,
+	}
+	fp := &scriptProto{env: env}
+	p := New(env, fp, fixedGen{accesses: 8}, 0, 4,
+		cache.Config{SizeBytes: 4 << 10, Assoc: 4},
+		cache.Config{SizeBytes: 32 << 10, Assoc: 8}, cfg)
+	env.Cores = []dir.Core{p, nil, nil, nil}
+	for i := 0; i < 4; i++ {
+		node := i
+		net.Register(node, func(m *msg.Msg) {
+			if node == 0 && m.Kind.SideOf() == msg.SideProc {
+				p.Handle(m)
+				return
+			}
+			if m.Kind == msg.ReadReq {
+				// Minimal read service: immediate memory reply.
+				net.Send(&msg.Msg{Kind: msg.ReadMemReply, Src: node, Dst: m.Src, Tag: m.Tag, Line: m.Line})
+			}
+		})
+	}
+	return p, fp, eng
+}
+
+func TestPipelineKeepsTwoChunksInFlight(t *testing.T) {
+	p, fp, eng := rig(t, DefaultConfig())
+	p.Start()
+	eng.RunFor(50_000)
+	if len(fp.requests) != 1 {
+		t.Fatalf("requests = %d, want exactly 1 (commit slot busy)", len(fp.requests))
+	}
+	// The next chunk finished executing but must stall behind the
+	// unresolved commit — that's the Commit category.
+	if p.finished == nil {
+		t.Fatal("second chunk should be finished-waiting")
+	}
+	if p.executing != nil {
+		t.Fatal("a third chunk must not start with two in flight")
+	}
+	// Resolve the commit: the stalled chunk submits, a new one executes.
+	p.CommitFinished(fp.requests[0].Tag)
+	eng.RunFor(100)
+	if len(fp.requests) != 2 {
+		t.Fatalf("requests after resolve = %d, want 2", len(fp.requests))
+	}
+	if p.Acct.Commit == 0 {
+		t.Fatal("commit stall cycles not accounted")
+	}
+	if p.Committed != 1 {
+		t.Fatalf("Committed = %d", p.Committed)
+	}
+}
+
+func TestRetryBacksOffExponentially(t *testing.T) {
+	p, fp, eng := rig(t, DefaultConfig())
+	p.Start()
+	eng.RunFor(50_000)
+	first := fp.requests[0]
+	t0 := eng.Now()
+	p.CommitRefused(first.Tag)
+	eng.RunFor(10_000)
+	if len(fp.requests) < 2 {
+		t.Fatal("no retry after refusal")
+	}
+	if fp.requests[1] != first {
+		t.Fatal("retry must resubmit the same chunk")
+	}
+	if first.Retries != 1 {
+		t.Fatalf("Retries = %d", first.Retries)
+	}
+	_ = t0
+	// Refuse repeatedly: the gap between retries must grow.
+	var gaps []event.Time
+	last := eng.Now()
+	for i := 0; i < 4; i++ {
+		p.CommitRefused(first.Tag)
+		before := len(fp.requests)
+		for len(fp.requests) == before {
+			if !eng.Step() {
+				t.Fatal("engine drained without retry")
+			}
+		}
+		gaps = append(gaps, eng.Now()-last)
+		last = eng.Now()
+	}
+	if gaps[len(gaps)-1] <= gaps[0] {
+		t.Fatalf("backoff not growing: %v", gaps)
+	}
+}
+
+func TestBulkInvalidateSquashesInFlightCommit(t *testing.T) {
+	p, fp, eng := rig(t, DefaultConfig())
+	p.Start()
+	eng.RunFor(50_000)
+	ck := fp.requests[0]
+	var w sig.Sig
+	w.Insert(ck.WriteLines[0]) // true conflict with the committing chunk
+
+	recall := p.bulkInvalidate(&w, []sig.Line{ck.WriteLines[0]})
+	if recall == nil {
+		t.Fatal("in-flight conflict did not produce a recall")
+	}
+	if recall.Tag != ck.Tag {
+		t.Fatalf("recall for %s, want %s", recall.Tag, ck.Tag)
+	}
+	if p.committing != nil {
+		t.Fatal("squashed chunk still committing")
+	}
+	if p.Acct.Squash == 0 {
+		t.Fatal("squash cycles not charged")
+	}
+	// The chunk re-executes and recommits with a higher try.
+	eng.RunFor(100_000)
+	found := false
+	for _, r := range fp.requests[1:] {
+		if r.Tag == ck.Tag && r.Retries > 0 {
+			found = true
+		}
+	}
+	if !found {
+		t.Fatal("squashed chunk never recommitted")
+	}
+}
+
+func TestBulkInvalidateSquashesExecutingChunk(t *testing.T) {
+	p, fp, eng := rig(t, DefaultConfig())
+	p.Start()
+	eng.RunFor(50_000)
+	// The finished-waiting chunk is the younger active chunk here.
+	victim := p.finished
+	if victim == nil {
+		t.Fatal("setup: no finished chunk")
+	}
+	var w sig.Sig
+	w.Insert(victim.Accesses[0].Line)
+	squashesBefore := p.Squashes
+	p.bulkInvalidate(&w, []sig.Line{victim.Accesses[0].Line})
+	if p.Squashes != squashesBefore+1 {
+		t.Fatal("executing/finished chunk not squashed")
+	}
+	if p.committing == nil || p.committing != fp.requests[0] {
+		t.Fatal("older committing chunk must survive a younger-only conflict")
+	}
+}
+
+func TestInvalidateLineExactness(t *testing.T) {
+	p, fp, eng := rig(t, DefaultConfig())
+	p.Start()
+	eng.RunFor(50_000)
+	ck := fp.requests[0]
+	// A line NOT in the chunk: no squash (per-line disambiguation is exact).
+	if got := p.InvalidateLine(999999, 2); got != nil {
+		t.Fatal("phantom per-line conflict")
+	}
+	if got := p.InvalidateLine(ck.WriteLines[0], 2); got == nil {
+		t.Fatal("true per-line conflict missed")
+	}
+}
+
+func TestConservativeDeferral(t *testing.T) {
+	cfg := DefaultConfig()
+	cfg.ConservativeInv = true
+	cfg.OCIRecall = false
+	p, fp, eng := rig(t, cfg)
+	p.Start()
+	eng.RunFor(50_000)
+	ck := fp.requests[0]
+
+	var w sig.Sig
+	w.Insert(ck.WriteLines[0])
+	m := &msg.Msg{Kind: msg.BulkInv, Src: 1, Dst: 0, Tag: msg.CTag{Proc: 1, Seq: 9},
+		WSig: w, WriteLines: []sig.Line{ck.WriteLines[0]}}
+	p.Handle(m)
+	if len(p.deferred) != 1 {
+		t.Fatal("invalidation not deferred while awaiting decision")
+	}
+	if p.Squashes != 0 {
+		t.Fatal("deferred invalidation must not squash yet")
+	}
+	// The decision arrives (failure): the deferred inv is consumed and the
+	// conflicting in-flight chunk squashes.
+	p.CommitRefused(ck.Tag)
+	if len(p.deferred) != 0 {
+		t.Fatal("deferred invalidations not drained at decision")
+	}
+	if p.Squashes == 0 {
+		t.Fatal("drained conflicting invalidation did not squash")
+	}
+}
+
+func TestLateSuccessAbandonsReexecution(t *testing.T) {
+	p, fp, eng := rig(t, DefaultConfig())
+	p.Start()
+	eng.RunFor(50_000)
+	ck := fp.requests[0]
+	var w sig.Sig
+	w.Insert(ck.WriteLines[0])
+	p.bulkInvalidate(&w, []sig.Line{ck.WriteLines[0]}) // squash in flight; re-executing now
+	if p.executing == nil || p.executing.Tag != ck.Tag {
+		t.Fatal("squashed chunk should be re-executing")
+	}
+	committed := p.Committed
+	// The commit success arrives anyway (aliasing race): accept the commit
+	// and abandon the re-execution.
+	p.CommitFinished(ck.Tag)
+	if p.Committed != committed+1 {
+		t.Fatal("late success not counted as commit")
+	}
+	if p.executing != nil && p.executing.Tag == ck.Tag {
+		t.Fatal("re-execution not abandoned")
+	}
+}
+
+func TestDoneStopsAtTarget(t *testing.T) {
+	p, _, eng := rig(t, DefaultConfig())
+	p.Start()
+	for i := 0; i < 10 && !p.Done(); i++ {
+		eng.RunFor(50_000)
+		if p.committing != nil {
+			p.CommitFinished(p.committing.Tag)
+		}
+	}
+	if !p.Done() {
+		t.Fatal("proc never reached its target")
+	}
+	if p.Committed != 4 {
+		t.Fatalf("Committed = %d, want target 4", p.Committed)
+	}
+	// Invalidations after done are still acknowledged harmlessly.
+	var w sig.Sig
+	w.Insert(1)
+	if r := p.bulkInvalidate(&w, []sig.Line{1}); r != nil {
+		t.Fatal("done proc produced a recall")
+	}
+}

@@ -1,0 +1,255 @@
+// Package seqpro implements the SEQ-PRO baseline from SRC (Table 3:
+// "SEQ-PRO from [14]"): a committing processor occupies the directory
+// modules in its read- and write-sets one at a time, in ascending order; an
+// occupied module queues later requesters. Occupation is exclusive, so two
+// chunks that accessed different addresses homed at the same module still
+// serialize — the shortcoming ScalableBulk removes (§2.1).
+package seqpro
+
+import (
+	"fmt"
+
+	"scalablebulk/internal/bitset"
+	"scalablebulk/internal/chunk"
+	"scalablebulk/internal/dir"
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/sig"
+)
+
+// modState is one directory module's occupancy.
+type modState struct {
+	occupant *occupancy
+	queue    []*msg.Msg // waiting seq_occupy requests, FIFO
+}
+
+// occupancy describes who holds a module and with what write set (for read
+// nacking).
+type occupancy struct {
+	tag  msg.CTag
+	wsig sig.Sig
+}
+
+// job is the committing processor's sequential occupation chain.
+type job struct {
+	ck       *chunk.Chunk
+	nextIdx  int   // next directory in ck.Dirs to occupy
+	occupied []int // modules granted so far
+	pending  int   // outstanding invalidation acks
+	aborted  bool
+}
+
+// Protocol is the SEQ-PRO engine; it implements dir.Protocol.
+type Protocol struct {
+	env  *dir.Env
+	mods []*modState
+	jobs map[int]*job
+}
+
+var _ dir.Protocol = (*Protocol)(nil)
+
+// New builds a SEQ-PRO engine over env.
+func New(env *dir.Env) *Protocol {
+	p := &Protocol{env: env, jobs: make(map[int]*job)}
+	for i := 0; i < env.Net.Nodes(); i++ {
+		p.mods = append(p.mods, &modState{})
+	}
+	return p
+}
+
+// Name implements dir.Protocol.
+func (p *Protocol) Name() string { return "SEQ" }
+
+// RequestCommit implements dir.Protocol: start the ascending occupation.
+func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
+	p.env.Coll.CommitStarted(proc, ck.Tag.Seq, ck.Retries, p.env.Eng.Now())
+	j := &job{ck: ck}
+	p.jobs[proc] = j
+	if len(ck.Dirs) == 0 {
+		p.formed(proc, j)
+		return
+	}
+	p.occupyNext(proc, j)
+}
+
+func (p *Protocol) occupyNext(proc int, j *job) {
+	d := j.ck.Dirs[j.nextIdx]
+	p.env.Net.Send(&msg.Msg{
+		Kind: msg.SeqOccupy, Src: proc, Dst: d, Tag: j.ck.Tag,
+		WSig: j.ck.WSig, TID: uint64(j.ck.Retries),
+	})
+}
+
+// HandleDir implements dir.Protocol: occupy/release at a module.
+func (p *Protocol) HandleDir(node int, m *msg.Msg) {
+	ms := p.mods[node]
+	switch m.Kind {
+	case msg.SeqOccupy:
+		if ms.occupant == nil {
+			ms.occupant = &occupancy{tag: m.Tag, wsig: m.WSig}
+			p.env.Eng.After(p.env.DirLookup, func() {
+				p.env.Net.Send(&msg.Msg{Kind: msg.SeqGrant, Src: node, Dst: m.Tag.Proc, Tag: m.Tag})
+			})
+		} else {
+			// The transaction blocks if the directory is taken (§2.1).
+			ms.queue = append(ms.queue, m)
+		}
+	case msg.SeqRelease:
+		if ms.occupant == nil || ms.occupant.tag != m.Tag {
+			// Release for a stale occupancy (aborted before the grant was
+			// consumed): drop any queued request of the same tag instead.
+			for i, q := range ms.queue {
+				if q.Tag == m.Tag {
+					ms.queue = append(ms.queue[:i], ms.queue[i+1:]...)
+					break
+				}
+			}
+			return
+		}
+		ms.occupant = nil
+		if len(ms.queue) > 0 {
+			next := ms.queue[0]
+			ms.queue = ms.queue[1:]
+			ms.occupant = &occupancy{tag: next.Tag, wsig: next.WSig}
+			p.env.Eng.After(p.env.DirLookup, func() {
+				p.env.Net.Send(&msg.Msg{Kind: msg.SeqGrant, Src: node, Dst: next.Tag.Proc, Tag: next.Tag})
+			})
+		}
+	default:
+		panic(fmt.Sprintf("seqpro: unexpected directory message %s", m))
+	}
+}
+
+// HandleProc implements dir.Protocol: grant/invalidation handling at the
+// committing processor.
+func (p *Protocol) HandleProc(node int, m *msg.Msg) {
+	switch m.Kind {
+	case msg.SeqGrant:
+		p.onGrant(node, m)
+	case msg.SeqInval:
+		squashed := p.env.Cores[node].BulkInvalidate(&m.WSig, m.WriteLines, m.Tag.Proc)
+		p.env.Net.Send(&msg.Msg{Kind: msg.SeqInvalAck, Src: node, Dst: m.Src, Tag: m.Tag})
+		if squashed != nil {
+			// The squashed chunk's occupation chain must unwind so other
+			// chunks queued at its modules can progress.
+			p.Abort(node, *squashed)
+		}
+	case msg.SeqInvalAck:
+		p.onInvAck(node, m)
+	default:
+		panic(fmt.Sprintf("seqpro: unexpected processor message %s", m))
+	}
+}
+
+func (p *Protocol) onGrant(proc int, m *msg.Msg) {
+	j := p.jobs[proc]
+	if j == nil || j.ck.Tag != m.Tag || j.aborted {
+		// Stale grant after an abort: hand the module straight back.
+		p.env.Net.Send(&msg.Msg{Kind: msg.SeqRelease, Src: proc, Dst: m.Src, Tag: m.Tag})
+		return
+	}
+	j.occupied = append(j.occupied, m.Src)
+	j.nextIdx++
+	if j.nextIdx < len(j.ck.Dirs) {
+		p.occupyNext(proc, j)
+		return
+	}
+	p.formed(proc, j)
+}
+
+// formed: every module is occupied — the commit is authorized. Send the W
+// signature to all sharers of the write set for invalidation and
+// disambiguation.
+func (p *Protocol) formed(proc int, j *job) {
+	p.env.Coll.GroupFormed(proc, j.ck.Tag.Seq, j.ck.Retries, p.env.Eng.Now())
+	p.env.Coll.SampleQueue(p.queuedChunks())
+
+	var sharers bitset.Set
+	p.env.State.SharersOfAll(j.ck.WriteLines, proc, &sharers)
+	targets := sharers.Members()
+	j.pending = len(targets)
+	// The occupied modules serialized this commit against every conflicting
+	// one; once the invalidations are on the wire the directory state can
+	// be updated and the modules released, so queued chunks stop convoying
+	// behind the (slow) invalidation round trip. The committer itself still
+	// waits for every ack before declaring the chunk committed.
+	for _, l := range j.ck.WriteLines {
+		p.env.State.ApplyCommitWrite(l, proc)
+	}
+	for _, t := range targets {
+		p.env.Net.Send(&msg.Msg{
+			Kind: msg.SeqInval, Src: proc, Dst: t, Tag: j.ck.Tag,
+			WSig: j.ck.WSig, WriteLines: j.ck.WriteLines,
+		})
+	}
+	p.releaseAll(proc, j)
+	if j.pending == 0 {
+		p.complete(proc, j)
+	}
+}
+
+// queuedChunks counts chunks machine-wide whose occupation is blocked in
+// some module's queue (the Figures 16/17 metric). A chunk waits in at most
+// one queue at a time because occupation is sequential.
+func (p *Protocol) queuedChunks() int {
+	n := 0
+	for _, ms := range p.mods {
+		n += len(ms.queue)
+	}
+	return n
+}
+
+func (p *Protocol) onInvAck(proc int, m *msg.Msg) {
+	j := p.jobs[proc]
+	if j == nil || j.ck.Tag != m.Tag || j.aborted {
+		return
+	}
+	j.pending--
+	if j.pending == 0 {
+		p.complete(proc, j)
+	}
+}
+
+func (p *Protocol) complete(proc int, j *job) {
+	delete(p.jobs, proc)
+	p.env.Cores[proc].CommitFinished(j.ck.Tag)
+}
+
+func (p *Protocol) releaseAll(proc int, j *job) {
+	for _, d := range j.occupied {
+		p.env.Net.Send(&msg.Msg{Kind: msg.SeqRelease, Src: proc, Dst: d, Tag: j.ck.Tag})
+	}
+	j.occupied = nil
+}
+
+// Abort unwinds a squashed chunk's occupation chain: occupied modules are
+// released and any in-flight occupy request is withdrawn. The processor
+// model calls this when a bulk invalidation squashes its in-flight commit.
+func (p *Protocol) Abort(proc int, tag msg.CTag) {
+	j := p.jobs[proc]
+	if j == nil || j.ck.Tag != tag || j.aborted {
+		return
+	}
+	if j.nextIdx >= len(j.ck.Dirs) {
+		// Already formed: the occupancy serialized this commit and its
+		// writes are applied — it is past its serialization point and
+		// cannot be cancelled. The processor's re-execution will be
+		// abandoned when the (late) completion arrives.
+		return
+	}
+	j.aborted = true
+	// Withdraw the outstanding occupy (it may be queued at the module or
+	// its grant may already be in flight; both are handled at receipt).
+	if j.nextIdx < len(j.ck.Dirs) {
+		d := j.ck.Dirs[j.nextIdx]
+		p.env.Net.Send(&msg.Msg{Kind: msg.SeqRelease, Src: proc, Dst: d, Tag: tag})
+	}
+	p.releaseAll(proc, j)
+	delete(p.jobs, proc)
+}
+
+// ReadBlocked implements dir.Protocol: loads hitting the occupant's write
+// signature are nacked, as in ScalableBulk's §3.1 primitive.
+func (p *Protocol) ReadBlocked(node int, l sig.Line) bool {
+	occ := p.mods[node].occupant
+	return occ != nil && occ.wsig.Member(l)
+}

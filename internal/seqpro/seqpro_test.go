@@ -1,0 +1,103 @@
+package seqpro_test
+
+import (
+	"testing"
+
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/system"
+	"scalablebulk/internal/workload"
+)
+
+func run(t *testing.T, app string, cores, chunks int) *system.Result {
+	t.Helper()
+	prof, ok := workload.ByName(app)
+	if !ok {
+		t.Fatalf("unknown app %s", app)
+	}
+	cfg := system.DefaultConfig(cores, system.ProtoSEQ)
+	cfg.ChunksPerCore = chunks
+	res, err := system.Run(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSequentialOccupation: each commit occupies its directories one at a
+// time, so occupy grants ≥ successful commits × average directories, and
+// every grant is eventually matched by a release.
+func TestSequentialOccupation(t *testing.T) {
+	res := run(t, "Water-S", 16, 6)
+	st := res.Traffic
+	if st.ByKind[msg.SeqOccupy] == 0 || st.ByKind[msg.SeqGrant] == 0 {
+		t.Fatal("no occupy traffic")
+	}
+	if st.ByKind[msg.SeqRelease] < st.ByKind[msg.SeqGrant] {
+		t.Fatalf("releases %d < grants %d (occupancy leak)",
+			st.ByKind[msg.SeqRelease], st.ByKind[msg.SeqGrant])
+	}
+	dt, _ := res.Coll.MeanDirsPerCommit()
+	minOccupies := uint64(float64(res.ChunksCommitted) * dt * 0.9)
+	if st.ByKind[msg.SeqOccupy] < minOccupies {
+		t.Fatalf("occupies %d < expected ≈ commits×dirs %d", st.ByKind[msg.SeqOccupy], minOccupies)
+	}
+}
+
+// TestQueueingUnderContention: Radix chunks block in directory queues
+// (Figures 16/17's SEQ bars).
+func TestQueueingUnderContention(t *testing.T) {
+	res := run(t, "Radix", 32, 8)
+	if res.Coll.MeanQueueLength() == 0 {
+		t.Fatal("Radix under SEQ should queue chunks")
+	}
+	if res.ChunksCommitted != 32*8 {
+		t.Fatalf("committed %d", res.ChunksCommitted)
+	}
+}
+
+// TestInvalidationRoundTrip: committed chunks with sharers send W-signature
+// invalidations from the committing processor; every one is acked.
+func TestInvalidationRoundTrip(t *testing.T) {
+	res := run(t, "Barnes", 16, 6)
+	st := res.Traffic
+	if st.ByKind[msg.SeqInval] == 0 {
+		t.Fatal("no invalidations on a sharing-heavy app")
+	}
+	if st.ByKind[msg.SeqInval] != st.ByKind[msg.SeqInvalAck] {
+		t.Fatalf("inval %d != acks %d", st.ByKind[msg.SeqInval], st.ByKind[msg.SeqInvalAck])
+	}
+}
+
+// TestConflictSquashRecovery: squashed chunks unwind their occupancy chains
+// and re-execute; everything still completes.
+func TestConflictSquashRecovery(t *testing.T) {
+	res := run(t, "Canneal", 16, 6)
+	if res.ChunksCommitted != 16*6 {
+		t.Fatalf("committed %d", res.ChunksCommitted)
+	}
+	if res.Squashes == 0 {
+		t.Fatal("expected squashes on Canneal")
+	}
+}
+
+// TestSEQSlowerThanScalableBulkOnRadix is §2.1: SEQ serializes chunks that
+// share directory modules even with disjoint addresses.
+func TestSEQSlowerThanScalableBulkOnRadix(t *testing.T) {
+	prof, _ := workload.ByName("Radix")
+	seqCfg := system.DefaultConfig(32, system.ProtoSEQ)
+	seqCfg.ChunksPerCore = 8
+	seq, err := system.Run(prof, seqCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sbCfg := system.DefaultConfig(32, system.ProtoScalableBulk)
+	sbCfg.ChunksPerCore = 8
+	sb, err := system.Run(prof, sbCfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if seq.Cycles <= sb.Cycles {
+		t.Fatalf("SEQ (%d cycles) should be slower than ScalableBulk (%d) on Radix",
+			seq.Cycles, sb.Cycles)
+	}
+}

@@ -1,0 +1,227 @@
+// Package sig implements Bulk-style hardware address signatures.
+//
+// A signature is a fixed-size (2 Kbit by default, as in Table 2 of the
+// paper) register that encodes a set of cache-line addresses with a
+// partitioned Bloom filter, exactly as in "Bulk Disambiguation of Speculative
+// Threads in Multiprocessors" (Ceze et al., ISCA 2006), which both BulkSC and
+// ScalableBulk build on. The filter is split into Banks independent banks;
+// inserting an address sets exactly one bit in every bank, each chosen by an
+// independent hash of the line address.
+//
+// The two operations the protocols rely on are:
+//
+//   - membership (is line a possibly in the set?), used by directory modules
+//     to nack loads that hit a committing chunk's write set, and
+//   - intersection emptiness (do two sets possibly overlap?), used for chunk
+//     disambiguation and group-compatibility checks.
+//
+// Both admit false positives (aliasing) but never false negatives, which is
+// what makes them safe: at worst an operation is nacked or a chunk squashed
+// unnecessarily (§3.1 of the paper).
+package sig
+
+import (
+	"fmt"
+	"math"
+	"math/bits"
+	"strings"
+)
+
+const (
+	// Bits is the signature size from Table 2 of the paper: 2 Kbit.
+	Bits = 2048
+	// Banks is the number of independent Bloom banks. Each inserted line
+	// sets one bit per bank.
+	Banks = 4
+	// bankBits is the size of one bank in bits; must be a power of two.
+	bankBits  = Bits / Banks
+	bankWords = bankBits / 64
+	words     = Bits / 64
+)
+
+// Line is a cache-line address (byte address >> line-offset bits).
+type Line uint64
+
+// Sig is a 2 Kbit address signature. The zero value is the empty signature.
+// Sig is a value type: assignment copies it, and methods that combine
+// signatures return new values, mirroring how the hardware moves whole
+// signature registers between structures.
+type Sig struct {
+	w [words]uint64
+}
+
+// The four banks mirror Bulk's fixed bit-permutation networks, each viewing
+// the line address through a different fixed permutation so the signature
+// exploits the structure of real footprints:
+//
+//   - Bank 0 is a pure bit-slice of the line offset (address mod 512
+//     lines). It discriminates footprints that interleave within shared
+//     pages — per-thread bucket slices, different slots of a shared
+//     structure — because different offsets map to different bits exactly.
+//   - Banks 1–3 apply three independent fixed permutations (modeled as
+//     multiplicative hashes) to the full page number. Footprints on
+//     disjoint page sets — the common case in partitioned parallel code,
+//     including regions laid out at large power-of-two strides — disagree
+//     in these banks with high probability, and the three permutations are
+//     independent so their false-positive rates multiply.
+//
+// Two chunks whose footprints are disjoint in *either* line offsets or page
+// sets therefore test disjoint; only same-page random interleavings alias —
+// the same physics as the hardware scheme.
+var pageMuls = [3]uint64{0x9e3779b97f4a7c15, 0xc2b2ae3d27d4eb4f, 0x165667b19e3779f9}
+
+func hash(l Line, bank uint) uint32 {
+	if bank == 0 {
+		return uint32(uint64(l) & (bankBits - 1))
+	}
+	page := uint64(l) >> 7 // 4 KB pages of 128 lines
+	x := page * pageMuls[bank-1]
+	return uint32(x >> (64 - 9)) // top 9 bits: well-mixed page hash
+}
+
+// Insert adds a line address to the signature.
+func (s *Sig) Insert(l Line) {
+	for b := uint(0); b < Banks; b++ {
+		bit := hash(l, b)
+		idx := b*bankWords + uint(bit)/64
+		s.w[idx] |= 1 << (bit % 64)
+	}
+}
+
+// Member reports whether l may be in the set. False positives are possible;
+// false negatives are not.
+func (s *Sig) Member(l Line) bool {
+	for b := uint(0); b < Banks; b++ {
+		bit := hash(l, b)
+		idx := b*bankWords + uint(bit)/64
+		if s.w[idx]&(1<<(bit%64)) == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// Empty reports whether the signature certainly encodes the empty set.
+// Because every insertion sets one bit in every bank, a signature with any
+// all-zero bank represents the empty set.
+func (s *Sig) Empty() bool {
+	for b := 0; b < Banks; b++ {
+		var or uint64
+		for i := 0; i < bankWords; i++ {
+			or |= s.w[b*bankWords+i]
+		}
+		if or == 0 {
+			return true
+		}
+	}
+	return false
+}
+
+// Clear resets the signature to the empty set.
+func (s *Sig) Clear() { *s = Sig{} }
+
+// Intersect returns the bitwise intersection of two signatures. If the
+// result is Empty, the encoded sets are certainly disjoint.
+func (s Sig) Intersect(o Sig) Sig {
+	var r Sig
+	for i := range s.w {
+		r.w[i] = s.w[i] & o.w[i]
+	}
+	return r
+}
+
+// Union returns the bitwise union of two signatures; it encodes a superset
+// of the union of the two sets.
+func (s Sig) Union(o Sig) Sig {
+	var r Sig
+	for i := range s.w {
+		r.w[i] = s.w[i] | o.w[i]
+	}
+	return r
+}
+
+// Overlaps reports whether the two signatures may encode intersecting sets.
+// It is the hardware's fast compatibility test, equivalent to intersecting
+// and testing emptiness, but without materializing the intersection.
+func (s *Sig) Overlaps(o *Sig) bool {
+	for b := 0; b < Banks; b++ {
+		var or uint64
+		for i := 0; i < bankWords; i++ {
+			or |= s.w[b*bankWords+i] & o.w[b*bankWords+i]
+		}
+		if or == 0 {
+			return false
+		}
+	}
+	return true
+}
+
+// BankOverlap reports, per bank, whether the two signatures' banks
+// intersect. Diagnostic: the full Overlaps test is the AND of all banks.
+func (s *Sig) BankOverlap(o *Sig) [Banks]bool {
+	var out [Banks]bool
+	for b := 0; b < Banks; b++ {
+		var or uint64
+		for i := 0; i < bankWords; i++ {
+			or |= s.w[b*bankWords+i] & o.w[b*bankWords+i]
+		}
+		out[b] = or != 0
+	}
+	return out
+}
+
+// PopCount returns the number of set bits, a measure of occupancy.
+func (s Sig) PopCount() int {
+	n := 0
+	for _, w := range s.w {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// EstimateCardinality estimates how many distinct lines were inserted, using
+// the standard Bloom occupancy inversion on the fullest bank. It is used
+// only for statistics, never for protocol decisions.
+func (s Sig) EstimateCardinality() int {
+	best := 0.0
+	for b := 0; b < Banks; b++ {
+		n := 0
+		for i := 0; i < bankWords; i++ {
+			n += bits.OnesCount64(s.w[b*bankWords+i])
+		}
+		if n == bankBits {
+			return bankBits // saturated
+		}
+		est := -float64(bankBits) * math.Log(1-float64(n)/float64(bankBits))
+		if est > best {
+			best = est
+		}
+	}
+	return int(best + 0.5)
+}
+
+// String renders a short occupancy summary, e.g. "sig[57/2048]".
+func (s Sig) String() string { return fmt.Sprintf("sig[%d/%d]", s.PopCount(), Bits) }
+
+// Dump renders the raw banks in hex; used by trace tooling.
+func (s Sig) Dump() string {
+	var b strings.Builder
+	for bank := 0; bank < Banks; bank++ {
+		if bank > 0 {
+			b.WriteByte('|')
+		}
+		for i := 0; i < bankWords; i++ {
+			fmt.Fprintf(&b, "%016x", s.w[bank*bankWords+i])
+		}
+	}
+	return b.String()
+}
+
+// FromLines builds a signature containing every line in ls.
+func FromLines(ls []Line) Sig {
+	var s Sig
+	for _, l := range ls {
+		s.Insert(l)
+	}
+	return s
+}

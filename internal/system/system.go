@@ -1,0 +1,279 @@
+// Package system assembles and runs the full simulated machine of Table 2:
+// 32 or 64 tiles on a 2D torus, each with a 1-IPC core, private 32KB L1 and
+// 512KB L2, and a directory module, under one of the four commit protocols
+// of Table 3 (ScalableBulk, Scalable TCC, SEQ-PRO, BulkSC) plus the
+// ScalableBulk-NoOCI ablation.
+package system
+
+import (
+	"fmt"
+
+	"scalablebulk/internal/bulksc"
+	"scalablebulk/internal/cache"
+	"scalablebulk/internal/core"
+	"scalablebulk/internal/dir"
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/mem"
+	"scalablebulk/internal/mesh"
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/proc"
+	"scalablebulk/internal/seqpro"
+	"scalablebulk/internal/stats"
+	"scalablebulk/internal/tcc"
+	"scalablebulk/internal/workload"
+)
+
+// Protocol names accepted by Config.Protocol (Table 3, plus the OCI
+// ablation).
+const (
+	ProtoScalableBulk = "ScalableBulk"
+	ProtoTCC          = "TCC"
+	ProtoSEQ          = "SEQ"
+	ProtoBulkSC       = "BulkSC"
+	ProtoNoOCI        = "ScalableBulk-NoOCI"
+)
+
+// Protocols lists the four evaluated protocols in the paper's order.
+var Protocols = []string{ProtoScalableBulk, ProtoTCC, ProtoSEQ, ProtoBulkSC}
+
+// Config describes one simulation (defaults are Table 2).
+type Config struct {
+	Cores         int
+	Protocol      string
+	ChunksPerCore int
+	// WarmupChunks per core are pre-touched into the caches, page table
+	// and directory sharer lists before timing starts, standing in for
+	// the billions of instructions a real application executes before the
+	// measured region.
+	WarmupChunks int
+	Seed         int64
+
+	LinkLatency event.Time // torus link (7)
+	MemLatency  event.Time // memory round trip (300)
+	DirLookup   event.Time // directory/signature processing (2)
+	Contention  bool       // per-link occupancy modeling
+
+	L1, L2 cache.Config
+
+	SB core.Config // ScalableBulk knobs (OCI, MAX, rotation)
+
+	// MaxCycles aborts a run that exceeds this time (deadlock guard).
+	MaxCycles event.Time
+
+	// OnAbort, when set, receives the machine state if the run aborts
+	// (deadlock or MaxCycles) — a debugging hook.
+	OnAbort func(procs []*proc.Proc, proto dir.Protocol)
+}
+
+// DefaultConfig returns the Table 2 machine.
+func DefaultConfig(cores int, protocol string) Config {
+	return Config{
+		Cores:         cores,
+		Protocol:      protocol,
+		ChunksPerCore: 64,
+		WarmupChunks:  64,
+		Seed:          1,
+		Contention:    true,
+		LinkLatency:   7,
+		MemLatency:    300,
+		DirLookup:     2,
+		L1:            cache.Config{SizeBytes: 32 << 10, Assoc: 4},
+		L2:            cache.Config{SizeBytes: 512 << 10, Assoc: 8},
+		SB:            core.DefaultConfig(),
+		MaxCycles:     2_000_000_000,
+	}
+}
+
+// Result is everything a run measured.
+type Result struct {
+	App      string
+	Protocol string
+	Cores    int
+
+	// Cycles is the execution time: the last core's finish time.
+	Cycles event.Time
+	// Breakdown sums every core's cycle accounting (Figures 7/8).
+	Breakdown stats.Breakdown
+	// PerCore keeps the individual accountings.
+	PerCore []stats.Breakdown
+
+	ChunksCommitted uint64
+	Squashes        int
+
+	Coll    *stats.Collector
+	Traffic mesh.Stats
+	// Proto exposes the protocol engine for protocol-specific diagnostics
+	// (e.g. ScalableBulk's failure-cause counters).
+	Proto dir.Protocol
+}
+
+// MeanCommitLatency is a convenience accessor (Figure 13).
+func (r *Result) MeanCommitLatency() float64 { return r.Coll.MeanCommitLatency() }
+
+// Validate cross-checks the run's accounting invariants: every commit has a
+// latency sample and a directory-count sample, the per-core breakdowns sum
+// to the machine breakdown, and no core out-ran the final time.
+func (r *Result) Validate() error {
+	if n := uint64(len(r.Coll.CommitLat)); n != r.ChunksCommitted {
+		return fmt.Errorf("%d commits but %d latency samples", r.ChunksCommitted, n)
+	}
+	if n := uint64(len(r.Coll.DirsTotal)); n != r.ChunksCommitted {
+		return fmt.Errorf("%d commits but %d directory samples", r.ChunksCommitted, n)
+	}
+	var sum stats.Breakdown
+	for _, b := range r.PerCore {
+		sum.Add(b)
+	}
+	if sum != r.Breakdown {
+		return fmt.Errorf("per-core breakdowns do not sum to the total")
+	}
+	if r.Coll.ChunksCommitted != r.ChunksCommitted {
+		return fmt.Errorf("collector saw %d commits, cores saw %d",
+			r.Coll.ChunksCommitted, r.ChunksCommitted)
+	}
+	return nil
+}
+
+// Run simulates one (application, machine, protocol) combination.
+func Run(prof workload.Profile, cfg Config) (*Result, error) {
+	if cfg.Cores <= 0 {
+		return nil, fmt.Errorf("system: need at least one core")
+	}
+	eng := event.New()
+	net := mesh.New(eng, mesh.Config{
+		Nodes: cfg.Cores, LinkLatency: cfg.LinkLatency, Contention: cfg.Contention,
+	})
+	env := &dir.Env{
+		Eng: eng, Net: net, Map: mem.NewMapper(cfg.Cores), State: dir.NewState(),
+		Coll: stats.New(), DirLookup: cfg.DirLookup, MemLatency: cfg.MemLatency,
+	}
+
+	var proto dir.Protocol
+	pcfg := proc.DefaultConfig()
+	pcfg.Seed = cfg.Seed
+	switch cfg.Protocol {
+	case ProtoScalableBulk:
+		sb := cfg.SB
+		sb.OCI = true
+		proto = core.New(env, sb)
+	case ProtoNoOCI:
+		sb := cfg.SB
+		sb.OCI = false
+		proto = core.New(env, sb)
+		pcfg.ConservativeInv = true
+		pcfg.OCIRecall = false
+	case ProtoTCC:
+		proto = tcc.New(env, tcc.DefaultConfig())
+		pcfg.OCIRecall = false
+	case ProtoSEQ:
+		proto = seqpro.New(env)
+		pcfg.OCIRecall = false
+	case ProtoBulkSC:
+		proto = bulksc.New(env, bulksc.DefaultConfig())
+		pcfg.ConservativeInv = true
+		pcfg.OCIRecall = false
+	default:
+		return nil, fmt.Errorf("system: unknown protocol %q", cfg.Protocol)
+	}
+
+	gen := workload.New(prof, cfg.Cores, cfg.Seed)
+	procs := make([]*proc.Proc, cfg.Cores)
+	env.Cores = make([]dir.Core, cfg.Cores)
+	for i := 0; i < cfg.Cores; i++ {
+		procs[i] = proc.New(env, proto, gen, i, cfg.ChunksPerCore, cfg.L1, cfg.L2, pcfg)
+		env.Cores[i] = procs[i]
+	}
+	rp := &dir.ReadPath{Env: env, Proto: proto}
+	for i := 0; i < cfg.Cores; i++ {
+		node := i
+		net.Register(node, func(m *msg.Msg) {
+			if m.Kind.SideOf() == msg.SideDir {
+				if !rp.HandleDir(node, m) {
+					proto.HandleDir(node, m)
+				}
+			} else {
+				procs[node].Handle(m)
+			}
+		})
+	}
+
+	// Warmup: pre-touch each thread's working set. Round-robin across
+	// cores so shared pages get their first-touch homes the same way the
+	// application's initialization phase would assign them.
+	for w := 0; w < cfg.WarmupChunks; w++ {
+		for i := 0; i < cfg.Cores; i++ {
+			ck := gen.WarmupChunk(i, w)
+			for _, a := range ck.Accesses {
+				env.Map.Home(a.Line, i)
+				procs[i].Hierarchy().Fill(a.Line, false)
+				// Register directory sharers only for the recent working
+				// set (the tail of warmup): real directories track live
+				// cached copies, and unbounded registration would make
+				// every commit's invalidation fan out machine-wide.
+				if w >= cfg.WarmupChunks-8 {
+					env.State.AddSharer(a.Line, i)
+				}
+			}
+		}
+	}
+
+	for _, p := range procs {
+		p.Start()
+	}
+
+	allDone := func() bool {
+		for _, p := range procs {
+			if !p.Done() {
+				return false
+			}
+		}
+		return true
+	}
+	for !allDone() {
+		if !eng.Step() {
+			if cfg.OnAbort != nil {
+				cfg.OnAbort(procs, proto)
+			}
+			return nil, fmt.Errorf("system: %s/%s/%d deadlocked at cycle %d (event queue empty)",
+				prof.Name, cfg.Protocol, cfg.Cores, eng.Now())
+		}
+		if eng.Now() > cfg.MaxCycles {
+			if cfg.OnAbort != nil {
+				cfg.OnAbort(procs, proto)
+			}
+			return nil, fmt.Errorf("system: %s/%s/%d exceeded MaxCycles=%d",
+				prof.Name, cfg.Protocol, cfg.Cores, cfg.MaxCycles)
+		}
+	}
+
+	res := &Result{
+		App: prof.Name, Protocol: cfg.Protocol, Cores: cfg.Cores,
+		Coll: env.Coll, Traffic: net.Stats(), Proto: proto,
+	}
+	for _, p := range procs {
+		res.PerCore = append(res.PerCore, p.Acct)
+		res.Breakdown.Add(p.Acct)
+		res.ChunksCommitted += uint64(p.Committed)
+		res.Squashes += p.Squashes
+		if p.FinishAt > res.Cycles {
+			res.Cycles = p.FinishAt
+		}
+	}
+	return res, nil
+}
+
+// TotalWork is the whole-problem chunk count for a sweep: cores ×
+// chunks-per-core is held constant across machine sizes so speedups are
+// measured on the same work.
+func TotalWork(cfg Config) int { return cfg.Cores * cfg.ChunksPerCore }
+
+// RunScaled runs prof on `cores` processors with the whole-problem work
+// `totalChunks` divided evenly (the paper's strong-scaling setup: the same
+// reference input on 1, 32 or 64 threads).
+func RunScaled(prof workload.Profile, cfg Config, totalChunks int) (*Result, error) {
+	cfg.ChunksPerCore = totalChunks / cfg.Cores
+	if cfg.ChunksPerCore < 1 {
+		cfg.ChunksPerCore = 1
+	}
+	return Run(prof, cfg)
+}

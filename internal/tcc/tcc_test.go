@@ -1,0 +1,98 @@
+package tcc_test
+
+import (
+	"testing"
+
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/system"
+	"scalablebulk/internal/workload"
+)
+
+func run(t *testing.T, app string, cores, chunks int) *system.Result {
+	t.Helper()
+	prof, ok := workload.ByName(app)
+	if !ok {
+		t.Fatalf("unknown app %s", app)
+	}
+	cfg := system.DefaultConfig(cores, system.ProtoTCC)
+	cfg.ChunksPerCore = chunks
+	res, err := system.Run(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	return res
+}
+
+// TestSkipBroadcast checks §2.1's defining overhead: every commit sends a
+// skip to every directory outside its read/write sets, so skip+probe counts
+// equal commits × machine size (aborted attempts add skips too).
+func TestSkipBroadcast(t *testing.T) {
+	res := run(t, "FFT", 16, 6)
+	st := res.Traffic
+	commits := res.ChunksCommitted
+	probes := st.ByKind[msg.TCCProbe]
+	skips := st.ByKind[msg.TCCSkip]
+	if probes+skips < commits*16 {
+		t.Fatalf("probe+skip = %d, want ≥ commits×nodes = %d", probes+skips, commits*16)
+	}
+	if skips < probes {
+		t.Fatalf("skips (%d) should dominate probes (%d) for a low-sharing app", skips, probes)
+	}
+}
+
+// TestTIDVendorCentralization: every commit makes a TID round trip.
+func TestTIDVendorCentralization(t *testing.T) {
+	res := run(t, "LU", 16, 6)
+	st := res.Traffic
+	if st.ByKind[msg.TIDRequest] < res.ChunksCommitted {
+		t.Fatalf("tid_request %d < commits %d", st.ByKind[msg.TIDRequest], res.ChunksCommitted)
+	}
+	if st.ByKind[msg.TIDReply] != st.ByKind[msg.TIDRequest] {
+		t.Fatalf("tid replies %d != requests %d", st.ByKind[msg.TIDReply], st.ByKind[msg.TIDRequest])
+	}
+}
+
+// TestTwoPhaseCommit: the mark phase only starts after every probe is
+// acked, so probe acks ≥ commit messages, and one mark travels per written
+// line homed at a probed directory.
+func TestTwoPhaseCommit(t *testing.T) {
+	res := run(t, "Water-S", 16, 6)
+	st := res.Traffic
+	if st.ByKind[msg.TCCProbeAck] < st.ByKind[msg.TCCCommit] {
+		t.Fatalf("probe acks %d < commit-phase messages %d",
+			st.ByKind[msg.TCCProbeAck], st.ByKind[msg.TCCCommit])
+	}
+	if st.ByKind[msg.TCCMark] == 0 {
+		t.Fatal("no mark messages")
+	}
+}
+
+// TestConflictAbortAndRecovery: a conflict-heavy app squashes some commits
+// (probes convert to skips) yet every chunk eventually commits.
+func TestConflictAbortAndRecovery(t *testing.T) {
+	res := run(t, "Canneal", 32, 8)
+	if res.ChunksCommitted != 32*8 {
+		t.Fatalf("committed %d, want %d", res.ChunksCommitted, 32*8)
+	}
+	if res.Squashes == 0 {
+		t.Log("note: no squashes this run (conflicts are probabilistic)")
+	}
+	// Per-line invalidations are TCC's conflict mechanism.
+	if res.Traffic.ByKind[msg.TCCInval] == 0 {
+		t.Fatal("no per-line invalidations")
+	}
+	if res.Traffic.ByKind[msg.TCCInval] != res.Traffic.ByKind[msg.TCCInvalAck] {
+		t.Fatalf("inval %d != acks %d",
+			res.Traffic.ByKind[msg.TCCInval], res.Traffic.ByKind[msg.TCCInvalAck])
+	}
+}
+
+// TestSameDirectorySerialization is §2.1's core claim about TCC: chunks
+// using the same directory serialize even with disjoint addresses — visible
+// as a nonzero chunk queue on a directory-heavy app.
+func TestSameDirectorySerialization(t *testing.T) {
+	res := run(t, "Radix", 32, 8)
+	if res.Coll.MeanQueueLength() == 0 {
+		t.Fatal("Radix under TCC should queue chunks (same-directory serialization)")
+	}
+}

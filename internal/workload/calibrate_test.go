@@ -1,0 +1,170 @@
+package workload
+
+// Calibration tests: the profiles in profiles.go are tuned against the
+// paper's observations (§6.1–§6.2). These tests pin the *footprint shapes*
+// the commit protocols see, app by app, so a profile edit that silently
+// breaks a paper-visible property fails here. Directory counts are checked
+// against a 64-way first-touch assignment built the way system.Run's
+// warm-up builds it.
+
+import (
+	"testing"
+
+	"scalablebulk/internal/mem"
+	"scalablebulk/internal/sig"
+)
+
+// footprint summarizes many generated chunks of one app at 64 threads.
+type footprint struct {
+	dirs, writeDirs float64 // mean directories per chunk (≈ Figures 9/10)
+	writeFrac       float64 // fraction of accesses that write
+	pages           float64 // mean distinct pages per chunk
+}
+
+func measure(t *testing.T, prof Profile) footprint {
+	t.Helper()
+	const threads, chunksPerProc = 64, 6
+	w := New(prof, threads, 1)
+	mp := mem.NewMapper(threads)
+	// First-touch priming, like system.Run's warm-up.
+	for i := 0; i < 32; i++ {
+		for p := 0; p < threads; p++ {
+			ck := w.WarmupChunk(p, i)
+			for _, a := range ck.Accesses {
+				mp.Home(a.Line, p)
+			}
+		}
+	}
+	var fp footprint
+	var accesses, writes float64
+	n := 0
+	for p := 0; p < threads; p += 4 {
+		for s := uint64(0); s < chunksPerProc; s++ {
+			ck := w.NextChunk(p, s)
+			ck.Finalize(func(l sig.Line) int { return mp.Home(l, p) })
+			pages := map[mem.Page]bool{}
+			for _, a := range ck.Accesses {
+				pages[mem.PageOf(a.Line)] = true
+				accesses++
+				if a.Write {
+					writes++
+				}
+			}
+			fp.dirs += float64(len(ck.Dirs))
+			fp.writeDirs += float64(len(ck.WriteDirs))
+			fp.pages += float64(len(pages))
+			n++
+		}
+	}
+	fp.dirs /= float64(n)
+	fp.writeDirs /= float64(n)
+	fp.pages /= float64(n)
+	fp.writeFrac = writes / accesses
+	return fp
+}
+
+// band asserts lo ≤ v ≤ hi.
+func band(t *testing.T, app, what string, v, lo, hi float64) {
+	t.Helper()
+	if v < lo || v > hi {
+		t.Errorf("%s: %s = %.2f, want in [%.1f, %.1f]", app, what, v, lo, hi)
+	}
+}
+
+// TestDirectoriesPerCommitBands pins each app's directories-per-commit to
+// the band the paper reports (§6.2: "most applications access an average of
+// 2–6 directories"; Radix/Barnes/Canneal/Blackscholes above that).
+func TestDirectoriesPerCommitBands(t *testing.T) {
+	bands := map[string][2]float64{
+		// SPLASH-2
+		"Radix":     {8, 14},
+		"Cholesky":  {1.5, 4},
+		"Barnes":    {5, 10},
+		"FFT":       {1.5, 4},
+		"Water-N":   {2, 5},
+		"FMM":       {3.5, 8},
+		"LU":        {1, 3},
+		"Ocean":     {1, 3.5},
+		"Water-S":   {1.5, 4},
+		"Radiosity": {3.5, 8},
+		"Raytrace":  {3, 7},
+		// PARSEC
+		"Vips":         {1.5, 4},
+		"Swaptions":    {1, 2.5},
+		"Blackscholes": {4.5, 9},
+		"Fluidanimate": {2.5, 5.5},
+		"Canneal":      {6, 11},
+		"Dedup":        {2.5, 6},
+		"Facesim":      {1.5, 4.5},
+	}
+	for _, prof := range All() {
+		b, ok := bands[prof.Name]
+		if !ok {
+			t.Fatalf("no band for %s", prof.Name)
+		}
+		fp := measure(t, prof)
+		band(t, prof.Name, "dirs/commit", fp.dirs, b[0], b[1])
+	}
+}
+
+// TestRadixWriteGroups pins §6.1/§6.2's Radix signature: "practically all
+// of the directories in the group record writes".
+func TestRadixWriteGroups(t *testing.T) {
+	prof, _ := ByName("Radix")
+	fp := measure(t, prof)
+	if fp.writeDirs < 0.9*fp.dirs {
+		t.Fatalf("Radix write groups %.2f of %.2f dirs; want ≥ 90%%", fp.writeDirs, fp.dirs)
+	}
+	band(t, "Radix", "writeFrac", fp.writeFrac, 0.3, 0.6)
+}
+
+// TestRaytraceReadDominated: Raytrace is the read-heavy outlier (wide read
+// groups, low write fraction).
+func TestRaytraceReadDominated(t *testing.T) {
+	prof, _ := ByName("Raytrace")
+	fp := measure(t, prof)
+	if fp.writeFrac > 0.2 {
+		t.Fatalf("Raytrace writeFrac %.2f, want ≤ 0.2", fp.writeFrac)
+	}
+	if fp.dirs-fp.writeDirs < 0.8 {
+		t.Fatalf("Raytrace read-only groups %.2f, want ≥ 0.8", fp.dirs-fp.writeDirs)
+	}
+}
+
+// TestLocalityOrdering: the locality-friendly apps touch far fewer pages
+// per chunk than the scattered ones — the property behind every
+// directory-count figure.
+func TestLocalityOrdering(t *testing.T) {
+	get := func(name string) footprint {
+		prof, _ := ByName(name)
+		return measure(t, prof)
+	}
+	lu, canneal, radix := get("LU"), get("Canneal"), get("Radix")
+	if lu.pages*2 > canneal.pages {
+		t.Fatalf("LU pages/chunk (%.1f) not ≪ Canneal (%.1f)", lu.pages, canneal.pages)
+	}
+	if lu.pages*2 > radix.pages {
+		t.Fatalf("LU pages/chunk (%.1f) not ≪ Radix (%.1f)", lu.pages, radix.pages)
+	}
+}
+
+// TestSuperlinearWorkingSets: the three §6.1 superlinear apps carry
+// whole-problem working sets far beyond one 512 KB L2 (128 pages).
+func TestSuperlinearWorkingSets(t *testing.T) {
+	for _, name := range []string{"Ocean", "Cholesky", "Raytrace"} {
+		prof, _ := ByName(name)
+		if prof.TotalPrivatePages < 8*128 {
+			t.Errorf("%s working set %d pages; must dwarf one L2 (128 pages)", name, prof.TotalPrivatePages)
+		}
+	}
+}
+
+// TestConflictRatesSmall: §6.1 — data conflicts are rare. The per-chunk
+// hot-line write probability stays small for every app.
+func TestConflictRatesSmall(t *testing.T) {
+	for _, prof := range All() {
+		if prof.ConflictFrac > 0.06 {
+			t.Errorf("%s ConflictFrac %.2f too high for §6.1's ~1.5%% squash rate", prof.Name, prof.ConflictFrac)
+		}
+	}
+}
