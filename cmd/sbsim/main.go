@@ -16,6 +16,7 @@ import (
 	"strings"
 
 	"scalablebulk"
+	"scalablebulk/internal/fault"
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/stats"
 )
@@ -27,6 +28,10 @@ func main() {
 		"commit protocol: ScalableBulk | TCC | SEQ | BulkSC | ScalableBulk-NoOCI")
 	chunks := flag.Int("chunks", 32, "chunks committed per core")
 	seed := flag.Int64("seed", 1, "deterministic seed")
+	faults := flag.String("faults", "off",
+		"fault-injection profile: off | "+strings.Join(fault.Names(), " | "))
+	faultSeed := flag.Int64("faultseed", 0, "fault injector seed (0: reuse -seed); one (profile, seed) pair replays bit-identically")
+	checkInv := flag.Bool("check", false, "run the online invariant checker (violations fail the run)")
 	list := flag.Bool("list", false, "list application models and exit")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	flag.Parse()
@@ -46,6 +51,14 @@ func main() {
 	cfg := scalablebulk.DefaultConfig(*cores, *protocol)
 	cfg.ChunksPerCore = *chunks
 	cfg.Seed = *seed
+	prof2, err := fault.ByName(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	cfg.Faults = prof2
+	cfg.FaultSeed = *faultSeed
+	cfg.Check = *checkInv
 
 	res, err := scalablebulk.Run(prof, cfg)
 	if err != nil {
@@ -80,6 +93,12 @@ func main() {
 		names = append(names, fmt.Sprintf("%s=%d", msg.Class(c), cls[c]))
 	}
 	fmt.Printf("  network messages:      %d (%s)\n", res.Traffic.Messages, strings.Join(names, " "))
+	if res.Faults != nil {
+		fmt.Printf("  faults injected:       %s\n", res.Faults)
+	}
+	if res.Checked {
+		fmt.Printf("  invariants:            checked, none violated\n")
+	}
 }
 
 // emitJSON prints the run's headline measurements as one JSON object, for
@@ -111,6 +130,16 @@ func emitJSON(res *scalablebulk.Result) {
 		"meanQueueLength":    res.Coll.MeanQueueLength(),
 		"messages":           res.Traffic.Messages,
 		"messageClasses":     classes,
+	}
+	if res.Faults != nil {
+		out["faults"] = map[string]uint64{
+			"planned": res.Faults.Planned, "delayed": res.Faults.Delayed,
+			"duplicated": res.Faults.Duplicated, "retransmits": res.Faults.Retransmits,
+			"hot": res.Faults.HotHits,
+		}
+	}
+	if res.Checked {
+		out["invariantsChecked"] = true
 	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")

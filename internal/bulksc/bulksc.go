@@ -31,10 +31,23 @@ type Config struct {
 	// RetryBackoff is how long a denied processor waits before re-sending
 	// its permission-to-commit request.
 	RetryBackoff event.Time
+	// CommitDeadline is the stall watchdog: an attempt still awaiting its
+	// arbiter decision this many cycles after the request is abandoned and
+	// retried. Zero selects DefaultCommitDeadline; WatchdogDisabled turns
+	// it off.
+	CommitDeadline event.Time
 }
 
+// DefaultCommitDeadline mirrors the ScalableBulk watchdog headroom.
+const DefaultCommitDeadline event.Time = 200_000
+
+// WatchdogDisabled, assigned to Config.CommitDeadline, disables the watchdog.
+const WatchdogDisabled event.Time = ^event.Time(0)
+
 // DefaultConfig mirrors a fast centralized arbiter.
-func DefaultConfig() Config { return Config{ServiceTime: 6, PerInflight: 5, RetryBackoff: 30} }
+func DefaultConfig() Config {
+	return Config{ServiceTime: 6, PerInflight: 5, RetryBackoff: 30, CommitDeadline: DefaultCommitDeadline}
+}
 
 type inflight struct {
 	tag        msg.CTag
@@ -43,10 +56,16 @@ type inflight struct {
 	try        int
 }
 
-// commitJob is the committing processor's side of a granted commit.
+// commitJob is the committing processor's side of a granted commit. try is
+// the attempt index snapshotted at RequestCommit — ck.Retries moves when the
+// attempt is refused, so every message matched against this attempt uses the
+// snapshot.
 type commitJob struct {
 	ck          *chunk.Chunk
+	try         uint64
+	granted     bool
 	pendingAcks int
+	invAcked    map[int]bool // responders whose ack was counted (dup guard)
 }
 
 // Protocol is the BulkSC engine; it implements dir.Protocol.
@@ -59,6 +78,9 @@ type Protocol struct {
 	inflight []*inflight
 
 	jobs map[int]*commitJob // committing processor → job
+
+	// Watchdog counts commit attempts abandoned by the stall deadline.
+	Watchdog uint64
 }
 
 var _ dir.Protocol = (*Protocol)(nil)
@@ -70,6 +92,9 @@ func New(env *dir.Env, cfg Config) *Protocol {
 	}
 	if cfg.RetryBackoff == 0 {
 		cfg.RetryBackoff = 30
+	}
+	if cfg.CommitDeadline == 0 {
+		cfg.CommitDeadline = DefaultCommitDeadline
 	}
 	return &Protocol{env: env, cfg: cfg, arbNode: env.Net.Center(), jobs: make(map[int]*commitJob)}
 }
@@ -84,11 +109,39 @@ func (p *Protocol) ArbiterNode() int { return p.arbNode }
 // arbiter and wait for OK / not-OK.
 func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
 	p.env.Coll.CommitStarted(proc, ck.Tag.Seq, ck.Retries, p.env.Eng.Now())
-	p.jobs[proc] = &commitJob{ck: ck}
+	j := &commitJob{ck: ck, try: uint64(ck.Retries), invAcked: make(map[int]bool)}
+	p.jobs[proc] = j
 	p.env.Net.Send(&msg.Msg{
 		Kind: msg.ArbRequest, Src: proc, Dst: p.arbNode, Tag: ck.Tag,
 		RSig: ck.RSig, WSig: ck.WSig, WriteLines: ck.WriteLines,
-		TID: uint64(ck.Retries),
+		TID: j.try,
+	})
+	p.armWatchdog(proc, ck)
+}
+
+// armWatchdog schedules the stall deadline for one commit attempt. An
+// attempt already granted is past its serialization point (the arbiter
+// checked it against everything in flight), so the deadline re-arms and
+// keeps watching the ack collection; an attempt still awaiting its decision
+// is abandoned and retried — a late grant for it is handed back with an
+// abandoning arb_done so the arbiter's entry cannot leak.
+func (p *Protocol) armWatchdog(proc int, ck *chunk.Chunk) {
+	if p.cfg.CommitDeadline == WatchdogDisabled {
+		return
+	}
+	try := uint64(ck.Retries)
+	p.env.Eng.After(p.cfg.CommitDeadline, func() {
+		j := p.jobs[proc]
+		if j == nil || j.ck != ck || j.try != try {
+			return
+		}
+		if j.granted {
+			p.armWatchdog(proc, ck)
+			return
+		}
+		p.Watchdog++
+		delete(p.jobs, proc)
+		p.env.Cores[proc].CommitRefused(ck.Tag)
 	})
 }
 
@@ -119,11 +172,20 @@ func (p *Protocol) onRequest(m *msg.Msg) {
 
 func (p *Protocol) decide(m *msg.Msg) {
 	for _, f := range p.inflight {
+		if f.tag == m.Tag && f.try == int(m.TID) {
+			// Duplicate of an attempt already granted and in flight: resend
+			// the grant (idempotent at the processor) instead of
+			// self-conflicting on the signature intersection below.
+			p.env.Net.Send(&msg.Msg{Kind: msg.ArbGrant, Src: p.arbNode, Dst: m.Tag.Proc, Tag: m.Tag, TID: m.TID})
+			return
+		}
+	}
+	for _, f := range p.inflight {
 		// The arbiter allows concurrent commits as long as the addresses a
 		// chunk wrote do not overlap the addresses accessed by any other
 		// committing chunk (§2.1).
 		if m.WSig.Overlaps(&f.wsig) || m.WSig.Overlaps(&f.rsig) || m.RSig.Overlaps(&f.wsig) {
-			p.env.Net.Send(&msg.Msg{Kind: msg.ArbDeny, Src: p.arbNode, Dst: m.Tag.Proc, Tag: m.Tag})
+			p.env.Net.Send(&msg.Msg{Kind: msg.ArbDeny, Src: p.arbNode, Dst: m.Tag.Proc, Tag: m.Tag, TID: m.TID})
 			return
 		}
 	}
@@ -131,15 +193,17 @@ func (p *Protocol) decide(m *msg.Msg) {
 		tag: m.Tag, rsig: m.RSig, wsig: m.WSig, writeLines: m.WriteLines, try: int(m.TID),
 	})
 	p.env.Coll.GroupFormed(m.Tag.Proc, m.Tag.Seq, int(m.TID), p.env.Eng.Now())
-	p.env.Net.Send(&msg.Msg{Kind: msg.ArbGrant, Src: p.arbNode, Dst: m.Tag.Proc, Tag: m.Tag})
+	p.env.Net.Send(&msg.Msg{Kind: msg.ArbGrant, Src: p.arbNode, Dst: m.Tag.Proc, Tag: m.Tag, TID: m.TID})
 }
 
 func (p *Protocol) onDone(m *msg.Msg) {
 	for i, f := range p.inflight {
-		if f.tag == m.Tag {
-			// The commit is globally visible: update directory state.
-			for _, l := range f.writeLines {
-				p.env.State.ApplyCommitWrite(l, f.tag.Proc)
+		if f.tag == m.Tag && f.try == int(m.TID) {
+			if !m.Abandon {
+				// The commit is globally visible: update directory state.
+				for _, l := range f.writeLines {
+					p.env.State.ApplyCommitWrite(l, f.tag.Proc)
+				}
 			}
 			p.inflight = append(p.inflight[:i], p.inflight[i+1:]...)
 			return
@@ -162,7 +226,7 @@ func (p *Protocol) HandleProc(node int, m *msg.Msg) {
 			return
 		}
 		p.env.Cores[node].BulkInvalidate(&m.WSig, m.WriteLines, m.Tag.Proc)
-		p.env.Net.Send(&msg.Msg{Kind: msg.ArbInvAck, Src: node, Dst: m.Src, Tag: m.Tag})
+		p.env.Net.Send(&msg.Msg{Kind: msg.ArbInvAck, Src: node, Dst: m.Src, Tag: m.Tag, TID: m.TID})
 	case msg.ArbInvAck:
 		p.onInvAck(node, m)
 	default:
@@ -174,9 +238,18 @@ func (p *Protocol) HandleProc(node int, m *msg.Msg) {
 // processor for cached-line invalidation and chunk disambiguation.
 func (p *Protocol) onGrant(node int, m *msg.Msg) {
 	job := p.jobs[node]
-	if job == nil || job.ck.Tag != m.Tag {
-		return // stale grant (chunk already resolved)
+	if job == nil || job.ck.Tag != m.Tag || job.try != m.TID {
+		// Stale grant (the watchdog abandoned this attempt, or the grant was
+		// duplicated past the commit): the arbiter is holding an in-flight
+		// entry for a dead attempt — tear it down, without applying its
+		// writes, or every overlapping commit is denied forever.
+		p.env.Net.Send(&msg.Msg{Kind: msg.ArbDone, Src: node, Dst: p.arbNode, Tag: m.Tag, TID: m.TID, Abandon: true})
+		return
 	}
+	if job.granted {
+		return // duplicate grant; invalidations already broadcast
+	}
+	job.granted = true
 	// The decision arrived: the conservative deferral window ends and any
 	// buffered invalidations are consumed (they cannot conflict with the
 	// granted chunk — the arbiter checked it against everything their
@@ -193,7 +266,7 @@ func (p *Protocol) onGrant(node int, m *msg.Msg) {
 			continue
 		}
 		p.env.Net.Send(&msg.Msg{
-			Kind: msg.ArbInv, Src: node, Dst: d, Tag: m.Tag,
+			Kind: msg.ArbInv, Src: node, Dst: d, Tag: m.Tag, TID: job.try,
 			WSig: job.ck.WSig, WriteLines: job.ck.WriteLines,
 		})
 	}
@@ -201,8 +274,8 @@ func (p *Protocol) onGrant(node int, m *msg.Msg) {
 
 func (p *Protocol) onDeny(node int, m *msg.Msg) {
 	job := p.jobs[node]
-	if job == nil || job.ck.Tag != m.Tag {
-		return
+	if job == nil || job.ck.Tag != m.Tag || job.try != m.TID || job.granted {
+		return // stale or duplicated deny; a granted attempt ignores it
 	}
 	delete(p.jobs, node)
 	p.env.Cores[node].CommitRefused(m.Tag)
@@ -210,9 +283,13 @@ func (p *Protocol) onDeny(node int, m *msg.Msg) {
 
 func (p *Protocol) onInvAck(node int, m *msg.Msg) {
 	job := p.jobs[node]
-	if job == nil || job.ck.Tag != m.Tag {
+	if job == nil || job.ck.Tag != m.Tag || job.try != m.TID || !job.granted {
 		return
 	}
+	if job.invAcked[m.Src] {
+		return // duplicate ack from the same responder
+	}
+	job.invAcked[m.Src] = true
 	job.pendingAcks--
 	if job.pendingAcks == 0 {
 		p.complete(node, job)
@@ -222,8 +299,21 @@ func (p *Protocol) onInvAck(node int, m *msg.Msg) {
 func (p *Protocol) complete(node int, job *commitJob) {
 	delete(p.jobs, node)
 	tag := job.ck.Tag
-	p.env.Net.Send(&msg.Msg{Kind: msg.ArbDone, Src: node, Dst: p.arbNode, Tag: tag})
+	p.env.Net.Send(&msg.Msg{Kind: msg.ArbDone, Src: node, Dst: p.arbNode, Tag: tag, TID: job.try})
 	p.env.Cores[node].CommitFinished(tag)
+}
+
+// DebugModule renders the arbiter's in-flight table for deadlock
+// diagnostics (non-arbiter nodes hold no protocol state).
+func (p *Protocol) DebugModule(i int) string {
+	if i != p.arbNode || len(p.inflight) == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("ARB@%d busy=%d inflight:", p.arbNode, p.busy)
+	for _, f := range p.inflight {
+		s += fmt.Sprintf(" %s try=%d", f.tag, f.try)
+	}
+	return s
 }
 
 // ReadBlocked implements dir.Protocol: BulkSC directories hold no committing

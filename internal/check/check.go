@@ -1,0 +1,238 @@
+// Package check is an online invariant checker for the simulated commit
+// protocols. It observes the machine through the hooks the subsystems expose
+// (dir.Probe commit milestones, directory write applications, the stats
+// collector's formation/end events, the ScalableBulk CST occupancy hooks and
+// the mesh's send/deliver taps) and records a violation the moment an
+// invariant breaks — with the fault injector active, this is what turns "the
+// run completed" into "the run completed and the protocol behaved".
+//
+// Invariants:
+//
+//	I1 CST occupancy accounting: a module occupancy is acquired at most once
+//	   per attempt, released only if held, and no occupancy survives the run.
+//	I2 Program order: each processor commits its chunks in strictly
+//	   ascending sequence order, exactly once each, and only after a commit
+//	   request and a successful group formation for that chunk.
+//	I3 Invalidation pairing: an invalidation ack delivered to a collector
+//	   must answer an invalidation that was actually sent to that responder
+//	   (duplicated acks are legal — duplicated *phantom* acks are not).
+//	I4 Liveness: at the end of the run every processor committed its full
+//	   chunk target.
+//	I5 Write visibility: directory write applications only come from
+//	   processors that reached a serialization point (formed a group).
+package check
+
+import (
+	"fmt"
+
+	"scalablebulk/internal/chunk"
+	"scalablebulk/internal/dir"
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/sig"
+)
+
+// maxViolations bounds the report; past it only the counter moves.
+const maxViolations = 64
+
+type procSeq struct {
+	proc int
+	seq  uint64
+}
+
+type occKey struct {
+	module int
+	tag    msg.CTag
+	try    int
+}
+
+type invKey struct {
+	kind      msg.Kind // the invalidation kind (not the ack kind)
+	tag       msg.CTag
+	responder int
+}
+
+// Checker accumulates invariant violations. It implements dir.Probe. All
+// methods are safe on the simulator's single event thread only.
+type Checker struct {
+	violations []string
+	Dropped    int // violations past maxViolations
+
+	held      map[occKey]bool
+	requested map[procSeq]bool
+	formed    map[procSeq]bool
+	committed map[procSeq]bool
+	lastSeq   map[int]uint64
+	hasLast   map[int]bool
+	sentInv   map[invKey]bool
+	everForm  map[int]bool
+}
+
+var _ dir.Probe = (*Checker)(nil)
+
+// New builds a checker for an n-node machine.
+func New(n int) *Checker {
+	return &Checker{
+		held:      make(map[occKey]bool),
+		requested: make(map[procSeq]bool),
+		formed:    make(map[procSeq]bool),
+		committed: make(map[procSeq]bool),
+		lastSeq:   make(map[int]uint64),
+		hasLast:   make(map[int]bool),
+		sentInv:   make(map[invKey]bool),
+		everForm:  make(map[int]bool),
+	}
+}
+
+func (c *Checker) violate(format string, args ...any) {
+	if len(c.violations) >= maxViolations {
+		c.Dropped++
+		return
+	}
+	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+}
+
+// CommitRequested implements dir.Probe.
+func (c *Checker) CommitRequested(proc int, ck *chunk.Chunk) {
+	c.requested[procSeq{proc, ck.Tag.Seq}] = true
+}
+
+// ChunkCommitted implements dir.Probe: the exactly-once, in-order,
+// requested-and-formed checks (I2).
+func (c *Checker) ChunkCommitted(proc int, seq uint64, t event.Time) {
+	k := procSeq{proc, seq}
+	if c.committed[k] {
+		c.violate("P%d committed chunk %d twice (t=%d)", proc, seq, t)
+	}
+	c.committed[k] = true
+	if !c.requested[k] {
+		c.violate("P%d committed chunk %d without a commit request", proc, seq)
+	}
+	if !c.formed[k] {
+		c.violate("P%d committed chunk %d without forming a group", proc, seq)
+	}
+	if c.hasLast[proc] && seq <= c.lastSeq[proc] {
+		c.violate("P%d committed chunk %d after chunk %d: program order broken",
+			proc, seq, c.lastSeq[proc])
+	}
+	c.lastSeq[proc] = seq
+	c.hasLast[proc] = true
+}
+
+// Held observes a ScalableBulk CST occupancy acquisition (I1).
+func (c *Checker) Held(module int, tag msg.CTag, try int) {
+	k := occKey{module, tag, try}
+	if c.held[k] {
+		c.violate("D%d held twice by %s try %d", module, tag, try)
+	}
+	c.held[k] = true
+}
+
+// Released observes a ScalableBulk CST occupancy release (I1).
+func (c *Checker) Released(module int, tag msg.CTag, try int) {
+	k := occKey{module, tag, try}
+	if !c.held[k] {
+		c.violate("D%d released by %s try %d without being held", module, tag, try)
+	}
+	delete(c.held, k)
+}
+
+// Formed observes a group formation (serialization point) via the stats
+// collector.
+func (c *Checker) Formed(proc int, seq uint64, try int, t event.Time) {
+	c.formed[procSeq{proc, seq}] = true
+	c.everForm[proc] = true
+}
+
+// Ended observes a commit attempt ending. A successful end after the chunk
+// already committed would be a double serialization (I2).
+func (c *Checker) Ended(proc int, seq uint64, try int, t event.Time, success bool) {
+	if success && c.committed[procSeq{proc, seq}] {
+		c.violate("P%d chunk %d ended successfully twice", proc, seq)
+	}
+}
+
+// Apply observes a committed-write application to the directory state (I5).
+func (c *Checker) Apply(l sig.Line, writer int) {
+	if !c.everForm[writer] {
+		c.violate("line %d written by P%d which never formed a group", l, writer)
+	}
+}
+
+// invalPair maps an ack kind to the invalidation kind it answers.
+func invalPair(k msg.Kind) (msg.Kind, bool) {
+	switch k {
+	case msg.BulkInvAck:
+		return msg.BulkInv, true
+	case msg.SeqInvalAck:
+		return msg.SeqInval, true
+	case msg.ArbInvAck:
+		return msg.ArbInv, true
+	case msg.TCCInvalAck:
+		return msg.TCCInval, true
+	}
+	return 0, false
+}
+
+func isInval(k msg.Kind) bool {
+	switch k {
+	case msg.BulkInv, msg.SeqInval, msg.ArbInv, msg.TCCInval:
+		return true
+	}
+	return false
+}
+
+// Sent taps mesh.Network.OnSend: record invalidations on the wire.
+func (c *Checker) Sent(m *msg.Msg) {
+	if isInval(m.Kind) {
+		c.sentInv[invKey{m.Kind, m.Tag, m.Dst}] = true
+	}
+}
+
+// Delivered taps mesh.Network.OnDeliver: an arriving ack must answer an
+// invalidation that was really sent to that responder (I3). The injector
+// duplicates deliveries, never invents them, so a miss here means a protocol
+// fabricated or misrouted an ack.
+func (c *Checker) Delivered(m *msg.Msg) {
+	if inv, ok := invalPair(m.Kind); ok {
+		if !c.sentInv[invKey{inv, m.Tag, m.Src}] {
+			c.violate("%s from P%d for %s answers no invalidation", m.Kind, m.Src, m.Tag)
+		}
+	}
+}
+
+// Finish runs the end-of-run checks (I1 leaks, I4 liveness): every processor
+// committed chunks [0, perProc) and no CST occupancy is still held.
+func (c *Checker) Finish(procs, perProc int) {
+	for p := 0; p < procs; p++ {
+		n := 0
+		for seq := uint64(0); seq < uint64(perProc); seq++ {
+			if c.committed[procSeq{p, seq}] {
+				n++
+			}
+		}
+		if n != perProc {
+			c.violate("P%d committed %d of %d chunks", p, n, perProc)
+		}
+	}
+	for k := range c.held {
+		c.violate("D%d still held by %s try %d at end of run", k.module, k.tag, k.try)
+	}
+}
+
+// Violations returns the recorded violations (nil when clean).
+func (c *Checker) Violations() []string {
+	return append([]string(nil), c.violations...)
+}
+
+// Err folds the violations into one error, nil when the run was clean.
+func (c *Checker) Err() error {
+	if len(c.violations) == 0 {
+		return nil
+	}
+	s := c.violations[0]
+	if n := len(c.violations) + c.Dropped; n > 1 {
+		s = fmt.Sprintf("%s (and %d more)", s, n-1)
+	}
+	return fmt.Errorf("check: %d invariant violations: %s", len(c.violations)+c.Dropped, s)
+}

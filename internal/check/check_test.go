@@ -1,0 +1,113 @@
+package check
+
+import (
+	"strings"
+	"testing"
+
+	"scalablebulk/internal/chunk"
+	"scalablebulk/internal/msg"
+)
+
+func mkChunk(proc int, seq uint64) *chunk.Chunk {
+	return &chunk.Chunk{Tag: msg.CTag{Proc: proc, Seq: seq}}
+}
+
+// commit drives the legal milestone sequence for one chunk.
+func commit(c *Checker, proc int, seq uint64) {
+	c.CommitRequested(proc, mkChunk(proc, seq))
+	c.Formed(proc, seq, 0, 10)
+	c.ChunkCommitted(proc, seq, 20)
+}
+
+func TestCleanRunHasNoViolations(t *testing.T) {
+	c := New(2)
+	for p := 0; p < 2; p++ {
+		for s := uint64(0); s < 3; s++ {
+			commit(c, p, s)
+		}
+	}
+	c.Finish(2, 3)
+	if err := c.Err(); err != nil {
+		t.Fatalf("clean run reported: %v", err)
+	}
+}
+
+func TestDoubleCommitDetected(t *testing.T) {
+	c := New(1)
+	commit(c, 0, 0)
+	c.ChunkCommitted(0, 0, 30)
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "twice") {
+		t.Fatalf("double commit not detected: %v", err)
+	}
+}
+
+func TestProgramOrderDetected(t *testing.T) {
+	c := New(1)
+	commit(c, 0, 1)
+	commit(c, 0, 0)
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "program order") {
+		t.Fatalf("out-of-order commit not detected: %v", err)
+	}
+}
+
+func TestCommitWithoutRequestOrFormation(t *testing.T) {
+	c := New(1)
+	c.ChunkCommitted(0, 0, 5)
+	v := c.Violations()
+	if len(v) != 2 {
+		t.Fatalf("want request + formation violations, got %v", v)
+	}
+}
+
+func TestOccupancyAccounting(t *testing.T) {
+	c := New(4)
+	tag := msg.CTag{Proc: 1, Seq: 7}
+	c.Held(2, tag, 0)
+	c.Held(2, tag, 0) // double hold
+	c.Released(2, tag, 0)
+	c.Released(2, tag, 0) // orphan release
+	c.Held(3, tag, 1)     // leaked at finish
+	c.Finish(0, 0)
+	v := c.Violations()
+	if len(v) != 3 {
+		t.Fatalf("want double-hold + orphan-release + leak, got %v", v)
+	}
+	if !strings.Contains(v[2], "end of run") {
+		t.Fatalf("leak not reported at finish: %v", v)
+	}
+}
+
+func TestPhantomAckDetected(t *testing.T) {
+	c := New(4)
+	tag := msg.CTag{Proc: 0, Seq: 1}
+	c.Sent(&msg.Msg{Kind: msg.BulkInv, Src: 0, Dst: 2, Tag: tag})
+	// Legal ack (and a duplicate of it — duplication is not a violation).
+	ack := &msg.Msg{Kind: msg.BulkInvAck, Src: 2, Dst: 0, Tag: tag}
+	c.Delivered(ack)
+	c.Delivered(ack)
+	if err := c.Err(); err != nil {
+		t.Fatalf("legal ack flagged: %v", err)
+	}
+	// Phantom: node 3 was never sent the invalidation.
+	c.Delivered(&msg.Msg{Kind: msg.BulkInvAck, Src: 3, Dst: 0, Tag: tag})
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "answers no invalidation") {
+		t.Fatalf("phantom ack not detected: %v", err)
+	}
+}
+
+func TestLivenessShortfallDetected(t *testing.T) {
+	c := New(1)
+	commit(c, 0, 0)
+	c.Finish(1, 2)
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "committed 1 of 2") {
+		t.Fatalf("shortfall not detected: %v", err)
+	}
+}
+
+func TestApplyWithoutFormationDetected(t *testing.T) {
+	c := New(2)
+	c.Apply(42, 1)
+	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "never formed") {
+		t.Fatalf("unformed writer not detected: %v", err)
+	}
+}

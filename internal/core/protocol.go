@@ -71,7 +71,10 @@ type cstEntry struct {
 	// Leader-only bookkeeping.
 	leader      bool
 	pendingAcks int
-	recalls     []*msg.RecallInfo
+	// acked records which sharers already acknowledged, so a duplicated
+	// bulk_inv_ack (fault injection) cannot double-decrement pendingAcks.
+	acked   map[int]bool
+	recalls []*msg.RecallInfo
 }
 
 // module is one directory module's protocol engine state.
@@ -101,10 +104,29 @@ type Config struct {
 	// interval for long-term fairness (§3.2.2). Zero keeps the baseline
 	// lowest-ID-is-leader policy.
 	RotationInterval event.Time
+	// CommitDeadline is the group-formation watchdog: an attempt still open
+	// this many cycles after its commit_request is failed machine-wide (a
+	// synthesized g_failure + commit_failure) so the processor retries with
+	// backoff instead of hanging to MaxCycles. Generous enough never to
+	// fire on a fault-free run; zero selects DefaultCommitDeadline and
+	// WatchdogDisabled turns the watchdog off.
+	CommitDeadline event.Time
 }
 
+// DefaultCommitDeadline leaves ample headroom over the worst contended
+// fault-free formation latency (thousands of cycles at 64 cores) while still
+// detecting a wedged attempt long before the 2×10⁹-cycle MaxCycles guard.
+const DefaultCommitDeadline event.Time = 200_000
+
+// WatchdogDisabled, assigned to Config.CommitDeadline, disables the
+// group-formation watchdog (event.Time is unsigned, so a sentinel stands in
+// for -1).
+const WatchdogDisabled event.Time = ^event.Time(0)
+
 // DefaultConfig returns the configuration used in the paper's evaluation.
-func DefaultConfig() Config { return Config{OCI: true, MaxSquashes: 12} }
+func DefaultConfig() Config {
+	return Config{OCI: true, MaxSquashes: 12, CommitDeadline: DefaultCommitDeadline}
+}
 
 // FailStats counts group-formation failures by cause; used by the ablation
 // benchmarks and diagnostics.
@@ -112,6 +134,7 @@ type FailStats struct {
 	Collision uint64 // lost to an incompatible group (§3.2.1)
 	Reserved  uint64 // bounced by a starvation reservation (§3.2.2)
 	Recalled  uint64 // killed by a commit_recall lookout (§3.4)
+	Watchdog  uint64 // group formation stalled past CommitDeadline
 }
 
 // Protocol is the ScalableBulk engine. It implements dir.Protocol.
@@ -120,12 +143,28 @@ type Protocol struct {
 	cfg  Config
 	mods []*module
 
+	// watch tracks open commit attempts for the formation watchdog: the
+	// value is the attempt's ordered gvec, used to synthesize a machine-wide
+	// g_failure if the attempt stalls past CommitDeadline.
+	watch map[attemptKey][]int
+
 	// Fails tallies group-formation failures by cause.
 	Fails FailStats
 
 	// Trace, when set, receives a line per protocol event (for the
 	// grouptrace tooling). Keep nil for performance runs.
 	Trace func(format string, args ...any)
+
+	// OnHeld and OnReleased, when non-nil, observe CST occupancy
+	// transitions (invariant checking). Nil on performance runs.
+	OnHeld     func(module int, tag msg.CTag, try int)
+	OnReleased func(module int, tag msg.CTag, try int)
+}
+
+// attemptKey identifies one commit attempt of one chunk.
+type attemptKey struct {
+	tag msg.CTag
+	try int
 }
 
 var _ dir.Protocol = (*Protocol)(nil)
@@ -135,7 +174,10 @@ func New(env *dir.Env, cfg Config) *Protocol {
 	if cfg.MaxSquashes <= 0 {
 		cfg.MaxSquashes = 12
 	}
-	p := &Protocol{env: env, cfg: cfg}
+	if cfg.CommitDeadline == 0 {
+		cfg.CommitDeadline = DefaultCommitDeadline
+	}
+	p := &Protocol{env: env, cfg: cfg, watch: make(map[attemptKey][]int)}
 	n := env.Net.Nodes()
 	for i := 0; i < n; i++ {
 		p.mods = append(p.mods, &module{
@@ -199,6 +241,7 @@ func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
 
 	gvec := p.orderGVec(ck.Dirs)
 	p.trace("P%d commit_request %s gvec=%v", proc, ck.Tag, gvec)
+	p.armWatchdog(ck.Tag, try, gvec)
 	for _, d := range gvec {
 		p.env.Net.Send(&msg.Msg{
 			Kind: msg.CommitRequest, Src: proc, Dst: d, Tag: ck.Tag,
@@ -206,6 +249,43 @@ func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
 			WriteLines: ck.WriteLines, TID: uint64(try),
 		})
 	}
+}
+
+// armWatchdog registers an attempt with the group-formation watchdog. If the
+// attempt is still open (no commit_success or commit_failure sent) when the
+// deadline passes, the watchdog fails it machine-wide: a g_failure multicast
+// unwinds whatever partial group exists and a commit_failure makes the
+// processor retry with backoff — a faulted run degrades into a retry instead
+// of hanging until MaxCycles. The watchdog draws no randomness and its
+// no-op firings touch no state, so an armed-but-quiet watchdog leaves a
+// fault-free run bit-identical.
+func (p *Protocol) armWatchdog(tag msg.CTag, try int, gvec []int) {
+	if p.cfg.CommitDeadline == WatchdogDisabled {
+		return
+	}
+	k := attemptKey{tag, try}
+	p.watch[k] = gvec
+	p.env.Eng.After(p.cfg.CommitDeadline, func() {
+		gv, open := p.watch[k]
+		if !open {
+			return
+		}
+		delete(p.watch, k)
+		p.Fails.Watchdog++
+		p.trace("watchdog fails %s try %d (stalled past %d cycles)", tag, try, p.cfg.CommitDeadline)
+		// Synthesized failure from the leader: every module unwinds the
+		// attempt (no-op where it never arrived), and the processor is told
+		// directly in case the leader module never saw the attempt at all.
+		for _, d := range gv {
+			p.env.Net.Send(&msg.Msg{Kind: msg.GFailure, Src: gv[0], Dst: d, Tag: tag, TID: uint64(try)})
+		}
+		p.sendCommitFailure(gv[0], tag, try)
+	})
+}
+
+// closeWatchdog marks an attempt decided (success or failure notified).
+func (p *Protocol) closeWatchdog(tag msg.CTag, try int) {
+	delete(p.watch, attemptKey{tag, try})
 }
 
 // HandleProc implements dir.Protocol. ScalableBulk has no processor-side
@@ -302,7 +382,7 @@ func (p *Protocol) entryFor(mod *module, tag msg.CTag, try int) *cstEntry {
 		if e.gotSigs {
 			p.multicastFailure(mod, tag, e.try, e.gvec)
 		}
-		p.deallocate(mod, e, false)
+		p.deallocate(mod, e, e.state == stConfirmed)
 		e = mod.getOrCreate(tag)
 		e.try = try
 	}
@@ -430,6 +510,9 @@ func (p *Protocol) tryAdvance(mod *module, e *cstEntry) {
 	// Win: h ← 1, push g onward, irrevocably choosing this group here.
 	e.state = stHeld
 	p.trace("D%d holds %s", mod.id, e.tag)
+	if p.OnHeld != nil {
+		p.OnHeld(mod.id, e.tag, e.try)
+	}
 	if e.leader && len(e.gvec) == 1 {
 		p.confirmGroup(mod, e)
 		return
@@ -459,6 +542,7 @@ func (p *Protocol) successor(e *cstEntry, d int) int {
 // formed (Figure 3(c)/(d)).
 func (p *Protocol) confirmGroup(mod *module, e *cstEntry) {
 	e.state = stConfirmed
+	p.closeWatchdog(e.tag, e.try)
 	p.trace("D%d group formed for %s", mod.id, e.tag)
 	p.env.Coll.GroupFormed(e.tag.Proc, e.tag.Seq, e.try, p.env.Eng.Now())
 
@@ -496,19 +580,29 @@ func (p *Protocol) applyWrites(node int, e *cstEntry) {
 
 func (p *Protocol) onGSuccess(mod *module, m *msg.Msg) {
 	e := mod.find(m.Tag)
-	if e == nil {
-		return
+	if e == nil || e.state == stConfirmed {
+		return // unknown, or a duplicate delivery (writes already applied)
 	}
 	e.state = stConfirmed
 	p.applyWrites(mod.id, e)
 }
 
 // onBulkInvAck runs at the leader; acks may piggy-back commit_recalls.
+// Each sharer is counted once: under fault injection the network may
+// duplicate an ack, and a double-count would fire finishCommit before every
+// sharer actually invalidated (or underflow pendingAcks).
 func (p *Protocol) onBulkInvAck(mod *module, m *msg.Msg) {
 	e := mod.find(m.Tag)
 	if e == nil || !e.leader {
 		return
 	}
+	if e.acked[m.Src] {
+		return // duplicate delivery, recall already captured
+	}
+	if e.acked == nil {
+		e.acked = make(map[int]bool)
+	}
+	e.acked[m.Src] = true
 	if m.Recall != nil {
 		e.recalls = append(e.recalls, m.Recall)
 	}
@@ -626,15 +720,30 @@ func (p *Protocol) sendCommitFailure(node int, tag msg.CTag, try int) {
 	// failure notifications (several modules may report the same failed
 	// attempt): without it, each stale copy would cancel a fresh attempt
 	// and the retries would multiply exponentially.
+	p.closeWatchdog(tag, try)
 	p.env.Net.Send(&msg.Msg{Kind: msg.CommitFailure, Src: node, Dst: tag.Proc, Tag: tag, TID: uint64(try)})
 }
 
 // onGFailure: a member of a failing group tears the entry down; the loser's
 // leader notifies the committing processor (Table 5).
 func (p *Protocol) onGFailure(mod *module, m *msg.Msg) {
-	p.noteFailure(mod, m.Tag, int(m.TID), m.Line != 0)
 	e := mod.find(m.Tag)
-	if e == nil {
+	if e != nil && e.state == stConfirmed && e.try == int(m.TID) {
+		// The group already formed here — a legitimate g_failure for this
+		// attempt is impossible (only pending entries lose), so this is a
+		// watchdog firing after a slow-but-successful formation, or a stale
+		// duplicate. Tear down as a success: marking it failed would leave
+		// the chunk's starvation reservation and squash history in place
+		// forever, wedging the module.
+		p.deallocate(mod, e, true)
+		return
+	}
+	p.noteFailure(mod, m.Tag, int(m.TID), m.Line != 0)
+	if e == nil || e.try > int(m.TID) {
+		// No entry, or the entry belongs to a newer attempt: a delayed
+		// duplicate failure of an older try must not tear down a newer
+		// attempt's (possibly confirmed) entry. An entry with e.try below
+		// the failed try is provably stale and falls through to teardown.
 		return
 	}
 	if e.leader {
@@ -696,6 +805,9 @@ func (p *Protocol) DebugModule(i int) string {
 // this entry get another chance to advance.
 func (p *Protocol) deallocate(mod *module, e *cstEntry, success bool) {
 	mod.remove(e.tag)
+	if p.OnReleased != nil && e.state != stPending {
+		p.OnReleased(mod.id, e.tag, e.try)
+	}
 	if success {
 		delete(mod.squashes, e.tag)
 		// A committed chunk never tries again: tombstone every attempt so

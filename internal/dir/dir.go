@@ -33,6 +33,10 @@ type LineInfo struct {
 // per-module storage while keeping lookups one-hop.
 type State struct {
 	lines map[sig.Line]*LineInfo
+
+	// OnApply, when non-nil, observes every committed-write application
+	// (invariant checking). Nil on performance runs.
+	OnApply func(l sig.Line, writer int)
 }
 
 // NewState returns empty directory state.
@@ -58,6 +62,9 @@ func (s *State) AddSharer(l sig.Line, p int) { s.Touch(l).Sharers.Add(p) }
 // all copies except the writer's are (being) invalidated, and the writer
 // becomes the dirty owner.
 func (s *State) ApplyCommitWrite(l sig.Line, writer int) {
+	if s.OnApply != nil {
+		s.OnApply(l, writer)
+	}
 	li := s.Touch(l)
 	li.Sharers.Clear()
 	li.Sharers.Add(writer)
@@ -153,6 +160,18 @@ type Protocol interface {
 	ReadBlocked(node int, l sig.Line) bool
 }
 
+// Probe observes processor-side commit milestones (invariant checking). The
+// interface lives here so the checker can implement it without an import
+// cycle; all hooks are optional (nil Probe on performance runs).
+type Probe interface {
+	// CommitRequested fires when a processor submits (or re-submits) a
+	// chunk for commit, before the protocol engine sees it.
+	CommitRequested(proc int, ck *chunk.Chunk)
+	// ChunkCommitted fires when a processor retires a chunk — the
+	// authoritative per-(proc,seq) commit event.
+	ChunkCommitted(proc int, seq uint64, t event.Time)
+}
+
 // Env is everything a protocol engine or read path needs from the machine.
 type Env struct {
 	Eng   *event.Engine
@@ -161,6 +180,9 @@ type Env struct {
 	State *State
 	Cores []Core
 	Coll  *stats.Collector
+
+	// Probe, when non-nil, receives commit milestones (invariant checking).
+	Probe Probe
 
 	// DirLookup is the directory-module processing latency charged per
 	// transaction step (signature expansion, CST lookup).

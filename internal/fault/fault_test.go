@@ -1,0 +1,208 @@
+package fault
+
+import (
+	"testing"
+
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/mesh"
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/sig"
+)
+
+func mk(kind msg.Kind, src, dst int) *msg.Msg {
+	return &msg.Msg{Kind: kind, Src: src, Dst: dst, Tag: msg.CTag{Proc: src, Seq: 1}}
+}
+
+func mustProfile(t *testing.T, name string) Profile {
+	t.Helper()
+	p, err := ByName(name)
+	if err != nil || p == nil {
+		t.Fatalf("ByName(%q) = %v, %v", name, p, err)
+	}
+	return *p
+}
+
+// TestDeterministicReplay: the same (profile, seed) over the same message
+// stream produces the identical delivery plan.
+func TestDeterministicReplay(t *testing.T) {
+	for _, name := range Names() {
+		prof := mustProfile(t, name)
+		plan := func(seed int64) []mesh.Delivery {
+			in := New(prof, seed)
+			var out []mesh.Delivery
+			for i := 0; i < 500; i++ {
+				m := mk(msg.Grab, i%7, (i+3)%7)
+				out = append(out, in.Plan(m, event.Time(i*10), event.Time(i*10+21))...)
+			}
+			return out
+		}
+		a, b := plan(42), plan(42)
+		if len(a) != len(b) {
+			t.Fatalf("%s: replay produced %d vs %d deliveries", name, len(a), len(b))
+		}
+		for i := range a {
+			if a[i].At != b[i].At {
+				t.Fatalf("%s: delivery %d at %d vs %d", name, i, a[i].At, b[i].At)
+			}
+		}
+		c := plan(43)
+		same := len(a) == len(c)
+		if same {
+			for i := range a {
+				if a[i].At != c[i].At {
+					same = false
+					break
+				}
+			}
+		}
+		if same && prof.Enabled() {
+			t.Errorf("%s: different seeds produced identical plans (suspicious)", name)
+		}
+	}
+}
+
+// TestNoPermanentLoss: every planned message yields at least one delivery,
+// and the primary delivery never precedes the nominal arrival time.
+func TestNoPermanentLoss(t *testing.T) {
+	for _, name := range Names() {
+		in := New(mustProfile(t, name), 7)
+		for i := 0; i < 2000; i++ {
+			at := event.Time(i*5 + 13)
+			ds := in.Plan(mk(msg.CommitRequest, i%9, (i+1)%9), event.Time(i*5), at)
+			if len(ds) == 0 {
+				t.Fatalf("%s: message %d dropped permanently", name, i)
+			}
+			if ds[0].At < at {
+				t.Fatalf("%s: delivery %d planned at %d before nominal %d", name, i, ds[0].At, at)
+			}
+		}
+	}
+}
+
+// TestDuplicateIsDeepCopy: the duplicate is a Clone, so handler-side mutation
+// of one delivery cannot corrupt the other.
+func TestDuplicateIsDeepCopy(t *testing.T) {
+	prof := mustProfile(t, "dup")
+	prof.PerClass = commitOnly(ClassFaults{DupProb: 1.0, DupDelayMax: 10})
+	in := New(prof, 1)
+	m := mk(msg.Grab, 0, 1)
+	m.GVec = []int{1, 2}
+	m.WriteLines = []sig.Line{5}
+	ds := in.Plan(m, 0, 10)
+	if len(ds) != 2 {
+		t.Fatalf("DupProb=1 produced %d deliveries, want 2", len(ds))
+	}
+	if ds[0].M != m {
+		t.Fatal("primary delivery must carry the original message")
+	}
+	if ds[1].M == m {
+		t.Fatal("duplicate must be a distinct message")
+	}
+	ds[1].M.GVec[0] = -1
+	ds[1].M.WriteLines[0] = 999
+	if m.GVec[0] != 1 || m.WriteLines[0] != 5 {
+		t.Fatal("duplicate aliases the original payload")
+	}
+	if ds[1].At <= ds[0].At {
+		t.Fatal("duplicate must arrive after the primary")
+	}
+}
+
+// TestPerClassGating: a commit-only profile leaves read-path traffic
+// untouched.
+func TestPerClassGating(t *testing.T) {
+	in := New(mustProfile(t, "reorder"), 3)
+	for i := 0; i < 1000; i++ {
+		at := event.Time(i*4 + 9)
+		ds := in.Plan(mk(msg.ReadMemReply, 1, 2), event.Time(i*4), at)
+		if len(ds) != 1 || ds[0].At != at {
+			t.Fatal("reorder profile must not touch MemRd traffic")
+		}
+	}
+	if s := in.Stats(); s.Delayed != 0 || s.Duplicated != 0 || s.Retransmits != 0 {
+		t.Fatalf("read-only stream injected faults: %v", s)
+	}
+}
+
+// TestLocalDeliveriesExempt: Src == Dst messages are intra-tile and never
+// faulted.
+func TestLocalDeliveriesExempt(t *testing.T) {
+	prof := mustProfile(t, "chaos")
+	in := New(prof, 5)
+	for i := 0; i < 500; i++ {
+		at := event.Time(i + 1)
+		ds := in.Plan(mk(msg.CommitSuccess, 4, 4), event.Time(i), at)
+		if len(ds) != 1 || ds[0].At != at {
+			t.Fatal("local delivery was faulted")
+		}
+	}
+}
+
+// TestRetransmitDelaysAndCounts: with DropProb=1 the resend chain costs
+// exactly MaxRetransmits × RetransmitDelay and still delivers.
+func TestRetransmitDelaysAndCounts(t *testing.T) {
+	prof := Profile{
+		PerClass:        uniform(ClassFaults{DropProb: 1.0}),
+		RetransmitDelay: 50,
+		MaxRetransmits:  3,
+		HotNode:         -1,
+	}
+	in := New(prof, 1)
+	ds := in.Plan(mk(msg.Grab, 0, 1), 0, 100)
+	if len(ds) != 1 {
+		t.Fatalf("got %d deliveries", len(ds))
+	}
+	if want := event.Time(100 + 3*50); ds[0].At != want {
+		t.Fatalf("delivery at %d, want %d", ds[0].At, want)
+	}
+	if s := in.Stats(); s.Retransmits != 3 {
+		t.Fatalf("Retransmits = %d, want 3", s.Retransmits)
+	}
+}
+
+// TestHotNodeDegradation: traffic touching the hot node pays HotDelay; other
+// traffic does not.
+func TestHotNodeDegradation(t *testing.T) {
+	prof := Profile{HotNode: 2, HotDelay: 100}
+	in := New(prof, 1)
+	if ds := in.Plan(mk(msg.Grab, 2, 5), 0, 30); ds[0].At != 130 {
+		t.Fatalf("hot-src delivery at %d, want 130", ds[0].At)
+	}
+	if ds := in.Plan(mk(msg.Grab, 5, 2), 0, 30); ds[0].At != 130 {
+		t.Fatalf("hot-dst delivery at %d, want 130", ds[0].At)
+	}
+	if ds := in.Plan(mk(msg.Grab, 4, 5), 0, 30); ds[0].At != 30 {
+		t.Fatalf("cold delivery at %d, want 30", ds[0].At)
+	}
+	if s := in.Stats(); s.HotHits != 2 {
+		t.Fatalf("HotHits = %d, want 2", s.HotHits)
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "off", "none"} {
+		p, err := ByName(name)
+		if p != nil || err != nil {
+			t.Fatalf("ByName(%q) = %v, %v; want nil, nil", name, p, err)
+		}
+	}
+	if _, err := ByName("bogus"); err == nil {
+		t.Fatal("unknown profile must error")
+	}
+	if !mustHave(Names(), "chaos") || !mustHave(Names(), "jitter") {
+		t.Fatalf("missing built-in profiles: %v", Names())
+	}
+	var off *Profile
+	if off.Enabled() {
+		t.Fatal("nil profile must report disabled")
+	}
+}
+
+func mustHave(xs []string, want string) bool {
+	for _, x := range xs {
+		if x == want {
+			return true
+		}
+	}
+	return false
+}

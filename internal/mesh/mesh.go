@@ -29,11 +29,28 @@ type Config struct {
 // Handler receives messages delivered to a node.
 type Handler func(*msg.Msg)
 
+// Delivery is one planned handler invocation: message m arrives at time At.
+type Delivery struct {
+	At event.Time
+	M  *msg.Msg
+}
+
+// Interposer sits between routing and delivery: given a message and its
+// nominal arrival time, it returns the deliveries that actually happen —
+// possibly delayed, duplicated, or retransmission-deferred. It is consulted
+// only when installed (Network.Fault), so the fault-free path pays a single
+// nil check. Implementations must be deterministic for replayability and must
+// Clone the message for any extra delivery.
+type Interposer interface {
+	Plan(m *msg.Msg, now, at event.Time) []Delivery
+}
+
 // Stats aggregates traffic accounting.
 type Stats struct {
-	ByKind   [msg.NumKinds]uint64 // messages sent, per kind
-	FlitHops uint64               // total flits × hops (link utilization)
-	Messages uint64               // total messages sent
+	ByKind    [msg.NumKinds]uint64 // messages sent, per kind
+	FlitHops  uint64               // total flits × hops (link utilization)
+	Messages  uint64               // total messages sent
+	Delivered uint64               // handler invocations (≥ Messages under duplication)
 }
 
 // Network is a deterministic 2D torus.
@@ -55,6 +72,8 @@ type Network struct {
 	// OnDeliver, when non-nil, observes every delivered message at its
 	// delivery time, before the destination handler runs.
 	OnDeliver func(*msg.Msg)
+	// Fault, when non-nil, rewrites planned deliveries (fault injection).
+	Fault Interposer
 }
 
 // Link directions for dimension-order routing.
@@ -212,11 +231,22 @@ func yStep(y, dy, h int) (dir, next int) {
 }
 
 func (n *Network) deliverAt(t event.Time, m *msg.Msg) {
+	if n.Fault != nil {
+		for _, d := range n.Fault.Plan(m, n.eng.Now(), t) {
+			n.scheduleDelivery(d.At, d.M)
+		}
+		return
+	}
+	n.scheduleDelivery(t, m)
+}
+
+func (n *Network) scheduleDelivery(t event.Time, m *msg.Msg) {
 	h := n.handlers[m.Dst]
 	if h == nil {
 		panic(fmt.Sprintf("mesh: no handler at node %d for %s", m.Dst, m))
 	}
 	n.eng.At(t, func() {
+		n.stats.Delivered++
 		if n.OnDeliver != nil {
 			n.OnDeliver(m)
 		}

@@ -324,8 +324,39 @@ type Msg struct {
 
 	// Baselines.
 	TID uint64
+	// Abandon marks an ArbDone that tears down a dead attempt's arbiter
+	// entry (stale grant after a watchdog unwind): the entry is cleared but
+	// its writes are NOT applied to the directory — the chunk never
+	// committed.
+	Abandon bool
 }
 
 func (m *Msg) String() string {
 	return fmt.Sprintf("%s %d→%d %s", m.Kind, m.Src, m.Dst, m.Tag)
+}
+
+// Clone returns a deep copy of the message. The fault injector uses it to
+// duplicate in-flight messages: the copy must not alias any mutable payload
+// (GVec, InvalVec, Recall, line lists), or a handler consuming one delivery
+// could corrupt the other.
+func (m *Msg) Clone() *Msg {
+	c := *m
+	if m.GVec != nil {
+		c.GVec = append([]int(nil), m.GVec...)
+	}
+	c.InvalVec = m.InvalVec.Clone()
+	if m.Recall != nil {
+		r := *m.Recall
+		if r.GVec != nil {
+			r.GVec = append([]int(nil), r.GVec...)
+		}
+		c.Recall = &r
+	}
+	if m.WriteLines != nil {
+		c.WriteLines = append([]sig.Line(nil), m.WriteLines...)
+	}
+	if m.ReadLines != nil {
+		c.ReadLines = append([]sig.Line(nil), m.ReadLines...)
+	}
+	return &c
 }

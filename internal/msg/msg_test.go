@@ -3,6 +3,9 @@ package msg
 import (
 	"strings"
 	"testing"
+
+	"scalablebulk/internal/bitset"
+	"scalablebulk/internal/sig"
 )
 
 // TestMessageTable1Complete checks that all ten ScalableBulk message types of
@@ -129,5 +132,45 @@ func TestClassNames(t *testing.T) {
 		if Class(i).String() != w {
 			t.Errorf("class %d = %q, want %q", i, Class(i).String(), w)
 		}
+	}
+}
+
+// TestCloneDeepCopies verifies the duplicator contract: a clone shares no
+// mutable payload with the original.
+func TestCloneDeepCopies(t *testing.T) {
+	var iv bitset.Set
+	iv.Add(3)
+	m := &Msg{
+		Kind: Grab, Src: 1, Dst: 2, Tag: CTag{Proc: 3, Seq: 17},
+		GVec:     []int{2, 5, 9},
+		InvalVec: iv,
+		Recall: &RecallInfo{
+			Tag: CTag{Proc: 4, Seq: 8}, Try: 2, GVec: []int{1, 7},
+		},
+		WriteLines: []sig.Line{10, 20},
+		ReadLines:  []sig.Line{30},
+		TID:        6,
+	}
+	m.WSig.Insert(10)
+	c := m.Clone()
+
+	if c.Kind != m.Kind || c.Tag != m.Tag || c.TID != m.TID || c.WSig != m.WSig {
+		t.Fatal("clone does not copy scalar fields")
+	}
+	c.GVec[0] = -1
+	c.InvalVec.Add(60)
+	c.Recall.Try = 99
+	c.Recall.GVec[0] = -1
+	c.WriteLines[0] = 999
+	c.ReadLines[0] = 999
+	if m.GVec[0] != 2 || m.InvalVec.Has(60) || m.Recall.Try != 2 ||
+		m.Recall.GVec[0] != 1 || m.WriteLines[0] != 10 || m.ReadLines[0] != 30 {
+		t.Fatal("mutating the clone leaked into the original")
+	}
+
+	// Nil payloads clone to nil (no gratuitous allocation).
+	n := (&Msg{Kind: CommitDone}).Clone()
+	if n.GVec != nil || n.Recall != nil || n.WriteLines != nil || n.ReadLines != nil {
+		t.Fatal("nil payloads must stay nil")
 	}
 }

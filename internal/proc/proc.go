@@ -313,6 +313,14 @@ func (p *Proc) submitCommit(ck *chunk.Chunk) {
 	p.committing = ck
 	p.commitReqAt = p.env.Eng.Now()
 	p.awaiting = true
+	p.requestCommit(ck)
+}
+
+// requestCommit hands a chunk to the protocol engine, notifying the probe.
+func (p *Proc) requestCommit(ck *chunk.Chunk) {
+	if p.env.Probe != nil {
+		p.env.Probe.CommitRequested(p.ID, ck)
+	}
 	p.proto.RequestCommit(p.ID, ck)
 }
 
@@ -332,6 +340,13 @@ func (p *Proc) CommitFinished(tag msg.CTag) {
 		p.executing = nil
 		p.execEpoch++
 		p.pendingRead = nil
+		// The commit stands, so it must land in the collector like any
+		// other success — otherwise the run's commit count and its
+		// latency/directory samples disagree (Result.Validate).
+		now := p.env.Eng.Now()
+		p.env.Coll.CommitEnded(p.ID, ck.Tag.Seq, ck.Retries, now, true)
+		p.env.Coll.CommitLatency(now - p.commitReqAt)
+		p.env.Coll.DirsPerCommit(len(ck.Dirs), len(ck.WriteDirs))
 		p.countCommit(ck)
 		p.startNextChunk()
 	}
@@ -362,6 +377,9 @@ func (p *Proc) completeCommit() {
 // countCommit retires a chunk: caches finalize its lines and its execution
 // cycles land in the Useful/CacheMiss buckets.
 func (p *Proc) countCommit(ck *chunk.Chunk) {
+	if p.env.Probe != nil {
+		p.env.Probe.ChunkCommitted(p.ID, ck.Tag.Seq, p.env.Eng.Now())
+	}
 	p.hier.Commit(ck.WriteLines)
 	p.Acct.Useful += ck.ExecUseful
 	p.Acct.CacheMiss += ck.ExecMiss
@@ -399,7 +417,7 @@ func (p *Proc) CommitRefused(tag msg.CTag) {
 		if p.committing == ck {
 			p.commitReqAt = p.env.Eng.Now()
 			p.awaiting = true
-			p.proto.RequestCommit(p.ID, ck)
+			p.requestCommit(ck)
 		}
 	})
 	// The refusal is a decision: consume invalidations deferred during the

@@ -12,9 +12,28 @@ import (
 	"scalablebulk/internal/bitset"
 	"scalablebulk/internal/chunk"
 	"scalablebulk/internal/dir"
+	"scalablebulk/internal/event"
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/sig"
 )
+
+// Config tunes the protocol.
+type Config struct {
+	// CommitDeadline is the stall watchdog: an occupation chain still
+	// incomplete this many cycles after its request unwinds (occupied
+	// modules release) and the processor retries. Zero selects
+	// DefaultCommitDeadline; WatchdogDisabled turns it off.
+	CommitDeadline event.Time
+}
+
+// DefaultCommitDeadline mirrors the ScalableBulk watchdog headroom.
+const DefaultCommitDeadline event.Time = 200_000
+
+// WatchdogDisabled, assigned to Config.CommitDeadline, disables the watchdog.
+const WatchdogDisabled event.Time = ^event.Time(0)
+
+// DefaultConfig returns the evaluation configuration.
+func DefaultConfig() Config { return Config{CommitDeadline: DefaultCommitDeadline} }
 
 // modState is one directory module's occupancy.
 type modState struct {
@@ -23,33 +42,49 @@ type modState struct {
 }
 
 // occupancy describes who holds a module and with what write set (for read
-// nacking).
+// nacking). The attempt index disambiguates occupancies of retried chunks:
+// a duplicated release of attempt N must not free attempt N+1's occupancy
+// of the same tag.
 type occupancy struct {
 	tag  msg.CTag
+	try  uint64
 	wsig sig.Sig
 }
 
-// job is the committing processor's sequential occupation chain.
+// job is the committing processor's sequential occupation chain. try is the
+// attempt index snapshotted at RequestCommit: ck.Retries changes under our
+// feet when a bulk invalidation squashes the in-flight chunk (the processor
+// increments it before Abort runs), so every message this attempt sends must
+// use the snapshot or its releases would miss the try-0 occupancies.
 type job struct {
 	ck       *chunk.Chunk
+	try      uint64
 	nextIdx  int   // next directory in ck.Dirs to occupy
 	occupied []int // modules granted so far
 	pending  int   // outstanding invalidation acks
+	invAcked map[int]bool // sharers whose ack was counted (dup guard)
 	aborted  bool
 }
 
 // Protocol is the SEQ-PRO engine; it implements dir.Protocol.
 type Protocol struct {
 	env  *dir.Env
+	cfg  Config
 	mods []*modState
 	jobs map[int]*job
+
+	// Watchdog counts commit attempts unwound by the stall deadline.
+	Watchdog uint64
 }
 
 var _ dir.Protocol = (*Protocol)(nil)
 
 // New builds a SEQ-PRO engine over env.
-func New(env *dir.Env) *Protocol {
-	p := &Protocol{env: env, jobs: make(map[int]*job)}
+func New(env *dir.Env, cfg Config) *Protocol {
+	if cfg.CommitDeadline == 0 {
+		cfg.CommitDeadline = DefaultCommitDeadline
+	}
+	p := &Protocol{env: env, cfg: cfg, jobs: make(map[int]*job)}
 	for i := 0; i < env.Net.Nodes(); i++ {
 		p.mods = append(p.mods, &modState{})
 	}
@@ -62,20 +97,45 @@ func (p *Protocol) Name() string { return "SEQ" }
 // RequestCommit implements dir.Protocol: start the ascending occupation.
 func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
 	p.env.Coll.CommitStarted(proc, ck.Tag.Seq, ck.Retries, p.env.Eng.Now())
-	j := &job{ck: ck}
+	j := &job{ck: ck, try: uint64(ck.Retries), invAcked: make(map[int]bool)}
 	p.jobs[proc] = j
 	if len(ck.Dirs) == 0 {
 		p.formed(proc, j)
 		return
 	}
 	p.occupyNext(proc, j)
+	p.armWatchdog(proc, ck)
+}
+
+// armWatchdog schedules the stall deadline for one commit attempt. A fired
+// watchdog unwinds an attempt still building its occupation chain; an
+// attempt already formed applied its writes and is past its serialization
+// point, so the deadline re-arms and keeps watching the ack collection.
+func (p *Protocol) armWatchdog(proc int, ck *chunk.Chunk) {
+	if p.cfg.CommitDeadline == WatchdogDisabled {
+		return
+	}
+	try := uint64(ck.Retries)
+	p.env.Eng.After(p.cfg.CommitDeadline, func() {
+		j := p.jobs[proc]
+		if j == nil || j.ck != ck || j.try != try || j.aborted {
+			return
+		}
+		if j.nextIdx >= len(j.ck.Dirs) {
+			p.armWatchdog(proc, ck)
+			return
+		}
+		p.Watchdog++
+		p.Abort(proc, ck.Tag)
+		p.env.Cores[proc].CommitRefused(ck.Tag)
+	})
 }
 
 func (p *Protocol) occupyNext(proc int, j *job) {
 	d := j.ck.Dirs[j.nextIdx]
 	p.env.Net.Send(&msg.Msg{
 		Kind: msg.SeqOccupy, Src: proc, Dst: d, Tag: j.ck.Tag,
-		WSig: j.ck.WSig, TID: uint64(j.ck.Retries),
+		WSig: j.ck.WSig, TID: j.try,
 	})
 }
 
@@ -84,21 +144,29 @@ func (p *Protocol) HandleDir(node int, m *msg.Msg) {
 	ms := p.mods[node]
 	switch m.Kind {
 	case msg.SeqOccupy:
+		if ms.occupant != nil && ms.occupant.tag == m.Tag && ms.occupant.try == m.TID {
+			return // duplicate of the current occupancy; grant already sent
+		}
+		for _, q := range ms.queue {
+			if q.Tag == m.Tag && q.TID == m.TID {
+				return // duplicate of a queued request
+			}
+		}
 		if ms.occupant == nil {
-			ms.occupant = &occupancy{tag: m.Tag, wsig: m.WSig}
+			ms.occupant = &occupancy{tag: m.Tag, try: m.TID, wsig: m.WSig}
 			p.env.Eng.After(p.env.DirLookup, func() {
-				p.env.Net.Send(&msg.Msg{Kind: msg.SeqGrant, Src: node, Dst: m.Tag.Proc, Tag: m.Tag})
+				p.env.Net.Send(&msg.Msg{Kind: msg.SeqGrant, Src: node, Dst: m.Tag.Proc, Tag: m.Tag, TID: m.TID})
 			})
 		} else {
 			// The transaction blocks if the directory is taken (§2.1).
 			ms.queue = append(ms.queue, m)
 		}
 	case msg.SeqRelease:
-		if ms.occupant == nil || ms.occupant.tag != m.Tag {
+		if ms.occupant == nil || ms.occupant.tag != m.Tag || ms.occupant.try != m.TID {
 			// Release for a stale occupancy (aborted before the grant was
-			// consumed): drop any queued request of the same tag instead.
+			// consumed): drop any queued request of the same attempt instead.
 			for i, q := range ms.queue {
-				if q.Tag == m.Tag {
+				if q.Tag == m.Tag && q.TID == m.TID {
 					ms.queue = append(ms.queue[:i], ms.queue[i+1:]...)
 					break
 				}
@@ -109,9 +177,9 @@ func (p *Protocol) HandleDir(node int, m *msg.Msg) {
 		if len(ms.queue) > 0 {
 			next := ms.queue[0]
 			ms.queue = ms.queue[1:]
-			ms.occupant = &occupancy{tag: next.Tag, wsig: next.WSig}
+			ms.occupant = &occupancy{tag: next.Tag, try: next.TID, wsig: next.WSig}
 			p.env.Eng.After(p.env.DirLookup, func() {
-				p.env.Net.Send(&msg.Msg{Kind: msg.SeqGrant, Src: node, Dst: next.Tag.Proc, Tag: next.Tag})
+				p.env.Net.Send(&msg.Msg{Kind: msg.SeqGrant, Src: node, Dst: next.Tag.Proc, Tag: next.Tag, TID: next.TID})
 			})
 		}
 	default:
@@ -142,9 +210,22 @@ func (p *Protocol) HandleProc(node int, m *msg.Msg) {
 
 func (p *Protocol) onGrant(proc int, m *msg.Msg) {
 	j := p.jobs[proc]
-	if j == nil || j.ck.Tag != m.Tag || j.aborted {
-		// Stale grant after an abort: hand the module straight back.
-		p.env.Net.Send(&msg.Msg{Kind: msg.SeqRelease, Src: proc, Dst: m.Src, Tag: m.Tag})
+	if j == nil || j.ck.Tag != m.Tag || j.aborted || j.try != m.TID {
+		// Stale grant (after an abort, or for an older attempt): hand the
+		// module straight back, echoing the grant's attempt index so only
+		// the matching ghost occupancy is freed.
+		p.env.Net.Send(&msg.Msg{Kind: msg.SeqRelease, Src: proc, Dst: m.Src, Tag: m.Tag, TID: m.TID})
+		return
+	}
+	for _, d := range j.occupied {
+		if d == m.Src {
+			return // duplicate grant for a module this attempt already holds
+		}
+	}
+	if j.nextIdx >= len(j.ck.Dirs) || m.Src != j.ck.Dirs[j.nextIdx] {
+		// Grant from a module this attempt is not waiting on (a duplicated
+		// occupy minted a ghost occupancy after the chain released): free it.
+		p.env.Net.Send(&msg.Msg{Kind: msg.SeqRelease, Src: proc, Dst: m.Src, Tag: m.Tag, TID: m.TID})
 		return
 	}
 	j.occupied = append(j.occupied, m.Src)
@@ -203,6 +284,10 @@ func (p *Protocol) onInvAck(proc int, m *msg.Msg) {
 	if j == nil || j.ck.Tag != m.Tag || j.aborted {
 		return
 	}
+	if j.invAcked[m.Src] {
+		return // duplicate ack from the same sharer
+	}
+	j.invAcked[m.Src] = true
 	j.pending--
 	if j.pending == 0 {
 		p.complete(proc, j)
@@ -216,7 +301,7 @@ func (p *Protocol) complete(proc int, j *job) {
 
 func (p *Protocol) releaseAll(proc int, j *job) {
 	for _, d := range j.occupied {
-		p.env.Net.Send(&msg.Msg{Kind: msg.SeqRelease, Src: proc, Dst: d, Tag: j.ck.Tag})
+		p.env.Net.Send(&msg.Msg{Kind: msg.SeqRelease, Src: proc, Dst: d, Tag: j.ck.Tag, TID: j.try})
 	}
 	j.occupied = nil
 }
@@ -241,10 +326,27 @@ func (p *Protocol) Abort(proc int, tag msg.CTag) {
 	// its grant may already be in flight; both are handled at receipt).
 	if j.nextIdx < len(j.ck.Dirs) {
 		d := j.ck.Dirs[j.nextIdx]
-		p.env.Net.Send(&msg.Msg{Kind: msg.SeqRelease, Src: proc, Dst: d, Tag: tag})
+		p.env.Net.Send(&msg.Msg{Kind: msg.SeqRelease, Src: proc, Dst: d, Tag: tag, TID: j.try})
 	}
 	p.releaseAll(proc, j)
 	delete(p.jobs, proc)
+}
+
+// DebugModule renders one directory module's occupancy for deadlock
+// diagnostics.
+func (p *Protocol) DebugModule(i int) string {
+	ms := p.mods[i]
+	if ms.occupant == nil && len(ms.queue) == 0 {
+		return ""
+	}
+	s := fmt.Sprintf("D%d:", i)
+	if ms.occupant != nil {
+		s += fmt.Sprintf(" occupant=%s try=%d", ms.occupant.tag, ms.occupant.try)
+	}
+	for _, q := range ms.queue {
+		s += fmt.Sprintf(" queued[%s try=%d]", q.Tag, q.TID)
+	}
+	return s
 }
 
 // ReadBlocked implements dir.Protocol: loads hitting the occupant's write

@@ -98,6 +98,12 @@ type Collector struct {
 	CommitFailures uint64
 	// ReadNacks counts loads bounced by directories (§3.1).
 	ReadNacks uint64
+
+	// OnFormed and OnEnded, when non-nil, mirror GroupFormed / CommitEnded
+	// events to an external observer (the invariant checker). Nil on
+	// performance runs.
+	OnFormed func(proc int, seq uint64, try int, t event.Time)
+	OnEnded  func(proc int, seq uint64, try int, t event.Time, success bool)
 }
 
 type attemptKey struct {
@@ -125,6 +131,9 @@ func (c *Collector) GroupFormed(proc int, seq uint64, try int, t event.Time) {
 	if a := c.open[attemptKey{proc, seq, try}]; a != nil {
 		a.Formed = t
 	}
+	if c.OnFormed != nil {
+		c.OnFormed(proc, seq, try, t)
+	}
 }
 
 // CommitEnded closes an attempt. For successful attempts t is when the
@@ -141,6 +150,9 @@ func (c *Collector) CommitEnded(proc int, seq uint64, try int, t event.Time, suc
 		c.ChunksCommitted++
 	} else {
 		c.CommitFailures++
+	}
+	if c.OnEnded != nil {
+		c.OnEnded(proc, seq, try, t, success)
 	}
 }
 

@@ -1,0 +1,163 @@
+package system_test
+
+import (
+	"fmt"
+	"testing"
+
+	"scalablebulk/internal/fault"
+	"scalablebulk/internal/system"
+	"scalablebulk/internal/workload"
+)
+
+// soakProfiles are the fault scenarios the soak sweeps. chaos combines
+// jitter, duplication, loss and a hot node, so every recovery path fires.
+var soakProfiles = []string{"jitter", "dup", "loss", "chaos"}
+
+func soakConfig(t *testing.T, protocol, profile string, seed int64) system.Config {
+	t.Helper()
+	cfg := system.DefaultConfig(8, protocol)
+	cfg.ChunksPerCore = 4
+	cfg.Seed = seed
+	cfg.Check = true
+	p, err := fault.ByName(profile)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = p
+	return cfg
+}
+
+// TestChaosSoak sweeps every protocol across fault profiles and seeds: each
+// run must complete every chunk with zero invariant violations and no
+// watchdog-proof deadlock (a MaxCycles abort fails the subtest with the
+// machine dump).
+func TestChaosSoak(t *testing.T) {
+	prof, _ := workload.ByName("Radix")
+	seeds := 8
+	if testing.Short() {
+		seeds = 2
+	}
+	for _, protocol := range system.Protocols {
+		for _, fp := range soakProfiles {
+			for s := 1; s <= seeds; s++ {
+				protocol, fp, seed := protocol, fp, int64(s)
+				t.Run(fmt.Sprintf("%s/%s/seed%d", protocol, fp, seed), func(t *testing.T) {
+					t.Parallel()
+					cfg := soakConfig(t, protocol, fp, seed)
+					res, err := system.Run(prof, cfg)
+					if err != nil {
+						t.Fatal(err)
+					}
+					if want := uint64(cfg.Cores * cfg.ChunksPerCore); res.ChunksCommitted != want {
+						t.Fatalf("committed %d of %d chunks", res.ChunksCommitted, want)
+					}
+					if err := res.Validate(); err != nil {
+						t.Fatal(err)
+					}
+					if res.Faults == nil || res.Faults.Planned == 0 {
+						t.Fatal("fault injector never ran")
+					}
+				})
+			}
+		}
+	}
+}
+
+// TestChaosReplayIdentical pins the determinism guarantee: the same
+// (config, seed, profile) replays bit-identically — same finish time, same
+// message count, same fault draw sequence.
+func TestChaosReplayIdentical(t *testing.T) {
+	prof, _ := workload.ByName("Barnes")
+	for _, protocol := range system.Protocols {
+		protocol := protocol
+		t.Run(protocol, func(t *testing.T) {
+			t.Parallel()
+			cfg := soakConfig(t, protocol, "chaos", 3)
+			a, err := system.Run(prof, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			b, err := system.Run(prof, cfg)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if a.Cycles != b.Cycles {
+				t.Fatalf("cycles differ across replays: %d vs %d", a.Cycles, b.Cycles)
+			}
+			if a.Traffic.Messages != b.Traffic.Messages {
+				t.Fatalf("message counts differ: %d vs %d", a.Traffic.Messages, b.Traffic.Messages)
+			}
+			if *a.Faults != *b.Faults {
+				t.Fatalf("fault draws differ: %v vs %v", a.Faults, b.Faults)
+			}
+			if a.Breakdown != b.Breakdown {
+				t.Fatalf("cycle breakdowns differ")
+			}
+		})
+	}
+}
+
+// TestFaultSeedIndependentOfRunSeed: changing only FaultSeed changes the
+// fault draw sequence but still completes cleanly — the injector's PRNG is
+// its own stream, not entangled with workload generation.
+func TestFaultSeedIndependentOfRunSeed(t *testing.T) {
+	prof, _ := workload.ByName("Radix")
+	cfg := soakConfig(t, system.ProtoScalableBulk, "chaos", 3)
+	cfg.FaultSeed = 1001
+	a, err := system.Run(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.FaultSeed = 1002
+	b, err := system.Run(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if *a.Faults == *b.Faults {
+		t.Fatal("different fault seeds drew identical fault sequences")
+	}
+}
+
+// TestFaultsOffIsBitNeutral: a nil profile must not perturb the simulation —
+// the interposer is only consulted when set, so fault-free numbers match the
+// pre-fault-injector baseline exactly.
+func TestFaultsOffIsBitNeutral(t *testing.T) {
+	prof, _ := workload.ByName("Radix")
+	cfg := system.DefaultConfig(8, system.ProtoScalableBulk)
+	cfg.ChunksPerCore = 4
+	cfg.Seed = 3
+	a, err := system.Run(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	off, err := fault.ByName("off")
+	if err != nil || off != nil {
+		t.Fatalf("off profile = %v, %v", off, err)
+	}
+	cfg.Faults = off
+	b, err := system.Run(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.Cycles != b.Cycles || a.Traffic.Messages != b.Traffic.Messages {
+		t.Fatalf("nil profile perturbed the run: %d/%d vs %d/%d cycles/messages",
+			a.Cycles, a.Traffic.Messages, b.Cycles, b.Traffic.Messages)
+	}
+	if b.Faults != nil {
+		t.Fatal("fault stats reported with faults off")
+	}
+	// The checker is also timing-neutral: it only observes. (Its post-run
+	// drain executes straggler events, so message *counts* legitimately
+	// grow; the finish time must not.)
+	cfg.Check = true
+	c, err := system.Run(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.Cycles != a.Cycles {
+		t.Fatalf("checker perturbed the finish time: %d vs %d", c.Cycles, a.Cycles)
+	}
+	if !c.Checked {
+		t.Fatal("Checked not reported")
+	}
+}

@@ -6,13 +6,17 @@
 package system
 
 import (
+	"errors"
 	"fmt"
+	"strings"
 
 	"scalablebulk/internal/bulksc"
 	"scalablebulk/internal/cache"
+	"scalablebulk/internal/check"
 	"scalablebulk/internal/core"
 	"scalablebulk/internal/dir"
 	"scalablebulk/internal/event"
+	"scalablebulk/internal/fault"
 	"scalablebulk/internal/mem"
 	"scalablebulk/internal/mesh"
 	"scalablebulk/internal/msg"
@@ -63,6 +67,16 @@ type Config struct {
 	// OnAbort, when set, receives the machine state if the run aborts
 	// (deadlock or MaxCycles) — a debugging hook.
 	OnAbort func(procs []*proc.Proc, proto dir.Protocol)
+
+	// Faults, when non-nil and enabled, interposes the seeded fault
+	// injector on every network delivery.
+	Faults *fault.Profile
+	// FaultSeed seeds the injector's PRNG; zero reuses Seed. One
+	// (profile, seed) pair replays bit-identically.
+	FaultSeed int64
+	// Check wires the online invariant checker into the run; violations
+	// turn into a run error. Costs a few percent of runtime.
+	Check bool
 }
 
 // DefaultConfig returns the Table 2 machine.
@@ -82,6 +96,53 @@ func DefaultConfig(cores int, protocol string) Config {
 		SB:            core.DefaultConfig(),
 		MaxCycles:     2_000_000_000,
 	}
+}
+
+// ErrDeadlock marks a run that stopped making progress; test for it with
+// errors.Is. The concrete *DeadlockError carries the machine dump.
+var ErrDeadlock = errors.New("simulation deadlocked")
+
+// DeadlockError is the structured abort report: what ran, why it stopped,
+// and a dump of every stuck processor plus the protocol engine's per-module
+// state.
+type DeadlockError struct {
+	App      string
+	Protocol string
+	Cores    int
+	Cycle    event.Time
+	Reason   string // "event queue empty" or "exceeded MaxCycles=N"
+	Dump     string // per-processor pipeline state + protocol module state
+}
+
+func (e *DeadlockError) Error() string {
+	s := fmt.Sprintf("system: %s/%s/%d deadlocked at cycle %d (%s)",
+		e.App, e.Protocol, e.Cores, e.Cycle, e.Reason)
+	if e.Dump != "" {
+		s += "\n" + e.Dump
+	}
+	return s
+}
+
+// Unwrap lets errors.Is(err, ErrDeadlock) match.
+func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
+
+// dumpMachine renders the stuck processors and the protocol's per-module
+// state (any engine exposing DebugModule).
+func dumpMachine(procs []*proc.Proc, proto dir.Protocol) string {
+	var b strings.Builder
+	for _, p := range procs {
+		if !p.Done() {
+			fmt.Fprintln(&b, p.DebugState())
+		}
+	}
+	if d, ok := proto.(interface{ DebugModule(int) string }); ok {
+		for i := 0; i < len(procs); i++ {
+			if s := d.DebugModule(i); s != "" {
+				fmt.Fprintln(&b, s)
+			}
+		}
+	}
+	return strings.TrimRight(b.String(), "\n")
 }
 
 // Result is everything a run measured.
@@ -105,6 +166,12 @@ type Result struct {
 	// Proto exposes the protocol engine for protocol-specific diagnostics
 	// (e.g. ScalableBulk's failure-cause counters).
 	Proto dir.Protocol
+
+	// Faults holds the injector's counters when Config.Faults was enabled.
+	Faults *fault.Stats
+	// Checked reports whether the invariant checker ran (and found nothing:
+	// a run with violations returns an error instead).
+	Checked bool
 }
 
 // MeanCommitLatency is a convenience accessor (Figure 13).
@@ -148,6 +215,26 @@ func Run(prof workload.Profile, cfg Config) (*Result, error) {
 		Coll: stats.New(), DirLookup: cfg.DirLookup, MemLatency: cfg.MemLatency,
 	}
 
+	var inj *fault.Injector
+	if cfg.Faults.Enabled() {
+		seed := cfg.FaultSeed
+		if seed == 0 {
+			seed = cfg.Seed
+		}
+		inj = fault.New(*cfg.Faults, seed)
+		net.Fault = inj
+	}
+	var chk *check.Checker
+	if cfg.Check {
+		chk = check.New(cfg.Cores)
+		env.Probe = chk
+		env.State.OnApply = chk.Apply
+		env.Coll.OnFormed = chk.Formed
+		env.Coll.OnEnded = chk.Ended
+		net.OnSend = chk.Sent
+		net.OnDeliver = chk.Delivered
+	}
+
 	var proto dir.Protocol
 	pcfg := proc.DefaultConfig()
 	pcfg.Seed = cfg.Seed
@@ -166,7 +253,7 @@ func Run(prof workload.Profile, cfg Config) (*Result, error) {
 		proto = tcc.New(env, tcc.DefaultConfig())
 		pcfg.OCIRecall = false
 	case ProtoSEQ:
-		proto = seqpro.New(env)
+		proto = seqpro.New(env, seqpro.DefaultConfig())
 		pcfg.OCIRecall = false
 	case ProtoBulkSC:
 		proto = bulksc.New(env, bulksc.DefaultConfig())
@@ -174,6 +261,12 @@ func Run(prof workload.Profile, cfg Config) (*Result, error) {
 		pcfg.OCIRecall = false
 	default:
 		return nil, fmt.Errorf("system: unknown protocol %q", cfg.Protocol)
+	}
+	if chk != nil {
+		if sb, ok := proto.(*core.Protocol); ok {
+			sb.OnHeld = chk.Held
+			sb.OnReleased = chk.Released
+		}
 	}
 
 	gen := workload.New(prof, cfg.Cores, cfg.Seed)
@@ -229,26 +322,41 @@ func Run(prof workload.Profile, cfg Config) (*Result, error) {
 		}
 		return true
 	}
+	abort := func(reason string) error {
+		if cfg.OnAbort != nil {
+			cfg.OnAbort(procs, proto)
+		}
+		return &DeadlockError{
+			App: prof.Name, Protocol: cfg.Protocol, Cores: cfg.Cores,
+			Cycle: eng.Now(), Reason: reason, Dump: dumpMachine(procs, proto),
+		}
+	}
 	for !allDone() {
 		if !eng.Step() {
-			if cfg.OnAbort != nil {
-				cfg.OnAbort(procs, proto)
-			}
-			return nil, fmt.Errorf("system: %s/%s/%d deadlocked at cycle %d (event queue empty)",
-				prof.Name, cfg.Protocol, cfg.Cores, eng.Now())
+			return nil, abort("event queue empty")
 		}
 		if eng.Now() > cfg.MaxCycles {
-			if cfg.OnAbort != nil {
-				cfg.OnAbort(procs, proto)
-			}
-			return nil, fmt.Errorf("system: %s/%s/%d exceeded MaxCycles=%d",
-				prof.Name, cfg.Protocol, cfg.Cores, cfg.MaxCycles)
+			return nil, abort(fmt.Sprintf("exceeded MaxCycles=%d", cfg.MaxCycles))
 		}
+	}
+	if chk != nil {
+		// Drain the stragglers (late acks, watchdog no-ops) so the
+		// end-of-run checks see quiescent protocol state. Watchdogs only
+		// re-arm for live attempts, so the queue empties; the step bound is
+		// a backstop.
+		for steps := 0; eng.Step() && steps < 10_000_000; steps++ {
+		}
+		chk.Finish(cfg.Cores, cfg.ChunksPerCore)
 	}
 
 	res := &Result{
 		App: prof.Name, Protocol: cfg.Protocol, Cores: cfg.Cores,
 		Coll: env.Coll, Traffic: net.Stats(), Proto: proto,
+		Checked: chk != nil,
+	}
+	if inj != nil {
+		fs := inj.Stats()
+		res.Faults = &fs
 	}
 	for _, p := range procs {
 		res.PerCore = append(res.PerCore, p.Acct)
@@ -257,6 +365,11 @@ func Run(prof workload.Profile, cfg Config) (*Result, error) {
 		res.Squashes += p.Squashes
 		if p.FinishAt > res.Cycles {
 			res.Cycles = p.FinishAt
+		}
+	}
+	if chk != nil {
+		if err := chk.Err(); err != nil {
+			return res, err
 		}
 	}
 	return res, nil

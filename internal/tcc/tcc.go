@@ -20,6 +20,7 @@ package tcc
 
 import (
 	"fmt"
+	"sort"
 
 	"scalablebulk/internal/chunk"
 	"scalablebulk/internal/dir"
@@ -32,10 +33,23 @@ import (
 type Config struct {
 	// VendorServiceTime is the TID vendor's serialized per-request time.
 	VendorServiceTime event.Time
+	// CommitDeadline is the stall watchdog: a commit still in phase 1 this
+	// many cycles after its request is aborted (probes become skips) and the
+	// processor retries. Zero selects DefaultCommitDeadline; WatchdogDisabled
+	// turns it off.
+	CommitDeadline event.Time
 }
 
+// DefaultCommitDeadline mirrors the ScalableBulk watchdog headroom.
+const DefaultCommitDeadline event.Time = 200_000
+
+// WatchdogDisabled, assigned to Config.CommitDeadline, disables the watchdog.
+const WatchdogDisabled event.Time = ^event.Time(0)
+
 // DefaultConfig mirrors a fast centralized TID vendor.
-func DefaultConfig() Config { return Config{VendorServiceTime: 4} }
+func DefaultConfig() Config {
+	return Config{VendorServiceTime: 4, CommitDeadline: DefaultCommitDeadline}
+}
 
 // entry is one directory's record of a TID: a skip, or a probe.
 type entry struct {
@@ -50,6 +64,14 @@ type entry struct {
 	marksProcessed bool
 	invIssued      bool
 	pendingInv     int
+	invAcked       map[invalKey]bool // inval acks already counted (dup guard)
+}
+
+// invalKey identifies one per-line invalidation ack; duplicated deliveries
+// of the same ack must not double-decrement pendingInv.
+type invalKey struct {
+	src  int
+	line sig.Line
 }
 
 // tccMod is one directory module's commit pipeline.
@@ -59,15 +81,19 @@ type tccMod struct {
 	entries map[uint64]*entry
 }
 
-// job is the committing processor's view of one commit.
+// job is the committing processor's view of one commit. Ack bookkeeping is
+// per-module sets, not counters: under fault injection the network can
+// duplicate an ack, and a counter would start phase 2 (or complete the
+// commit) before every directory actually responded.
 type job struct {
-	ck        *chunk.Chunk
-	tid       uint64
-	probeAcks int
-	doneAcks  int
-	started   int
-	aborted   bool
-	marksPer  map[int][]sig.Line
+	ck         *chunk.Chunk
+	tid        uint64
+	probeAcked map[int]bool
+	doneAcked  map[int]bool
+	phase2     bool // commit/mark messages sent; past the serialization point
+	started    int
+	aborted    bool
+	marksPer   map[int][]sig.Line
 }
 
 // Protocol is the Scalable TCC engine; it implements dir.Protocol.
@@ -81,6 +107,9 @@ type Protocol struct {
 
 	mods []*tccMod
 	jobs map[int]*job
+
+	// Watchdog counts commit attempts aborted by the stall deadline.
+	Watchdog uint64
 }
 
 var _ dir.Protocol = (*Protocol)(nil)
@@ -89,6 +118,9 @@ var _ dir.Protocol = (*Protocol)(nil)
 func New(env *dir.Env, cfg Config) *Protocol {
 	if cfg.VendorServiceTime == 0 {
 		cfg.VendorServiceTime = 4
+	}
+	if cfg.CommitDeadline == 0 {
+		cfg.CommitDeadline = DefaultCommitDeadline
 	}
 	p := &Protocol{
 		env: env, cfg: cfg, vendorNode: env.Net.Center(),
@@ -110,8 +142,33 @@ func (p *Protocol) VendorNode() int { return p.vendorNode }
 // centralized vendor (§2.1).
 func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
 	p.env.Coll.CommitStarted(proc, ck.Tag.Seq, ck.Retries, p.env.Eng.Now())
-	p.jobs[proc] = &job{ck: ck}
+	p.jobs[proc] = &job{ck: ck, probeAcked: make(map[int]bool), doneAcked: make(map[int]bool)}
 	p.env.Net.Send(&msg.Msg{Kind: msg.TIDRequest, Src: proc, Dst: p.vendorNode, Tag: ck.Tag})
+	p.armWatchdog(proc, ck)
+}
+
+// armWatchdog schedules the stall deadline for one commit attempt. A fired
+// watchdog aborts a phase-1 attempt (probes resolve to skips, the processor
+// retries with backoff); an attempt already past its serialization point
+// cannot be aborted, so the deadline re-arms and keeps watching.
+func (p *Protocol) armWatchdog(proc int, ck *chunk.Chunk) {
+	if p.cfg.CommitDeadline == WatchdogDisabled {
+		return
+	}
+	try := ck.Retries
+	p.env.Eng.After(p.cfg.CommitDeadline, func() {
+		j := p.jobs[proc]
+		if j == nil || j.ck != ck || ck.Retries != try || j.aborted {
+			return
+		}
+		if j.phase2 {
+			p.armWatchdog(proc, ck)
+			return
+		}
+		p.Watchdog++
+		p.Abort(proc, ck.Tag)
+		p.env.Cores[proc].CommitRefused(ck.Tag)
+	})
 }
 
 // HandleDir implements dir.Protocol.
@@ -122,9 +179,18 @@ func (p *Protocol) HandleDir(node int, m *msg.Msg) {
 		return
 	}
 	mod := p.mods[node]
+	if m.TID < mod.next {
+		// The TID already resolved at this module (committed or skipped): a
+		// delayed duplicate must not resurrect a blank entry below the
+		// pipeline head, where it would sit unexamined forever.
+		return
+	}
 	e := p.entryFor(mod, m.TID)
 	switch m.Kind {
 	case msg.TCCProbe:
+		if e.known && !e.skip {
+			return // duplicate probe
+		}
 		e.known = true
 		e.tag = m.Tag
 		e.try = int(m.Line) // probe reuses Line as the attempt index
@@ -132,11 +198,27 @@ func (p *Protocol) HandleDir(node int, m *msg.Msg) {
 		e.known = true
 		e.skip = true
 	case msg.TCCCommit:
+		if e.committing {
+			return // duplicate commit message
+		}
 		e.committing = true
 		e.marksExpected = len(m.WriteLines)
 	case msg.TCCMark:
+		for _, l := range e.marks {
+			if l == m.Line {
+				return // duplicate mark: a line is marked exactly once
+			}
+		}
 		e.marks = append(e.marks, m.Line)
 	case msg.TCCInvalAck:
+		k := invalKey{src: m.Src, line: m.Line}
+		if e.invAcked[k] {
+			return // duplicate ack
+		}
+		if e.invAcked == nil {
+			e.invAcked = make(map[invalKey]bool)
+		}
+		e.invAcked[k] = true
 		e.pendingInv--
 	default:
 		panic(fmt.Sprintf("tcc: unexpected directory message %s", m))
@@ -253,7 +335,7 @@ func (e *entry) invalSent(p *Protocol, mod *tccMod) bool {
 // chunk's directories holds its TID, its "group" has formed.
 func (p *Protocol) noteStarted(mod *tccMod, e *entry) {
 	j := p.jobs[e.tag.Proc]
-	if j == nil || j.ck.Tag != e.tag || j.aborted {
+	if j == nil || j.ck.Tag != e.tag || j.ck.Retries != e.try || j.aborted {
 		return
 	}
 	j.started++
@@ -272,7 +354,7 @@ func (p *Protocol) HandleProc(node int, m *msg.Msg) {
 		p.onProbeAck(node, m)
 	case msg.TCCInval:
 		squashed := p.env.Cores[node].InvalidateLine(m.Line, m.Tag.Proc)
-		p.env.Net.Send(&msg.Msg{Kind: msg.TCCInvalAck, Src: node, Dst: m.Src, Tag: m.Tag, TID: m.TID})
+		p.env.Net.Send(&msg.Msg{Kind: msg.TCCInvalAck, Src: node, Dst: m.Src, Tag: m.Tag, TID: m.TID, Line: m.Line})
 		if squashed != nil {
 			p.Abort(node, *squashed)
 		}
@@ -286,7 +368,15 @@ func (p *Protocol) HandleProc(node int, m *msg.Msg) {
 // onTIDReply: broadcast probes and skips (§2.1).
 func (p *Protocol) onTIDReply(proc int, m *msg.Msg) {
 	j := p.jobs[proc]
-	if j == nil || j.ck.Tag != m.Tag {
+	if j != nil && j.tid == m.TID {
+		return // duplicate delivery of the reply already consumed
+	}
+	if j == nil || j.ck.Tag != m.Tag || j.tid != 0 {
+		// No live job for this reply (the attempt completed, aborted, or a
+		// duplicated request minted a second TID). The TID was allocated
+		// regardless, and every module's pipeline will stall behind it until
+		// it resolves: skip it everywhere.
+		p.skipEverywhere(proc, m.TID, m.Tag)
 		return
 	}
 	j.tid = m.TID
@@ -333,13 +423,17 @@ func (p *Protocol) skipEverywhere(proc int, tid uint64, tag msg.CTag) {
 // commit messages plus one mark per written line (§2.1).
 func (p *Protocol) onProbeAck(proc int, m *msg.Msg) {
 	j := p.jobs[proc]
-	if j == nil || j.ck.Tag != m.Tag || j.aborted {
+	if j == nil || j.ck.Tag != m.Tag || j.aborted || j.tid != m.TID || j.phase2 {
 		return
 	}
-	j.probeAcks++
-	if j.probeAcks < len(j.ck.Dirs) {
+	if j.probeAcked[m.Src] {
+		return // duplicate ack from the same directory
+	}
+	j.probeAcked[m.Src] = true
+	if len(j.probeAcked) < len(j.ck.Dirs) {
 		return
 	}
+	j.phase2 = true
 	for _, d := range j.ck.Dirs {
 		p.env.Net.Send(&msg.Msg{
 			Kind: msg.TCCCommit, Src: proc, Dst: d, Tag: j.ck.Tag, TID: j.tid,
@@ -353,11 +447,14 @@ func (p *Protocol) onProbeAck(proc int, m *msg.Msg) {
 
 func (p *Protocol) onDoneAck(proc int, m *msg.Msg) {
 	j := p.jobs[proc]
-	if j == nil || j.ck.Tag != m.Tag || j.aborted {
+	if j == nil || j.ck.Tag != m.Tag || j.aborted || j.tid != m.TID {
 		return
 	}
-	j.doneAcks++
-	if j.doneAcks == len(j.ck.Dirs) {
+	if j.doneAcked[m.Src] {
+		return // duplicate ack from the same directory
+	}
+	j.doneAcked[m.Src] = true
+	if len(j.doneAcked) == len(j.ck.Dirs) {
 		p.complete(proc, j)
 	}
 }
@@ -389,7 +486,7 @@ func (p *Protocol) Abort(proc int, tag msg.CTag) {
 	if j == nil || j.ck.Tag != tag || j.aborted {
 		return
 	}
-	if len(j.ck.Dirs) > 0 && j.probeAcks >= len(j.ck.Dirs) {
+	if len(j.ck.Dirs) > 0 && j.phase2 {
 		// Phase 2 under way: every directory holds this TID at its head,
 		// so the commit is past its serialization point. (This cannot be
 		// reached by a conflicting earlier transaction — its invalidation
@@ -407,6 +504,27 @@ func (p *Protocol) Abort(proc int, tag msg.CTag) {
 		p.env.Net.Send(&msg.Msg{Kind: msg.TCCSkip, Src: proc, Dst: d, Tag: tag, TID: j.tid})
 	}
 	delete(p.jobs, proc)
+}
+
+// DebugModule renders one directory module's pipeline state for deadlock
+// diagnostics.
+func (p *Protocol) DebugModule(i int) string {
+	mod := p.mods[i]
+	if len(mod.entries) == 0 {
+		return ""
+	}
+	tids := make([]uint64, 0, len(mod.entries))
+	for tid := range mod.entries {
+		tids = append(tids, tid)
+	}
+	sort.Slice(tids, func(a, b int) bool { return tids[a] < tids[b] })
+	s := fmt.Sprintf("D%d next=%d:", mod.id, mod.next)
+	for _, tid := range tids {
+		e := mod.entries[tid]
+		s += fmt.Sprintf(" [tid=%d known=%v skip=%v tag=%s held=%v committing=%v marks=%d/%d pendingInv=%d]",
+			tid, e.known, e.skip, e.tag, e.held, e.committing, len(e.marks), e.marksExpected, e.pendingInv)
+	}
+	return s
 }
 
 // ReadBlocked implements dir.Protocol: a module applying a commit blocks
