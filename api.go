@@ -19,6 +19,9 @@
 package scalablebulk
 
 import (
+	"fmt"
+	"strings"
+
 	"scalablebulk/internal/stats"
 	"scalablebulk/internal/system"
 	"scalablebulk/internal/workload"
@@ -82,3 +85,33 @@ func Apps() []Profile { return workload.All() }
 
 // AppByName finds an application model by name (e.g. "Radix").
 func AppByName(name string) (Profile, bool) { return workload.ByName(name) }
+
+// ResultFingerprint renders every deterministic measurement of a run as one
+// canonical string: execution time, the full per-core breakdowns, every
+// raw collector sample series (commit latencies, directory counts, queue
+// samples, squash classification, failures, nacks) and the traffic counters.
+// Two runs of the same (config, seed) must produce byte-identical
+// fingerprints regardless of process, goroutine scheduling, or whether the
+// result came from a serial call or a parallel sweep — that is the contract
+// the determinism tests enforce.
+func ResultFingerprint(r *Result) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s/%s/%d cycles=%d committed=%d squashes=%d\n",
+		r.App, r.Protocol, r.Cores, r.Cycles, r.ChunksCommitted, r.Squashes)
+	fmt.Fprintf(&b, "breakdown useful=%d cachemiss=%d commit=%d squash=%d\n",
+		r.Breakdown.Useful, r.Breakdown.CacheMiss, r.Breakdown.Commit, r.Breakdown.Squash)
+	for i, pc := range r.PerCore {
+		fmt.Fprintf(&b, "core%d useful=%d cachemiss=%d commit=%d squash=%d committed=%d\n",
+			i, pc.Useful, pc.CacheMiss, pc.Commit, pc.Squash, r.PerCoreCommitted[i])
+	}
+	fmt.Fprintf(&b, "commitlat %v\n", r.Coll.CommitLat)
+	fmt.Fprintf(&b, "dirstotal %v\n", r.Coll.DirsTotal)
+	fmt.Fprintf(&b, "dirswrite %v\n", r.Coll.DirsWrite)
+	fmt.Fprintf(&b, "queuesamples %v\n", r.Coll.QueueSamples)
+	fmt.Fprintf(&b, "squashes conflict=%d aliasing=%d failures=%d readnacks=%d collcommitted=%d\n",
+		r.Coll.SquashTrueConflict, r.Coll.SquashAliasing, r.Coll.CommitFailures,
+		r.Coll.ReadNacks, r.Coll.ChunksCommitted)
+	fmt.Fprintf(&b, "traffic msgs=%d delivered=%d flithops=%d bykind=%v\n",
+		r.Traffic.Messages, r.Traffic.Delivered, r.Traffic.FlitHops, r.Traffic.ByKind)
+	return b.String()
+}

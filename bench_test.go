@@ -48,11 +48,13 @@ func runFigure(b *testing.B, name string, gen func(s *Session) error) {
 	b.Helper()
 	s := benchS()
 	for i := 0; i < b.N; i++ {
+		// SetOut is race-clean: the session routes all rendering through the
+		// configured writer under its own lock.
 		benchMu.Lock()
 		if benchPrinted[name] {
-			s.Out = discardWriter{}
+			s.SetOut(discardWriter{})
 		} else {
-			s.Out = os.Stdout
+			s.SetOut(os.Stdout)
 			fmt.Printf("\n=== %s ===\n", name)
 			benchPrinted[name] = true
 		}

@@ -1,0 +1,409 @@
+// Command sbbench is the reproducible benchmark runner behind the repo's
+// BENCH_*.json performance trajectory. One invocation measures three layers:
+//
+//   - micro: the DES event queue (calendar vs the preserved heap reference)
+//     and the signature kernels (word-level vs the Ref* baselines), in
+//     ns/op and allocs/op via testing.Benchmark;
+//   - per-protocol: one contended application (Barnes, 64 processors) under
+//     each protocol — wall time, simulated cycles/second, and heap
+//     allocations per run;
+//   - sweep: the full figure sweep on the parallel engine (and, without
+//     -quick, serially as well, for the measured speedup), plus per-figure
+//     render times from the populated cache.
+//
+// Output is a JSON report (-o) and, optionally, a benchstat-compatible text
+// file (-gobench) for comparison against bench/baseline.txt. Everything is
+// seeded and deterministic except wall-clock timings.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	scalablebulk "scalablebulk"
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/sig"
+)
+
+type microResult struct {
+	NsPerOp     float64 `json:"ns_op"`
+	AllocsPerOp int64   `json:"allocs_op"`
+	BytesPerOp  int64   `json:"bytes_op"`
+}
+
+type protocolResult struct {
+	Protocol     string  `json:"protocol"`
+	App          string  `json:"app"`
+	Cores        int     `json:"cores"`
+	WallMS       float64 `json:"wall_ms"`
+	SimCycles    uint64  `json:"sim_cycles"`
+	CyclesPerSec float64 `json:"cycles_per_sec"`
+	Mallocs      uint64  `json:"mallocs"`
+	Committed    uint64  `json:"chunks_committed"`
+}
+
+type figureResult struct {
+	Figure string  `json:"figure"`
+	WallMS float64 `json:"render_wall_ms"`
+}
+
+type sweepResult struct {
+	Points         int     `json:"points"`
+	Parallelism    int     `json:"parallelism"`
+	ParallelWallMS float64 `json:"parallel_wall_ms"`
+	SerialWallMS   float64 `json:"serial_wall_ms,omitempty"`
+	Speedup        float64 `json:"speedup,omitempty"`
+}
+
+type report struct {
+	Bench       string                 `json:"bench"`
+	GeneratedBy string                 `json:"generated_by"`
+	Config      map[string]any         `json:"config"`
+	Micro       map[string]microResult `json:"micro"`
+	Protocols   []protocolResult       `json:"protocols"`
+	Figures     []figureResult         `json:"figures"`
+	Sweep       sweepResult            `json:"sweep"`
+}
+
+func main() {
+	testing.Init() // registers -test.benchtime, which micro() adjusts per mode
+	var (
+		quick   = flag.Bool("quick", false, "CI smoke mode: shorter micro runs, skip the serial sweep")
+		chunks  = flag.Int("chunks", 4, "Session ChunksPerCore (figure-sweep sizing)")
+		seed    = flag.Int64("seed", 1, "simulation seed")
+		par     = flag.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
+		outPath = flag.String("o", "BENCH_PR2.json", "JSON report path (- for stdout)")
+		gobench = flag.String("gobench", "", "also write benchstat-compatible text to this path")
+	)
+	flag.Parse()
+
+	parallelism := *par
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	rep := report{
+		Bench:       "PR2",
+		GeneratedBy: "cmd/sbbench",
+		Config: map[string]any{
+			"chunks_per_core": *chunks,
+			"seed":            *seed,
+			"parallelism":     parallelism,
+			"quick":           *quick,
+			"gomaxprocs":      runtime.GOMAXPROCS(0),
+		},
+		Micro: map[string]microResult{},
+	}
+
+	benchTime := 2 * time.Second
+	if *quick {
+		benchTime = 300 * time.Millisecond
+	}
+
+	fmt.Fprintln(os.Stderr, "== micro: event queue ==")
+	rep.Micro["event_calendar"] = micro(benchTime, benchEventCalendar)
+	rep.Micro["event_heap"] = micro(benchTime, benchEventHeap)
+	fmt.Fprintln(os.Stderr, "== micro: sig kernels ==")
+	rep.Micro["sig_overlaps"] = micro(benchTime, benchSigOverlaps)
+	rep.Micro["sig_overlaps_ref"] = micro(benchTime, benchSigOverlapsRef)
+	rep.Micro["sig_empty"] = micro(benchTime, benchSigEmpty)
+	rep.Micro["sig_empty_ref"] = micro(benchTime, benchSigEmptyRef)
+	rep.Micro["sig_union"] = micro(benchTime, benchSigUnion)
+	rep.Micro["sig_union_ref"] = micro(benchTime, benchSigUnionRef)
+
+	fmt.Fprintln(os.Stderr, "== per-protocol runs (Barnes, 64 processors) ==")
+	for _, protocol := range scalablebulk.Protocols {
+		rep.Protocols = append(rep.Protocols, protocolRun(protocol, *chunks, *seed))
+	}
+
+	fmt.Fprintln(os.Stderr, "== figure sweep ==")
+	sw, figs := sweep(*chunks, *seed, parallelism, !*quick)
+	rep.Sweep, rep.Figures = sw, figs
+
+	if err := writeJSON(*outPath, &rep); err != nil {
+		fmt.Fprintln(os.Stderr, "sbbench:", err)
+		os.Exit(1)
+	}
+	if *gobench != "" {
+		if err := writeGobench(*gobench, &rep); err != nil {
+			fmt.Fprintln(os.Stderr, "sbbench:", err)
+			os.Exit(1)
+		}
+	}
+}
+
+func micro(d time.Duration, fn func(*testing.B)) microResult {
+	prev := flag.Lookup("test.benchtime")
+	if prev != nil {
+		_ = prev.Value.Set(d.String())
+	}
+	r := testing.Benchmark(fn)
+	return microResult{
+		NsPerOp:     float64(r.T.Nanoseconds()) / float64(r.N),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// benchEventCalendar replays the simulator's event mix (chains of +7 link
+// hops and +2 directory lookups, occasional +300 memory trips, cancelled
+// +200k watchdogs) on the calendar engine; benchEventHeap replays the same
+// mix on the preserved heap reference.
+func benchEventCalendar(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := event.New()
+		eventLoad(10_000,
+			func(t event.Time, fn event.Handler) func() { tk := e.At(t, fn); return tk.Cancel },
+			e.Now, e.Step)
+	}
+}
+
+func benchEventHeap(b *testing.B) {
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		e := event.NewHeap()
+		eventLoad(10_000,
+			func(t event.Time, fn event.Handler) func() { tk := e.At(t, fn); return tk.Cancel },
+			e.Now, e.Step)
+	}
+}
+
+func eventLoad(n int, at func(event.Time, event.Handler) func(), now func() event.Time, step func() bool) {
+	var watchdogs []func()
+	var chain event.Handler
+	left := n
+	chain = func() {
+		if left == 0 {
+			return
+		}
+		left--
+		d := event.Time(7)
+		switch left % 29 {
+		case 0:
+			d = 300
+		case 1:
+			d = 2
+		}
+		at(now()+d, chain)
+		if left%97 == 0 {
+			watchdogs = append(watchdogs, at(now()+200_000, func() {}))
+		}
+		if len(watchdogs) > 4 {
+			watchdogs[0]()
+			watchdogs = watchdogs[1:]
+		}
+	}
+	at(1, chain)
+	for step() {
+	}
+}
+
+var (
+	sinkBool bool
+	sinkSig  sig.Sig
+)
+
+func sigFixtures() (a, b sig.Sig) {
+	return sig.FromLines([]sig.Line{1, 513, 4097, 70000}),
+		sig.FromLines([]sig.Line{2, 514, 4098, 70001})
+}
+
+func benchSigOverlaps(b *testing.B) {
+	x, y := sigFixtures()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkBool = x.Overlaps(&y)
+	}
+}
+
+func benchSigOverlapsRef(b *testing.B) {
+	x, y := sigFixtures()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkBool = sig.RefOverlaps(&x, &y)
+	}
+}
+
+func benchSigEmpty(b *testing.B) {
+	x, _ := sigFixtures()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkBool = x.Empty()
+	}
+}
+
+func benchSigEmptyRef(b *testing.B) {
+	x, _ := sigFixtures()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkBool = sig.RefEmpty(&x)
+	}
+}
+
+func benchSigUnion(b *testing.B) {
+	x, y := sigFixtures()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkSig = x.Union(y)
+	}
+}
+
+func benchSigUnionRef(b *testing.B) {
+	x, y := sigFixtures()
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		sinkSig = sig.RefUnion(x, y)
+	}
+}
+
+// protocolRun measures one full simulation: wall time, simulated
+// cycles/second of wall time, and heap allocations.
+func protocolRun(protocol string, chunks int, seed int64) protocolResult {
+	prof, _ := scalablebulk.AppByName("Barnes")
+	cfg := scalablebulk.DefaultConfig(64, protocol)
+	cfg.ChunksPerCore = chunks
+	cfg.Seed = seed
+
+	runtime.GC()
+	var before, after runtime.MemStats
+	runtime.ReadMemStats(&before)
+	start := time.Now()
+	res, err := scalablebulk.Run(prof, cfg)
+	wall := time.Since(start)
+	runtime.ReadMemStats(&after)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbbench: %s: %v\n", protocol, err)
+		os.Exit(1)
+	}
+	pr := protocolResult{
+		Protocol:     protocol,
+		App:          "Barnes",
+		Cores:        64,
+		WallMS:       float64(wall.Microseconds()) / 1000,
+		SimCycles:    uint64(res.Cycles),
+		CyclesPerSec: float64(res.Cycles) / wall.Seconds(),
+		Mallocs:      after.Mallocs - before.Mallocs,
+		Committed:    res.ChunksCommitted,
+	}
+	fmt.Fprintf(os.Stderr, "  %-18s %8.1f ms  %12.0f cycles/s  %9d mallocs\n",
+		protocol, pr.WallMS, pr.CyclesPerSec, pr.Mallocs)
+	return pr
+}
+
+// sweep times the full figure sweep on the parallel engine and, when serial
+// is set, serially on a fresh session for the measured speedup. Figure
+// renders are timed afterward from the populated cache.
+func sweep(chunks int, seed int64, parallelism int, serial bool) (sweepResult, []figureResult) {
+	s := scalablebulk.NewSession(chunks, seed, nil)
+	points := s.SweepPoints()
+	start := time.Now()
+	if err := s.Sweep(parallelism); err != nil {
+		fmt.Fprintln(os.Stderr, "sbbench: sweep:", err)
+		os.Exit(1)
+	}
+	parWall := time.Since(start)
+	sw := sweepResult{
+		Points:         len(points),
+		Parallelism:    parallelism,
+		ParallelWallMS: float64(parWall.Microseconds()) / 1000,
+	}
+	fmt.Fprintf(os.Stderr, "  parallel sweep (%d points, j=%d): %.1f ms\n",
+		len(points), parallelism, sw.ParallelWallMS)
+
+	if serial {
+		s2 := scalablebulk.NewSession(chunks, seed, nil)
+		start = time.Now()
+		if err := s2.SweepList(points, 1); err != nil {
+			fmt.Fprintln(os.Stderr, "sbbench: serial sweep:", err)
+			os.Exit(1)
+		}
+		serWall := time.Since(start)
+		sw.SerialWallMS = float64(serWall.Microseconds()) / 1000
+		sw.Speedup = serWall.Seconds() / parWall.Seconds()
+		fmt.Fprintf(os.Stderr, "  serial sweep: %.1f ms (speedup %.2fx)\n", sw.SerialWallMS, sw.Speedup)
+	}
+
+	var figs []figureResult
+	s.SetOut(io.Discard)
+	for _, id := range scalablebulk.FigureIDs() {
+		start = time.Now()
+		if err := s.Figure(id); err != nil {
+			fmt.Fprintln(os.Stderr, "sbbench: figure:", err)
+			os.Exit(1)
+		}
+		figs = append(figs, figureResult{
+			Figure: fmt.Sprintf("Figure %d", id),
+			WallMS: float64(time.Since(start).Microseconds()) / 1000,
+		})
+	}
+	return sw, figs
+}
+
+func writeJSON(path string, rep *report) error {
+	data, err := json.MarshalIndent(rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	data = append(data, '\n')
+	if path == "-" {
+		_, err = os.Stdout.Write(data)
+		return err
+	}
+	return os.WriteFile(path, data, 0o644)
+}
+
+// writeGobench renders the report in the `go test -bench` text format that
+// benchstat parses, so CI can diff runs against bench/baseline.txt.
+func writeGobench(path string, rep *report) error {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer f.Close()
+	fmt.Fprintf(f, "goos: %s\ngoarch: %s\npkg: scalablebulk/cmd/sbbench\n", runtime.GOOS, runtime.GOARCH)
+	names := []string{
+		"event_calendar", "event_heap",
+		"sig_overlaps", "sig_overlaps_ref",
+		"sig_empty", "sig_empty_ref",
+		"sig_union", "sig_union_ref",
+	}
+	camel := map[string]string{
+		"event_calendar": "EventCalendar", "event_heap": "EventHeap",
+		"sig_overlaps": "SigOverlaps", "sig_overlaps_ref": "SigOverlapsRef",
+		"sig_empty": "SigEmpty", "sig_empty_ref": "SigEmptyRef",
+		"sig_union": "SigUnion", "sig_union_ref": "SigUnionRef",
+	}
+	for _, n := range names {
+		m, ok := rep.Micro[n]
+		if !ok {
+			continue
+		}
+		fmt.Fprintf(f, "Benchmark%s 	       1 	 %.1f ns/op 	 %d B/op 	 %d allocs/op\n",
+			camel[n], m.NsPerOp, m.BytesPerOp, m.AllocsPerOp)
+	}
+	for _, p := range rep.Protocols {
+		fmt.Fprintf(f, "BenchmarkRun%s 	       1 	 %.0f ns/op\n", sanitize(p.Protocol), p.WallMS*1e6)
+	}
+	fmt.Fprintf(f, "BenchmarkSweepParallel 	       1 	 %.0f ns/op\n", rep.Sweep.ParallelWallMS*1e6)
+	if rep.Sweep.SerialWallMS > 0 {
+		fmt.Fprintf(f, "BenchmarkSweepSerial 	       1 	 %.0f ns/op\n", rep.Sweep.SerialWallMS*1e6)
+	}
+	return nil
+}
+
+func sanitize(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9':
+			out = append(out, r)
+		}
+	}
+	return string(out)
+}

@@ -1,0 +1,142 @@
+package scalablebulk
+
+// Golden-trace determinism tests: the simulator's contract is that a
+// (config, seed) pair fully determines every measurement, bit for bit,
+// regardless of process, goroutine scheduling, or whether results were
+// produced serially or by the parallel sweep engine. These tests catch any
+// map-iteration or goroutine-order leak into results.
+
+import (
+	"bytes"
+	"fmt"
+	"testing"
+)
+
+// detChunks sizes the determinism runs: TotalWork = 64 × detChunks chunks
+// spread over the machine, small enough to keep the matrix fast.
+const detChunks = 1
+
+// serialFingerprint runs one point exactly the way Session.run does and
+// fingerprints it.
+func serialFingerprint(t *testing.T, app, protocol string, cores int, seed int64) string {
+	t.Helper()
+	prof, ok := AppByName(app)
+	if !ok {
+		t.Fatalf("unknown app %q", app)
+	}
+	cfg := DefaultConfig(cores, protocol)
+	cfg.Seed = seed
+	r, err := RunScaled(prof, cfg, 64*detChunks)
+	if err != nil {
+		t.Fatalf("%s/%s/%d: %v", app, protocol, cores, err)
+	}
+	return ResultFingerprint(r)
+}
+
+// TestDeterminismEveryProtocol runs every protocol at 16 and 64 processors
+// with a fixed seed three ways — serial, serial again, and through a
+// parallel sweep — and requires byte-identical fingerprints.
+func TestDeterminismEveryProtocol(t *testing.T) {
+	const app, seed = "Barnes", 7
+
+	// Parallel path: one session, all points populated by a 4-worker sweep.
+	par := NewSession(detChunks, seed, nil)
+	var pts []Point
+	for _, protocol := range Protocols {
+		for _, cores := range []int{16, 64} {
+			pts = append(pts, Point{app, protocol, cores})
+		}
+	}
+	if err := par.SweepList(pts, 4); err != nil {
+		t.Fatal(err)
+	}
+
+	for _, protocol := range Protocols {
+		for _, cores := range []int{16, 64} {
+			name := fmt.Sprintf("%s/%d", protocol, cores)
+			first := serialFingerprint(t, app, protocol, cores, seed)
+			again := serialFingerprint(t, app, protocol, cores, seed)
+			if first != again {
+				t.Errorf("%s: two serial runs differ:\n--- run 1\n%s--- run 2\n%s", name, first, again)
+			}
+			r, err := par.Result(app, protocol, cores)
+			if err != nil {
+				t.Fatalf("%s: sweep result: %v", name, err)
+			}
+			if got := ResultFingerprint(r); got != first {
+				t.Errorf("%s: parallel sweep differs from serial:\n--- serial\n%s--- sweep\n%s", name, first, got)
+			}
+		}
+	}
+}
+
+// TestDeterminismFigureOutput renders figures from a serially-populated
+// session and from a session populated by a parallel sweep, and requires
+// byte-identical output.
+func TestDeterminismFigureOutput(t *testing.T) {
+	render := func(s *Session) string {
+		var buf bytes.Buffer
+		s.SetOut(&buf)
+		if err := s.Figure9(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Figure11(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+
+	// The points Figures 9 and 11 consume.
+	var pts []Point
+	for _, p := range Splash2() {
+		for _, cores := range []int{32, 64} {
+			pts = append(pts, Point{p.Name, ProtoScalableBulk, cores})
+		}
+	}
+
+	serial := NewSession(detChunks, 3, nil)
+	serialOut := render(serial) // Result() calls run points one at a time
+
+	swept := NewSession(detChunks, 3, nil)
+	if err := swept.SweepList(pts, 4); err != nil {
+		t.Fatal(err)
+	}
+	sweptOut := render(swept) // all points come from the sweep-filled cache
+
+	if serialOut != sweptOut {
+		t.Errorf("figure output differs between serial and swept sessions:\n--- serial\n%s--- swept\n%s",
+			serialOut, sweptOut)
+	}
+	if len(serialOut) == 0 {
+		t.Error("figure render produced no output")
+	}
+}
+
+// TestSweepSingleFlight checks that concurrent requests for one point share
+// a single simulation: after a wide sweep over a duplicated point list the
+// session must have run each unique point exactly once (observable as a
+// stable fingerprint and no error).
+func TestSweepSingleFlight(t *testing.T) {
+	s := NewSession(detChunks, 5, nil)
+	pts := make([]Point, 32)
+	for i := range pts {
+		pts[i] = Point{"FFT", ProtoScalableBulk, 16} // same point 32 times
+	}
+	if err := s.SweepList(pts, 8); err != nil {
+		t.Fatal(err)
+	}
+	r1, err := s.Result("FFT", ProtoScalableBulk, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r2, err := s.Result("FFT", ProtoScalableBulk, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r1 != r2 {
+		t.Error("cache returned different Result pointers for one point")
+	}
+	if got, want := ResultFingerprint(r1), serialFingerprint(t, "FFT", ProtoScalableBulk, 16, 5); got != want {
+		t.Errorf("swept result differs from serial:\n--- serial\n%s--- swept\n%s", want, got)
+	}
+}

@@ -17,21 +17,44 @@ import (
 // sized by ChunksPerCore at 64 processors; smaller machines get
 // proportionally more chunks per core (strong scaling over the same total
 // work), exactly like running the paper's reference inputs on fewer threads.
+//
+// A Session is safe for concurrent use: the cache is a single-flight map, so
+// any number of goroutines can ask for any mix of points and each simulation
+// runs exactly once. Every simulation is an independent deterministic
+// machine, so execution order and parallelism cannot affect any Result —
+// only wall-clock time. The determinism tests in determinism_test.go hold
+// serial and parallel sweeps to byte-identical output.
 type Session struct {
 	// ChunksPerCore at 64 cores; the whole-problem work is 64× this.
 	ChunksPerCore int
 	// Seed makes every run deterministic.
 	Seed int64
-	// Out receives the generated rows (default: io.Discard).
-	Out io.Writer
 
-	cache map[runKey]*Result
+	mu    sync.Mutex
+	out   io.Writer
+	cache map[runKey]*cacheEntry
 }
 
 type runKey struct {
 	app      string
 	protocol string
 	cores    int
+}
+
+// cacheEntry is a single-flight cache slot: the goroutine that creates the
+// entry runs the simulation and closes done; everyone else blocks on done.
+type cacheEntry struct {
+	done chan struct{}
+	res  *Result
+	err  error
+}
+
+// Point identifies one figure-sweep simulation: an application under a
+// protocol on a machine size.
+type Point struct {
+	App      string
+	Protocol string
+	Cores    int
 }
 
 // NewSession builds a figure-generation session. chunksPerCore ≤ 0 selects
@@ -43,29 +66,52 @@ func NewSession(chunksPerCore int, seed int64, out io.Writer) *Session {
 	if out == nil {
 		out = io.Discard
 	}
-	return &Session{ChunksPerCore: chunksPerCore, Seed: seed, Out: out, cache: map[runKey]*Result{}}
+	return &Session{ChunksPerCore: chunksPerCore, Seed: seed, out: out, cache: map[runKey]*cacheEntry{}}
+}
+
+// SetOut redirects the generated rows to w (nil selects io.Discard). It may
+// be called between figure renders from any goroutine.
+func (s *Session) SetOut(w io.Writer) {
+	if w == nil {
+		w = io.Discard
+	}
+	s.mu.Lock()
+	s.out = w
+	s.mu.Unlock()
 }
 
 func (s *Session) printf(format string, args ...any) {
-	fmt.Fprintf(s.Out, format, args...)
+	s.mu.Lock()
+	w := s.out
+	s.mu.Unlock()
+	fmt.Fprintf(w, format, args...)
 }
 
 // TotalWork is the whole-problem chunk count shared by all machine sizes.
 func (s *Session) TotalWork() int { return 64 * s.ChunksPerCore }
 
 // Result runs (or returns the cached) simulation of app × protocol × cores.
-// Not safe for concurrent use; see Prefetch for parallel population.
+// Safe for concurrent use; concurrent requests for the same point share one
+// run (single flight).
 func (s *Session) Result(app, protocol string, cores int) (*Result, error) {
 	k := runKey{app, protocol, cores}
-	if r, ok := s.cache[k]; ok {
-		return r, nil
+	s.mu.Lock()
+	if s.cache == nil {
+		s.cache = map[runKey]*cacheEntry{}
 	}
-	r, err := s.run(k)
-	if err != nil {
-		return nil, err
+	e, ok := s.cache[k]
+	if !ok {
+		e = &cacheEntry{done: make(chan struct{})}
+		s.cache[k] = e
 	}
-	s.cache[k] = r
-	return r, nil
+	s.mu.Unlock()
+	if ok {
+		<-e.done
+		return e.res, e.err
+	}
+	e.res, e.err = s.run(k)
+	close(e.done)
+	return e.res, e.err
 }
 
 func (s *Session) run(k runKey) (*Result, error) {
@@ -78,57 +124,69 @@ func (s *Session) run(k runKey) (*Result, error) {
 	return RunScaled(prof, cfg, s.TotalWork())
 }
 
-// Prefetch runs, in parallel across OS threads, every simulation the full
-// figure set needs: each application under each protocol at 32 and 64
-// processors, plus the 1-processor ScalableBulk baselines. Each simulation
-// is an independent deterministic machine, so parallelism does not affect
-// results. parallelism ≤ 0 selects GOMAXPROCS.
-func (s *Session) Prefetch(parallelism int) error {
-	if parallelism <= 0 {
-		parallelism = runtime.GOMAXPROCS(0)
-	}
-	var keys []runKey
+// SweepPoints enumerates, in a fixed deterministic order, every simulation
+// the full figure set needs: each application under each protocol at 32 and
+// 64 processors, plus the 1-processor ScalableBulk baselines.
+func (s *Session) SweepPoints() []Point {
+	var pts []Point
 	for _, prof := range Apps() {
-		keys = append(keys, runKey{prof.Name, ProtoScalableBulk, 1})
+		pts = append(pts, Point{prof.Name, ProtoScalableBulk, 1})
 		for _, protocol := range Protocols {
 			for _, cores := range []int{32, 64} {
-				keys = append(keys, runKey{prof.Name, protocol, cores})
+				pts = append(pts, Point{prof.Name, protocol, cores})
 			}
 		}
 	}
-	var (
-		mu       sync.Mutex
-		wg       sync.WaitGroup
-		firstErr error
-		work     = make(chan runKey)
-	)
+	return pts
+}
+
+// Sweep populates the cache with every SweepPoints simulation, executing the
+// points as jobs on a bounded worker pool. Workers claim points in whatever
+// order scheduling allows; results land keyed by point, so the outcome is
+// identical to running the same points serially. parallelism ≤ 0 selects
+// GOMAXPROCS. The returned error, if any, is the error of the earliest
+// failing point in SweepPoints order, independent of worker interleaving.
+func (s *Session) Sweep(parallelism int) error {
+	return s.SweepList(s.SweepPoints(), parallelism)
+}
+
+// SweepList is Sweep over an arbitrary point list.
+func (s *Session) SweepList(points []Point, parallelism int) error {
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+	if parallelism > len(points) {
+		parallelism = len(points)
+	}
+	errs := make([]error, len(points))
+	var wg sync.WaitGroup
+	work := make(chan int)
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
-			for k := range work {
-				r, err := s.run(k)
-				mu.Lock()
-				if err != nil && firstErr == nil {
-					firstErr = err
-				}
-				if err == nil {
-					s.cache[k] = r
-				}
-				mu.Unlock()
+			for i := range work {
+				p := points[i]
+				_, errs[i] = s.Result(p.App, p.Protocol, p.Cores)
 			}
 		}()
 	}
-	for _, k := range keys {
-		if _, ok := s.cache[k]; ok {
-			continue
-		}
-		work <- k
+	for i := range points {
+		work <- i
 	}
 	close(work)
 	wg.Wait()
-	return firstErr
+	for _, err := range errs {
+		if err != nil {
+			return err
+		}
+	}
+	return nil
 }
+
+// Prefetch is the historical name of Sweep, kept for callers that predate
+// the sweep API.
+func (s *Session) Prefetch(parallelism int) error { return s.Sweep(parallelism) }
 
 func names(ps []Profile) []string {
 	out := make([]string, len(ps))

@@ -209,25 +209,30 @@ func (rp *ReadPath) HandleDir(node int, m *msg.Msg) bool {
 	case msg.ReadDirtyFwd:
 		// This tile's cache owns the dirty line: forward the data to the
 		// requester (recorded in Tag.Proc).
-		rp.Env.Net.Send(&msg.Msg{
-			Kind: msg.ReadDirtyReply, Src: node, Dst: m.Tag.Proc,
-			Tag: m.Tag, Line: m.Line,
-		})
+		r := rp.Env.Net.NewMsg()
+		r.Kind, r.Src, r.Dst = msg.ReadDirtyReply, node, m.Tag.Proc
+		r.Tag, r.Line = m.Tag, m.Line
+		rp.Env.Net.Send(r)
 		return true
 	default:
 		return false
 	}
 }
 
-// serve handles a ReadReq at its home module.
+// serve handles a ReadReq at its home module. The request is a Transient
+// message the network recycles as soon as this handler returns, so every
+// field the deferred replies need is copied into locals first.
 func (rp *ReadPath) serve(node int, m *msg.Msg) {
 	env := rp.Env
 	requester := m.Src
 	l := m.Line
+	tag := m.Tag
 
 	if rp.Proto != nil && rp.Proto.ReadBlocked(node, l) {
 		env.Coll.ReadNacks++
-		env.Net.Send(&msg.Msg{Kind: msg.ReadNack, Src: node, Dst: requester, Tag: m.Tag, Line: l})
+		r := env.Net.NewMsg()
+		r.Kind, r.Src, r.Dst, r.Tag, r.Line = msg.ReadNack, node, requester, tag, l
+		env.Net.Send(r)
 		return
 	}
 
@@ -242,22 +247,26 @@ func (rp *ReadPath) serve(node int, m *msg.Msg) {
 		li.Owner = -1
 		li.Sharers.Add(requester)
 		env.Eng.After(env.DirLookup, func() {
-			env.Net.Send(&msg.Msg{
-				Kind: msg.ReadDirtyFwd, Src: node, Dst: owner,
-				Tag: msg.CTag{Proc: requester}, Line: l,
-			})
+			r := env.Net.NewMsg()
+			r.Kind, r.Src, r.Dst = msg.ReadDirtyFwd, node, owner
+			r.Tag, r.Line = msg.CTag{Proc: requester}, l
+			env.Net.Send(r)
 		})
 	case li != nil && !li.Sharers.Empty():
 		// Served cache-to-cache from a shared copy (RemoteShRd).
 		li.Sharers.Add(requester)
 		env.Eng.After(env.DirLookup, func() {
-			env.Net.Send(&msg.Msg{Kind: msg.ReadShReply, Src: node, Dst: requester, Tag: m.Tag, Line: l})
+			r := env.Net.NewMsg()
+			r.Kind, r.Src, r.Dst, r.Tag, r.Line = msg.ReadShReply, node, requester, tag, l
+			env.Net.Send(r)
 		})
 	default:
 		// Served from memory (MemRd).
 		env.State.AddSharer(l, requester)
 		env.Eng.After(env.DirLookup+env.MemLatency, func() {
-			env.Net.Send(&msg.Msg{Kind: msg.ReadMemReply, Src: node, Dst: requester, Tag: m.Tag, Line: l})
+			r := env.Net.NewMsg()
+			r.Kind, r.Src, r.Dst, r.Tag, r.Line = msg.ReadMemReply, node, requester, tag, l
+			env.Net.Send(r)
 		})
 	}
 }

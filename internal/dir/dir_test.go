@@ -97,7 +97,7 @@ func TestReadPathMemoryRead(t *testing.T) {
 	env, net, eng := testEnv(t, 4)
 	rp := &ReadPath{Env: env}
 	var got *msg.Msg
-	net.Register(0, func(m *msg.Msg) { got = m })
+	net.Register(0, func(m *msg.Msg) { c := *m; got = &c }) // copy: Transient msgs are recycled after the handler
 	net.Register(1, func(m *msg.Msg) { rp.HandleDir(1, m) })
 
 	env.Map.Home(10, 1)
@@ -118,7 +118,7 @@ func TestReadPathSharedRead(t *testing.T) {
 	env, net, eng := testEnv(t, 4)
 	rp := &ReadPath{Env: env}
 	var got *msg.Msg
-	net.Register(0, func(m *msg.Msg) { got = m })
+	net.Register(0, func(m *msg.Msg) { c := *m; got = &c }) // copy: Transient msgs are recycled after the handler
 	net.Register(1, func(m *msg.Msg) { rp.HandleDir(1, m) })
 
 	env.Map.Home(10, 1)
@@ -137,7 +137,7 @@ func TestReadPathDirtyForward(t *testing.T) {
 	env, net, eng := testEnv(t, 4)
 	rp := &ReadPath{Env: env}
 	var got *msg.Msg
-	net.Register(0, func(m *msg.Msg) { got = m })
+	net.Register(0, func(m *msg.Msg) { c := *m; got = &c }) // copy: Transient msgs are recycled after the handler
 	net.Register(1, func(m *msg.Msg) { rp.HandleDir(1, m) })
 	net.Register(2, func(m *msg.Msg) { rp.HandleDir(2, m) }) // owner tile
 
@@ -163,7 +163,7 @@ func TestReadPathNack(t *testing.T) {
 	env, net, eng := testEnv(t, 4)
 	rp := &ReadPath{Env: env, Proto: &fakeProto{blocked: 10}}
 	var got *msg.Msg
-	net.Register(0, func(m *msg.Msg) { got = m })
+	net.Register(0, func(m *msg.Msg) { c := *m; got = &c }) // copy: Transient msgs are recycled after the handler
 	net.Register(1, func(m *msg.Msg) { rp.HandleDir(1, m) })
 
 	env.Map.Home(10, 1)

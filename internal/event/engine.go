@@ -8,10 +8,20 @@
 // cores, caches, the torus network, directory modules, and the commit
 // protocol engines — share a single Engine, so a given configuration and
 // random seed always produces bit-identical results.
+//
+// Internally the queue is a calendar (bucket) queue tuned for the event
+// horizon the machine model actually generates: almost every event lands
+// within a few hundred cycles of now (link hops at +7, directory lookups at
+// +2, memory at +300, commit retries under ~2k), so the near future is a
+// ring of per-cycle buckets where push and pop are O(1), while the rare
+// long-horizon events (the +200k commit watchdogs) wait in a small overflow
+// heap and migrate into the ring as the window slides over them. The old
+// container/heap implementation is preserved as HeapEngine (see heap.go) and
+// the two are cross-checked for identical firing order by the equivalence
+// tests in this package.
 package event
 
 import (
-	"container/heap"
 	"fmt"
 )
 
@@ -22,53 +32,55 @@ type Time uint64
 // scheduled time; Engine.Now() inside the handler returns that time.
 type Handler func()
 
+// window is the calendar span: events within [now, now+window) live in the
+// per-cycle ring, later ones in the overflow heap. It must be a power of two
+// and comfortably exceed the common event horizon (memory at +300, capped
+// commit backoff under ~2k) so the ring absorbs virtually all traffic.
+const (
+	windowBits = 12
+	window     = Time(1) << windowBits
+	windowMask = window - 1
+)
+
 type item struct {
-	at   Time
-	seq  uint64
+	at  Time
+	seq uint64
+	// Exactly one of fn/afn is set. afn(arg) avoids a closure allocation on
+	// the hottest scheduling path (network message delivery).
 	fn   Handler
-	idx  int
+	afn  func(any)
+	arg  any
 	dead bool
 }
 
-type queue []*item
+// bucket is one ring slot: a FIFO of same-cycle items. head indexes the next
+// unconsumed item so popping is O(1) without memmove; the backing slice is
+// reused across window wraps.
+type bucket struct {
+	items []*item
+	head  int
+}
 
-func (q queue) Len() int { return len(q) }
-
-func (q queue) Less(i, j int) bool {
-	if q[i].at != q[j].at {
-		return q[i].at < q[j].at
+func (b *bucket) push(it *item) {
+	if b.head > 0 && b.head == len(b.items) {
+		b.items = b.items[:0]
+		b.head = 0
 	}
-	return q[i].seq < q[j].seq
-}
-
-func (q queue) Swap(i, j int) {
-	q[i], q[j] = q[j], q[i]
-	q[i].idx = i
-	q[j].idx = j
-}
-
-func (q *queue) Push(x any) {
-	it := x.(*item)
-	it.idx = len(*q)
-	*q = append(*q, it)
-}
-
-func (q *queue) Pop() any {
-	old := *q
-	n := len(old)
-	it := old[n-1]
-	old[n-1] = nil
-	*q = old[:n-1]
-	return it
+	b.items = append(b.items, it)
 }
 
 // Ticket identifies a scheduled event so it can be cancelled before firing.
-type Ticket struct{ it *item }
+type Ticket struct {
+	it  *item
+	seq uint64
+}
 
 // Cancel prevents the event from firing. Cancelling an already-fired or
-// already-cancelled event is a harmless no-op.
+// already-cancelled event is a harmless no-op: items are pooled, so the
+// ticket's sequence number guards against a stale cancel hitting a recycled
+// slot.
 func (t Ticket) Cancel() {
-	if t.it != nil {
+	if t.it != nil && t.it.seq == t.seq {
 		t.it.dead = true
 	}
 }
@@ -78,8 +90,20 @@ func (t Ticket) Cancel() {
 type Engine struct {
 	now   Time
 	seq   uint64
-	q     queue
 	fired uint64
+
+	// Calendar ring: buckets[t&windowMask] holds the items scheduled for
+	// cycle t, for t in [cursor, cursor+window). cursor is the scan position:
+	// every live item in the ring is at cursor or later, and at rest (outside
+	// Step) cursor never exceeds the earliest live ring item.
+	buckets []bucket
+	cursor  Time
+	near    int // items in the ring, cancelled included
+
+	over overflow // long-horizon items, cancelled included
+
+	pending int // near + len(over)
+	free    []*item
 }
 
 // New returns a fresh engine with the clock at cycle 0.
@@ -94,37 +118,161 @@ func (e *Engine) Fired() uint64 { return e.fired }
 
 // Pending returns the number of events waiting in the queue (including
 // cancelled ones that have not yet been discarded).
-func (e *Engine) Pending() int { return len(e.q) }
+func (e *Engine) Pending() int { return e.pending }
+
+func (e *Engine) alloc() *item {
+	if n := len(e.free); n > 0 {
+		it := e.free[n-1]
+		e.free = e.free[:n-1]
+		return it
+	}
+	return &item{}
+}
+
+func (e *Engine) release(it *item) {
+	it.fn = nil
+	it.afn = nil
+	it.arg = nil
+	it.dead = false
+	e.free = append(e.free, it)
+}
 
 // At schedules fn to run at absolute time t. Scheduling in the past panics:
 // that is always a simulator bug, not a recoverable condition.
 func (e *Engine) At(t Time, fn Handler) Ticket {
+	it := e.schedule(t)
+	it.fn = fn
+	return Ticket{it, it.seq}
+}
+
+// AtArg schedules fn(arg) at absolute time t. It is At without the closure
+// allocation: fn is typically a long-lived method value and arg the event's
+// payload, so the only per-event allocation is the pooled queue slot.
+func (e *Engine) AtArg(t Time, fn func(any), arg any) Ticket {
+	it := e.schedule(t)
+	it.afn = fn
+	it.arg = arg
+	return Ticket{it, it.seq}
+}
+
+func (e *Engine) schedule(t Time) *item {
 	if t < e.now {
 		panic(fmt.Sprintf("event: schedule at %d before now %d", t, e.now))
 	}
-	it := &item{at: t, seq: e.seq, fn: fn}
+	if e.buckets == nil {
+		e.buckets = make([]bucket, window)
+	}
+	// Between a RunUntil that idles the clock forward and the next Step, now
+	// may have passed cursor; the ring below now is empty, so snap forward.
+	if e.cursor < e.now {
+		e.cursor = e.now
+	}
+	it := e.alloc()
+	it.at = t
+	it.seq = e.seq
 	e.seq++
-	heap.Push(&e.q, it)
-	return Ticket{it}
+	if t < e.cursor+window {
+		e.buckets[t&windowMask].push(it)
+		e.near++
+	} else {
+		e.over.push(it)
+	}
+	e.pending++
+	return it
 }
 
 // After schedules fn to run d cycles from now.
 func (e *Engine) After(d Time, fn Handler) Ticket { return e.At(e.now+d, fn) }
 
+// AfterArg is AtArg relative to now.
+func (e *Engine) AfterArg(d Time, fn func(any), arg any) Ticket {
+	return e.AtArg(e.now+d, fn, arg)
+}
+
+// migrate moves overflow items whose time has entered the ring window into
+// their buckets. Ring buckets are FIFO by sequence number; an item that
+// waited in the overflow heap may carry an older sequence number than
+// same-cycle items scheduled directly into the ring, so it is merged into
+// sequence position rather than appended.
+func (e *Engine) migrate() {
+	for !e.over.empty() && e.over.min().at < e.cursor+window {
+		it := e.over.pop()
+		if it.dead {
+			e.pending--
+			e.release(it)
+			continue
+		}
+		b := &e.buckets[it.at&windowMask]
+		pos := len(b.items)
+		for pos > b.head && b.items[pos-1].seq > it.seq {
+			pos--
+		}
+		b.items = append(b.items, nil)
+		copy(b.items[pos+1:], b.items[pos:])
+		b.items[pos] = it
+		e.near++
+	}
+}
+
+// next advances cursor to the earliest live item and returns it, leaving it
+// queued. It discards cancelled items along the way. Returns nil when the
+// queue holds no live events.
+func (e *Engine) next() *item {
+	if e.cursor < e.now {
+		e.cursor = e.now
+	}
+	for e.pending > 0 {
+		e.migrate()
+		if e.near == 0 {
+			if e.over.empty() {
+				return nil // migrate drained the last (cancelled) items
+			}
+			// Everything lives beyond the window: slide it to the overflow
+			// minimum (the migrate at the top of the loop pulls it in).
+			e.cursor = e.over.min().at
+			continue
+		}
+		b := &e.buckets[e.cursor&windowMask]
+		for b.head < len(b.items) {
+			it := b.items[b.head]
+			if !it.dead {
+				return it
+			}
+			b.items[b.head] = nil
+			b.head++
+			e.near--
+			e.pending--
+			e.release(it)
+		}
+		b.items = b.items[:0]
+		b.head = 0
+		e.cursor++
+	}
+	return nil
+}
+
 // Step fires the single earliest pending event and advances the clock to its
 // time. It reports whether an event fired (false when the queue is empty).
 func (e *Engine) Step() bool {
-	for len(e.q) > 0 {
-		it := heap.Pop(&e.q).(*item)
-		if it.dead {
-			continue
-		}
-		e.now = it.at
-		e.fired++
-		it.fn()
-		return true
+	it := e.next()
+	if it == nil {
+		return false
 	}
-	return false
+	b := &e.buckets[e.cursor&windowMask]
+	b.items[b.head] = nil
+	b.head++
+	e.near--
+	e.pending--
+	e.now = it.at
+	e.fired++
+	fn, afn, arg := it.fn, it.afn, it.arg
+	e.release(it)
+	if afn != nil {
+		afn(arg)
+	} else {
+		fn()
+	}
+	return true
 }
 
 // Run fires events until the queue is empty.
@@ -133,18 +281,51 @@ func (e *Engine) Run() {
 	}
 }
 
+// peek returns the time of the earliest live event without advancing the
+// scan cursor (so a RunUntil that stops early leaves the calendar invariants
+// untouched for later scheduling). It discards cancelled items it encounters.
+func (e *Engine) peek() (Time, bool) {
+	if e.cursor < e.now {
+		e.cursor = e.now
+	}
+	for !e.over.empty() && e.over.min().dead {
+		e.pending--
+		e.release(e.over.pop())
+	}
+	var best Time
+	found := false
+	if !e.over.empty() {
+		best = e.over.min().at
+		found = true
+	}
+	for c := e.cursor; e.near > 0 && c < e.cursor+window; c++ {
+		b := &e.buckets[c&windowMask]
+		for b.head < len(b.items) && b.items[b.head].dead {
+			it := b.items[b.head]
+			b.items[b.head] = nil
+			b.head++
+			e.near--
+			e.pending--
+			e.release(it)
+		}
+		if b.head < len(b.items) {
+			if at := b.items[b.head].at; !found || at < best {
+				best = at
+				found = true
+			}
+			break
+		}
+	}
+	return best, found
+}
+
 // RunUntil fires events with time ≤ limit, leaving later events queued, and
 // advances the clock to limit. It returns the number of events fired.
 func (e *Engine) RunUntil(limit Time) uint64 {
 	start := e.fired
-	for len(e.q) > 0 {
-		// Peek the earliest live event.
-		it := e.q[0]
-		if it.dead {
-			heap.Pop(&e.q)
-			continue
-		}
-		if it.at > limit {
+	for {
+		t, ok := e.peek()
+		if !ok || t > limit {
 			break
 		}
 		e.Step()
@@ -157,3 +338,55 @@ func (e *Engine) RunUntil(limit Time) uint64 {
 
 // RunFor is RunUntil(Now()+d).
 func (e *Engine) RunFor(d Time) uint64 { return e.RunUntil(e.now + d) }
+
+// overflow is a minimal binary min-heap ordered by (at, seq), holding the
+// rare events scheduled beyond the calendar window.
+type overflow struct{ h []*item }
+
+func (o *overflow) empty() bool { return len(o.h) == 0 }
+func (o *overflow) min() *item  { return o.h[0] }
+
+func (o *overflow) less(a, b *item) bool {
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (o *overflow) push(it *item) {
+	o.h = append(o.h, it)
+	i := len(o.h) - 1
+	for i > 0 {
+		p := (i - 1) / 2
+		if !o.less(o.h[i], o.h[p]) {
+			break
+		}
+		o.h[i], o.h[p] = o.h[p], o.h[i]
+		i = p
+	}
+}
+
+func (o *overflow) pop() *item {
+	top := o.h[0]
+	n := len(o.h) - 1
+	o.h[0] = o.h[n]
+	o.h[n] = nil
+	o.h = o.h[:n]
+	i := 0
+	for {
+		l, r := 2*i+1, 2*i+2
+		s := i
+		if l < n && o.less(o.h[l], o.h[s]) {
+			s = l
+		}
+		if r < n && o.less(o.h[r], o.h[s]) {
+			s = r
+		}
+		if s == i {
+			break
+		}
+		o.h[i], o.h[s] = o.h[s], o.h[i]
+		i = s
+	}
+	return top
+}

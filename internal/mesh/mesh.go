@@ -74,6 +74,15 @@ type Network struct {
 	OnDeliver func(*msg.Msg)
 	// Fault, when non-nil, rewrites planned deliveries (fault injection).
 	Fault Interposer
+
+	// deliverFn is the delivery event handler bound once at construction, so
+	// scheduling a delivery allocates neither a closure nor a method value.
+	deliverFn func(any)
+	// freeMsgs recycles Transient messages. The engine is single-threaded,
+	// so a plain slice freelist needs no locking. Recycling is disabled
+	// whenever an observer or fault interposer is installed: those may
+	// retain or duplicate messages beyond the delivery handler.
+	freeMsgs []*msg.Msg
 }
 
 // Link directions for dimension-order routing.
@@ -107,7 +116,7 @@ func New(eng *event.Engine, cfg Config) *Network {
 		cfg.LocalDelay = 1
 	}
 	w, h := dims(cfg.Nodes)
-	return &Network{
+	n := &Network{
 		eng:      eng,
 		w:        w,
 		h:        h,
@@ -117,6 +126,20 @@ func New(eng *event.Engine, cfg Config) *Network {
 		handlers: make([]Handler, cfg.Nodes),
 		busy:     make([][4]event.Time, cfg.Nodes),
 	}
+	n.deliverFn = n.deliver
+	return n
+}
+
+// NewMsg returns a zeroed message, reusing a recycled Transient message when
+// one is available. Senders of Transient kinds should allocate through this;
+// for other kinds it is equivalent to &msg.Msg{}.
+func (n *Network) NewMsg() *msg.Msg {
+	if k := len(n.freeMsgs); k > 0 {
+		m := n.freeMsgs[k-1]
+		n.freeMsgs = n.freeMsgs[:k-1]
+		return m
+	}
+	return &msg.Msg{}
 }
 
 // Nodes returns the number of tiles.
@@ -241,17 +264,27 @@ func (n *Network) deliverAt(t event.Time, m *msg.Msg) {
 }
 
 func (n *Network) scheduleDelivery(t event.Time, m *msg.Msg) {
-	h := n.handlers[m.Dst]
-	if h == nil {
+	if n.handlers[m.Dst] == nil {
 		panic(fmt.Sprintf("mesh: no handler at node %d for %s", m.Dst, m))
 	}
-	n.eng.At(t, func() {
-		n.stats.Delivered++
-		if n.OnDeliver != nil {
-			n.OnDeliver(m)
-		}
-		h(m)
-	})
+	n.eng.AtArg(t, n.deliverFn, m)
+}
+
+// deliver is the delivery event: it runs the destination handler and, on the
+// observer-free fast path, recycles Transient messages into the freelist.
+// A handler must therefore never retain a pointer to a Transient message
+// past its return (the read-path handlers copy the fields they defer on).
+func (n *Network) deliver(arg any) {
+	m := arg.(*msg.Msg)
+	n.stats.Delivered++
+	if n.OnDeliver != nil {
+		n.OnDeliver(m)
+	}
+	n.handlers[m.Dst](m)
+	if m.Kind.Transient() && n.Fault == nil && n.OnSend == nil && n.OnDeliver == nil {
+		*m = msg.Msg{}
+		n.freeMsgs = append(n.freeMsgs, m)
+	}
 }
 
 // Latency estimates the uncontended delivery latency from a to b for a

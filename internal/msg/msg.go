@@ -248,6 +248,22 @@ func (c Class) String() string {
 	return fmt.Sprintf("class(%d)", int(c))
 }
 
+// Transient reports whether a message kind is consumed entirely within its
+// delivery handler: no protocol component retains a pointer to it past the
+// handler's return. Transient messages are the read-path traffic — by far
+// the most numerous messages in a run — and the network recycles them
+// through its freelist after delivery (observer-free runs only; see
+// mesh.Network). Commit-protocol messages are excluded: some are retained
+// (a deferred BulkInv, an arbiter's queued request) and none are numerous
+// enough to matter.
+func (k Kind) Transient() bool {
+	switch k {
+	case ReadReq, ReadMemReply, ReadShReply, ReadDirtyFwd, ReadDirtyReply, ReadNack:
+		return true
+	}
+	return false
+}
+
 // ClassOf returns the traffic class of a message kind. Read requests and
 // nacks are attributed to MemRd here; the stats package reconstructs the
 // exact per-transaction classes from reply counts (see stats.TrafficFrom).

@@ -254,10 +254,10 @@ func (p *Proc) issueRead(a chunk.Access, epoch uint64) {
 
 func (p *Proc) sendRead(l sig.Line) {
 	home := p.env.Map.Home(l, p.ID)
-	p.env.Net.Send(&msg.Msg{
-		Kind: msg.ReadReq, Src: p.ID, Dst: home,
-		Tag: msg.CTag{Proc: p.ID}, Line: l,
-	})
+	m := p.env.Net.NewMsg()
+	m.Kind, m.Src, m.Dst = msg.ReadReq, p.ID, home
+	m.Tag, m.Line = msg.CTag{Proc: p.ID}, l
+	p.env.Net.Send(m)
 }
 
 func (p *Proc) onReadReply(m *msg.Msg) {

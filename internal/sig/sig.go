@@ -101,20 +101,39 @@ func (s *Sig) Member(l Line) bool {
 	return true
 }
 
+// The set operations below are the simulator's hottest kernels after the
+// event queue: every bulk invalidation runs Overlaps against up to three
+// chunk signatures per core, and every commit clears and rebuilds two
+// signatures. The boolean tests (Empty, Overlaps, BankOverlap) are
+// hand-unrolled over the fixed 8-word banks — no loop counters, no variable
+// indexing, bounds checks gone — and short-circuit per bank; the whole-word
+// combiners (Intersect, Union) stay as range loops, which the compiler
+// already turns into straight-line code. The pre-optimization loop versions
+// live on as the Ref* kernels in ref.go; the fuzz and property tests in this
+// package hold the two families bit-equivalent.
+
+// Compile-time guard: the unrolled kernels assume exactly 8 words per bank.
+var _ [bankWords - 8]struct{}
+var _ [8 - bankWords]struct{}
+
+// bankOr ORs the 8 words of the bank starting at word index i.
+func bankOr(w *[words]uint64, i int) uint64 {
+	return w[i] | w[i+1] | w[i+2] | w[i+3] | w[i+4] | w[i+5] | w[i+6] | w[i+7]
+}
+
+// bankAndOr ORs the pairwise AND of the 8-word banks starting at i.
+func bankAndOr(a, b *[words]uint64, i int) uint64 {
+	return a[i]&b[i] | a[i+1]&b[i+1] | a[i+2]&b[i+2] | a[i+3]&b[i+3] |
+		a[i+4]&b[i+4] | a[i+5]&b[i+5] | a[i+6]&b[i+6] | a[i+7]&b[i+7]
+}
+
 // Empty reports whether the signature certainly encodes the empty set.
 // Because every insertion sets one bit in every bank, a signature with any
 // all-zero bank represents the empty set.
 func (s *Sig) Empty() bool {
-	for b := 0; b < Banks; b++ {
-		var or uint64
-		for i := 0; i < bankWords; i++ {
-			or |= s.w[b*bankWords+i]
-		}
-		if or == 0 {
-			return true
-		}
-	}
-	return false
+	w := &s.w
+	return bankOr(w, 0) == 0 || bankOr(w, 8) == 0 ||
+		bankOr(w, 16) == 0 || bankOr(w, 24) == 0
 }
 
 // Clear resets the signature to the empty set.
@@ -124,6 +143,8 @@ func (s *Sig) Clear() { *s = Sig{} }
 // result is Empty, the encoded sets are certainly disjoint.
 func (s Sig) Intersect(o Sig) Sig {
 	var r Sig
+	// A plain range loop: the compiler eliminates all bounds checks against
+	// the fixed-size array and this benchmarks faster than manual unrolling.
 	for i := range s.w {
 		r.w[i] = s.w[i] & o.w[i]
 	}
@@ -144,30 +165,21 @@ func (s Sig) Union(o Sig) Sig {
 // It is the hardware's fast compatibility test, equivalent to intersecting
 // and testing emptiness, but without materializing the intersection.
 func (s *Sig) Overlaps(o *Sig) bool {
-	for b := 0; b < Banks; b++ {
-		var or uint64
-		for i := 0; i < bankWords; i++ {
-			or |= s.w[b*bankWords+i] & o.w[b*bankWords+i]
-		}
-		if or == 0 {
-			return false
-		}
-	}
-	return true
+	a, b := &s.w, &o.w
+	return bankAndOr(a, b, 0) != 0 && bankAndOr(a, b, 8) != 0 &&
+		bankAndOr(a, b, 16) != 0 && bankAndOr(a, b, 24) != 0
 }
 
 // BankOverlap reports, per bank, whether the two signatures' banks
 // intersect. Diagnostic: the full Overlaps test is the AND of all banks.
 func (s *Sig) BankOverlap(o *Sig) [Banks]bool {
-	var out [Banks]bool
-	for b := 0; b < Banks; b++ {
-		var or uint64
-		for i := 0; i < bankWords; i++ {
-			or |= s.w[b*bankWords+i] & o.w[b*bankWords+i]
-		}
-		out[b] = or != 0
+	a, b := &s.w, &o.w
+	return [Banks]bool{
+		bankAndOr(a, b, 0) != 0,
+		bankAndOr(a, b, 8) != 0,
+		bankAndOr(a, b, 16) != 0,
+		bankAndOr(a, b, 24) != 0,
 	}
-	return out
 }
 
 // PopCount returns the number of set bits, a measure of occupancy.

@@ -22,6 +22,7 @@ import (
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/proc"
 	"scalablebulk/internal/seqpro"
+	"scalablebulk/internal/sig"
 	"scalablebulk/internal/stats"
 	"scalablebulk/internal/tcc"
 	"scalablebulk/internal/workload"
@@ -77,6 +78,12 @@ type Config struct {
 	// Check wires the online invariant checker into the run; violations
 	// turn into a run error. Costs a few percent of runtime.
 	Check bool
+
+	// OnApplyWrite, when non-nil, observes every committed write applied to
+	// the directory: the line and the committing core. It composes with the
+	// Check hook. The differential cross-protocol tests use it to collect
+	// each protocol's final committed-write multiset.
+	OnApplyWrite func(l sig.Line, writer int)
 }
 
 // DefaultConfig returns the Table 2 machine.
@@ -160,6 +167,8 @@ type Result struct {
 
 	ChunksCommitted uint64
 	Squashes        int
+	// PerCoreCommitted is each core's committed-chunk count, in core order.
+	PerCoreCommitted []int
 
 	Coll    *stats.Collector
 	Traffic mesh.Stats
@@ -233,6 +242,16 @@ func Run(prof workload.Profile, cfg Config) (*Result, error) {
 		env.Coll.OnEnded = chk.Ended
 		net.OnSend = chk.Sent
 		net.OnDeliver = chk.Delivered
+	}
+	if cfg.OnApplyWrite != nil {
+		if prev := env.State.OnApply; prev != nil {
+			env.State.OnApply = func(l sig.Line, writer int) {
+				prev(l, writer)
+				cfg.OnApplyWrite(l, writer)
+			}
+		} else {
+			env.State.OnApply = cfg.OnApplyWrite
+		}
 	}
 
 	var proto dir.Protocol
@@ -362,6 +381,7 @@ func Run(prof workload.Profile, cfg Config) (*Result, error) {
 		res.PerCore = append(res.PerCore, p.Acct)
 		res.Breakdown.Add(p.Acct)
 		res.ChunksCommitted += uint64(p.Committed)
+		res.PerCoreCommitted = append(res.PerCoreCommitted, p.Committed)
 		res.Squashes += p.Squashes
 		if p.FinishAt > res.Cycles {
 			res.Cycles = p.FinishAt
