@@ -19,6 +19,7 @@
 package scalablebulk
 
 import (
+	"context"
 	"fmt"
 	"strings"
 
@@ -72,6 +73,55 @@ func Run(prof Profile, cfg Config) (*Result, error) { return system.Run(prof, cf
 // (the paper's strong-scaling setup), so speedups compare equal work.
 func RunScaled(prof Profile, cfg Config, totalChunks int) (*Result, error) {
 	return system.RunScaled(prof, cfg, totalChunks)
+}
+
+// --- Resilience layer (DESIGN.md §10) ---
+
+// ErrDeadlock marks a run that stopped making progress (errors.Is); the
+// concrete *DeadlockError carries the truncated machine dump.
+var ErrDeadlock = system.ErrDeadlock
+
+// ErrAborted marks a run stopped by cancellation or a wall-clock deadline
+// (errors.Is); the concrete *AbortError carries the cause.
+var ErrAborted = system.ErrAborted
+
+// DeadlockError is the structured no-progress abort report.
+type DeadlockError = system.DeadlockError
+
+// AbortError is the structured cancellation/deadline abort report,
+// distinguishing a withdrawn budget from a deadlock.
+type AbortError = system.AbortError
+
+// RetryPolicy retries transient MaxCycles aborts under fault profiles with
+// escalating cycle budgets and bounded jittered backoff.
+type RetryPolicy = system.RetryPolicy
+
+// RunAttempt is one recorded attempt of a retried run.
+type RunAttempt = system.RunAttempt
+
+// RetryError reports a run that failed through every allowed attempt.
+type RetryError = system.RetryError
+
+// DefaultRetryPolicy is the soak runner's policy: 3 attempts, budget ×4 per
+// retry, 25ms base backoff with 50% jitter capped at 2s.
+func DefaultRetryPolicy() RetryPolicy { return system.DefaultRetryPolicy() }
+
+// RunContext is Run with cancellation and the Config.RunTimeout wall-clock
+// deadline; aborts surface as *AbortError, deadlocks as *DeadlockError.
+func RunContext(ctx context.Context, prof Profile, cfg Config) (*Result, error) {
+	return system.RunContext(ctx, prof, cfg)
+}
+
+// RunScaledContext is RunScaled with cancellation.
+func RunScaledContext(ctx context.Context, prof Profile, cfg Config, totalChunks int) (*Result, error) {
+	return system.RunScaledContext(ctx, prof, cfg, totalChunks)
+}
+
+// RunWithRetry runs with the retry policy applied to transient aborts; the
+// attempt history is recorded on the Result (success) or in the returned
+// *RetryError (final failure).
+func RunWithRetry(ctx context.Context, prof Profile, cfg Config, pol RetryPolicy) (*Result, error) {
+	return system.RunWithRetry(ctx, prof, cfg, pol)
 }
 
 // Splash2 returns the 11 SPLASH-2 application models.

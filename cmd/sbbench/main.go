@@ -14,15 +14,23 @@
 // Output is a JSON report (-o) and, optionally, a benchstat-compatible text
 // file (-gobench) for comparison against bench/baseline.txt. Everything is
 // seeded and deterministic except wall-clock timings.
+//
+// Exit codes: 0 success; 1 setup/internal error; 2 aborted by SIGINT/SIGTERM
+// or the -timeout budget; 3 completed with sweep point failures (crash
+// bundles land in -crashdir).
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
 	"runtime"
+	"syscall"
 	"testing"
 	"time"
 
@@ -72,16 +80,25 @@ type report struct {
 }
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	testing.Init() // registers -test.benchtime, which micro() adjusts per mode
 	var (
-		quick   = flag.Bool("quick", false, "CI smoke mode: shorter micro runs, skip the serial sweep")
-		chunks  = flag.Int("chunks", 4, "Session ChunksPerCore (figure-sweep sizing)")
-		seed    = flag.Int64("seed", 1, "simulation seed")
-		par     = flag.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
-		outPath = flag.String("o", "BENCH_PR2.json", "JSON report path (- for stdout)")
-		gobench = flag.String("gobench", "", "also write benchstat-compatible text to this path")
+		quick    = flag.Bool("quick", false, "CI smoke mode: shorter micro runs, skip the serial sweep")
+		chunks   = flag.Int("chunks", 4, "Session ChunksPerCore (figure-sweep sizing)")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		par      = flag.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
+		timeout  = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
+		crashDir = flag.String("crashdir", "", "directory for per-point crash bundles ('' disables)")
+		outPath  = flag.String("o", "BENCH_PR2.json", "JSON report path (- for stdout)")
+		gobench  = flag.String("gobench", "", "also write benchstat-compatible text to this path")
 	)
 	flag.Parse()
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
 
 	parallelism := *par
 	if parallelism <= 0 {
@@ -118,23 +135,35 @@ func main() {
 
 	fmt.Fprintln(os.Stderr, "== per-protocol runs (Barnes, 64 processors) ==")
 	for _, protocol := range scalablebulk.Protocols {
-		rep.Protocols = append(rep.Protocols, protocolRun(protocol, *chunks, *seed))
+		pr, err := protocolRun(ctx, protocol, *chunks, *seed, *timeout)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "sbbench: %s: %v\n", protocol, err)
+			if errors.Is(err, scalablebulk.ErrAborted) {
+				return 2
+			}
+			return 1
+		}
+		rep.Protocols = append(rep.Protocols, pr)
 	}
 
 	fmt.Fprintln(os.Stderr, "== figure sweep ==")
-	sw, figs := sweep(*chunks, *seed, parallelism, !*quick)
+	sw, figs, code := sweep(ctx, *chunks, *seed, parallelism, !*quick, *timeout, *crashDir)
 	rep.Sweep, rep.Figures = sw, figs
+	if code != 0 && code != 3 {
+		return code
+	}
 
 	if err := writeJSON(*outPath, &rep); err != nil {
 		fmt.Fprintln(os.Stderr, "sbbench:", err)
-		os.Exit(1)
+		return 1
 	}
 	if *gobench != "" {
 		if err := writeGobench(*gobench, &rep); err != nil {
 			fmt.Fprintln(os.Stderr, "sbbench:", err)
-			os.Exit(1)
+			return 1
 		}
 	}
+	return code
 }
 
 func micro(d time.Duration, fn func(*testing.B)) microResult {
@@ -264,22 +293,22 @@ func benchSigUnionRef(b *testing.B) {
 
 // protocolRun measures one full simulation: wall time, simulated
 // cycles/second of wall time, and heap allocations.
-func protocolRun(protocol string, chunks int, seed int64) protocolResult {
+func protocolRun(ctx context.Context, protocol string, chunks int, seed int64, timeout time.Duration) (protocolResult, error) {
 	prof, _ := scalablebulk.AppByName("Barnes")
 	cfg := scalablebulk.DefaultConfig(64, protocol)
 	cfg.ChunksPerCore = chunks
 	cfg.Seed = seed
+	cfg.RunTimeout = timeout
 
 	runtime.GC()
 	var before, after runtime.MemStats
 	runtime.ReadMemStats(&before)
 	start := time.Now()
-	res, err := scalablebulk.Run(prof, cfg)
+	res, err := scalablebulk.RunContext(ctx, prof, cfg)
 	wall := time.Since(start)
 	runtime.ReadMemStats(&after)
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "sbbench: %s: %v\n", protocol, err)
-		os.Exit(1)
+		return protocolResult{}, err
 	}
 	pr := protocolResult{
 		Protocol:     protocol,
@@ -293,20 +322,21 @@ func protocolRun(protocol string, chunks int, seed int64) protocolResult {
 	}
 	fmt.Fprintf(os.Stderr, "  %-18s %8.1f ms  %12.0f cycles/s  %9d mallocs\n",
 		protocol, pr.WallMS, pr.CyclesPerSec, pr.Mallocs)
-	return pr
+	return pr, nil
 }
 
 // sweep times the full figure sweep on the parallel engine and, when serial
 // is set, serially on a fresh session for the measured speedup. Figure
-// renders are timed afterward from the populated cache.
-func sweep(chunks int, seed int64, parallelism int, serial bool) (sweepResult, []figureResult) {
+// renders are timed afterward from the populated cache. The int is the
+// process exit code: 0 clean, 2 aborted, 3 point failures (figures skipped).
+func sweep(ctx context.Context, chunks int, seed int64, parallelism int, serial bool, timeout time.Duration, crashDir string) (sweepResult, []figureResult, int) {
+	configure := func(cfg *scalablebulk.Config) { cfg.RunTimeout = timeout }
 	s := scalablebulk.NewSession(chunks, seed, nil)
+	s.Configure = configure
+	s.CrashDir = crashDir
 	points := s.SweepPoints()
 	start := time.Now()
-	if err := s.Sweep(parallelism); err != nil {
-		fmt.Fprintln(os.Stderr, "sbbench: sweep:", err)
-		os.Exit(1)
-	}
+	out := s.SweepContext(ctx, points, parallelism)
 	parWall := time.Since(start)
 	sw := sweepResult{
 		Points:         len(points),
@@ -315,15 +345,20 @@ func sweep(chunks int, seed int64, parallelism int, serial bool) (sweepResult, [
 	}
 	fmt.Fprintf(os.Stderr, "  parallel sweep (%d points, j=%d): %.1f ms\n",
 		len(points), parallelism, sw.ParallelWallMS)
+	if code := sweepCode(out); code != 0 {
+		return sw, nil, code
+	}
 
 	if serial {
 		s2 := scalablebulk.NewSession(chunks, seed, nil)
+		s2.Configure = configure
+		s2.CrashDir = crashDir
 		start = time.Now()
-		if err := s2.SweepList(points, 1); err != nil {
-			fmt.Fprintln(os.Stderr, "sbbench: serial sweep:", err)
-			os.Exit(1)
-		}
+		out2 := s2.SweepContext(ctx, points, 1)
 		serWall := time.Since(start)
+		if code := sweepCode(out2); code != 0 {
+			return sw, nil, code
+		}
 		sw.SerialWallMS = float64(serWall.Microseconds()) / 1000
 		sw.Speedup = serWall.Seconds() / parWall.Seconds()
 		fmt.Fprintf(os.Stderr, "  serial sweep: %.1f ms (speedup %.2fx)\n", sw.SerialWallMS, sw.Speedup)
@@ -335,14 +370,30 @@ func sweep(chunks int, seed int64, parallelism int, serial bool) (sweepResult, [
 		start = time.Now()
 		if err := s.Figure(id); err != nil {
 			fmt.Fprintln(os.Stderr, "sbbench: figure:", err)
-			os.Exit(1)
+			return sw, figs, 1
 		}
 		figs = append(figs, figureResult{
 			Figure: fmt.Sprintf("Figure %d", id),
 			WallMS: float64(time.Since(start).Microseconds()) / 1000,
 		})
 	}
-	return sw, figs
+	return sw, figs, 0
+}
+
+// sweepCode maps a sweep outcome to the process exit code: failures beat
+// aborts so a crashed point isn't mistaken for a clean Ctrl-C.
+func sweepCode(out *scalablebulk.SweepOutcome) int {
+	for _, f := range out.Failures {
+		fmt.Fprintf(os.Stderr, "sbbench: FAIL %s/%s/%d: %v\n",
+			f.Point.App, f.Point.Protocol, f.Point.Cores, f.Err)
+	}
+	switch {
+	case len(out.Failures) > 0:
+		return 3
+	case out.Aborted:
+		return 2
+	}
+	return 0
 }
 
 func writeJSON(path string, rep *report) error {

@@ -6,32 +6,67 @@
 //	sbfig                  # regenerate every figure
 //	sbfig -fig 13          # just the commit-latency characterization
 //	sbfig -chunks 32       # higher-fidelity (slower) regeneration
+//	sbfig -journal f.jsonl # checkpoint the prefetch; kill + rerun resumes
+//
+// Exit codes: 0 success; 1 setup/internal error; 2 aborted by SIGINT/SIGTERM;
+// 3 prefetch completed with point failures.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
+	"syscall"
 	"time"
 
 	"scalablebulk"
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	fig := flag.Int("fig", 0, "figure number 7–19 (0 = all)")
 	chunks := flag.Int("chunks", 16, "chunks per core at 64 processors (whole-problem work = 64× this)")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	squash := flag.Bool("squash", false, "also print the §6.1 squash classification")
 	par := flag.Int("j", 0, "parallel simulations during prefetch (0 = all CPUs)")
+	journal := flag.String("journal", "", "JSONL checkpoint journal for the prefetch; an interrupted run resumes from it")
 	flag.Parse()
 
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
 	s := scalablebulk.NewSession(*chunks, *seed, os.Stdout)
+	if *journal != "" {
+		n, err := s.AttachJournal(*journal)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			return 1
+		}
+		defer s.Journal().Close()
+		fmt.Fprintf(os.Stderr, "journal %s: %d checkpointed point(s)\n", *journal, n)
+	}
 	if *fig == 0 {
 		// Regenerating everything: run the simulations in parallel first.
 		fmt.Fprintln(os.Stderr, "prefetching simulations...")
-		if err := s.Prefetch(*par); err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+		out := s.SweepContext(ctx, s.SweepPoints(), *par)
+		for _, f := range out.Failures {
+			fmt.Fprintf(os.Stderr, "sbfig: FAIL %s/%s/%d: %v\n",
+				f.Point.App, f.Point.Protocol, f.Point.Cores, f.Err)
+		}
+		if out.Restored > 0 {
+			fmt.Fprintf(os.Stderr, "restored %d point(s) from the journal\n", out.Restored)
+		}
+		switch {
+		case len(out.Failures) > 0:
+			return 3
+		case out.Aborted:
+			fmt.Fprintln(os.Stderr, "sbfig: aborted")
+			return 2
 		}
 	}
 	ids := scalablebulk.FigureIDs()
@@ -43,15 +78,16 @@ func main() {
 		fmt.Printf("\n================ Figure %d ================\n", id)
 		if err := s.Figure(id); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	if *squash || *fig == 0 {
 		fmt.Printf("\n================ §6.1 squashes ================\n")
 		if err := s.SquashSummary(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
+			return 1
 		}
 	}
 	fmt.Printf("\nregenerated in %v\n", time.Since(start).Round(time.Second))
+	return 0
 }

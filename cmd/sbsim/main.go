@@ -6,14 +6,21 @@
 //
 //	sbsim -app Radix -cores 64 -protocol ScalableBulk -chunks 32
 //	sbsim -list
+//
+// Exit codes: 0 success; 1 error (a panic writes a crash bundle when
+// -crashdir is set); 2 aborted by SIGINT/SIGTERM or the -timeout budget.
 package main
 
 import (
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
 	"scalablebulk"
 	"scalablebulk/internal/fault"
@@ -22,6 +29,10 @@ import (
 )
 
 func main() {
+	os.Exit(run())
+}
+
+func run() int {
 	app := flag.String("app", "Radix", "application model (see -list)")
 	cores := flag.Int("cores", 64, "number of processors (1, 32 or 64 in the paper)")
 	protocol := flag.String("protocol", scalablebulk.ProtoScalableBulk,
@@ -32,6 +43,9 @@ func main() {
 		"fault-injection profile: off | "+strings.Join(fault.Names(), " | "))
 	faultSeed := flag.Int64("faultseed", 0, "fault injector seed (0: reuse -seed); one (profile, seed) pair replays bit-identically")
 	checkInv := flag.Bool("check", false, "run the online invariant checker (violations fail the run)")
+	timeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none); exceeding it aborts with exit code 2")
+	crashDir := flag.String("crashdir", "", "write a JSON crash bundle here if the run panics")
+	retry := flag.Bool("retry", false, "retry transient MaxCycles aborts under faults with escalated budgets")
 	list := flag.Bool("list", false, "list application models and exit")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	flag.Parse()
@@ -40,13 +54,13 @@ func main() {
 		for _, p := range scalablebulk.Apps() {
 			fmt.Printf("%-14s %s\n", p.Name, p.Suite)
 		}
-		return
+		return 0
 	}
 
 	prof, ok := scalablebulk.AppByName(*app)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown app %q; try -list\n", *app)
-		os.Exit(1)
+		return 1
 	}
 	cfg := scalablebulk.DefaultConfig(*cores, *protocol)
 	cfg.ChunksPerCore = *chunks
@@ -54,21 +68,49 @@ func main() {
 	prof2, err := fault.ByName(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
 	cfg.Faults = prof2
 	cfg.FaultSeed = *faultSeed
 	cfg.Check = *checkInv
+	cfg.RunTimeout = *timeout
 
-	res, err := scalablebulk.Run(prof, cfg)
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var res *scalablebulk.Result
+	err = func() (err error) {
+		defer func() {
+			if rec := recover(); rec != nil {
+				pt := scalablebulk.Point{App: prof.Name, Protocol: *protocol, Cores: *cores}
+				cr := scalablebulk.NewCrashReport(pt, cfg, rec)
+				if *crashDir != "" {
+					if path, werr := scalablebulk.WriteCrashBundle(*crashDir, cr); werr == nil {
+						fmt.Fprintln(os.Stderr, "sbsim: crash bundle:", path)
+					} else {
+						fmt.Fprintln(os.Stderr, "sbsim: crash bundle write failed:", werr)
+					}
+				}
+				err = fmt.Errorf("panic: %s", cr.Panic)
+			}
+		}()
+		if *retry {
+			res, err = scalablebulk.RunWithRetry(ctx, prof, cfg, scalablebulk.DefaultRetryPolicy())
+		} else {
+			res, err = scalablebulk.RunContext(ctx, prof, cfg)
+		}
+		return err
+	}()
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		if errors.Is(err, scalablebulk.ErrAborted) {
+			return 2
+		}
+		return 1
 	}
 
 	if *asJSON {
-		emitJSON(res)
-		return
+		return emitJSON(res)
 	}
 
 	fmt.Printf("%s on %d processors under %s (%d chunks/core, seed %d)\n",
@@ -99,11 +141,16 @@ func main() {
 	if res.Checked {
 		fmt.Printf("  invariants:            checked, none violated\n")
 	}
+	if len(res.Attempts) > 1 {
+		fmt.Printf("  retry attempts:        %d (final budget %d cycles)\n",
+			len(res.Attempts), res.Attempts[len(res.Attempts)-1].MaxCycles)
+	}
+	return 0
 }
 
 // emitJSON prints the run's headline measurements as one JSON object, for
 // scripting sweeps around sbsim.
-func emitJSON(res *scalablebulk.Result) {
+func emitJSON(res *scalablebulk.Result) int {
 	dt, dw := res.Coll.MeanDirsPerCommit()
 	cls := stats.TrafficClasses(res.Traffic.ByKind)
 	classes := map[string]uint64{}
@@ -141,10 +188,14 @@ func emitJSON(res *scalablebulk.Result) {
 	if res.Checked {
 		out["invariantsChecked"] = true
 	}
+	if res.Attempts != nil {
+		out["attempts"] = res.Attempts
+	}
 	enc := json.NewEncoder(os.Stdout)
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		os.Exit(1)
+		return 1
 	}
+	return 0
 }

@@ -1,0 +1,224 @@
+// Command sbsoak is the long-soak runner: it sweeps applications ×
+// protocols × core counts under a fault profile across seed rounds, with
+// every resilience feature engaged — per-run wall-clock timeouts, per-point
+// panic isolation with crash bundles, retry-with-budget-escalation for
+// transient MaxCycles aborts, and a JSONL checkpoint journal so a soak
+// killed by SIGINT/SIGTERM resumes where it left off.
+//
+// Usage:
+//
+//	sbsoak                                  # default soak (chaos profile)
+//	sbsoak -quick                           # CI smoke matrix
+//	sbsoak -rounds 8 -faults loss -j 4      # 8 seed rounds of the loss profile
+//	sbsoak -journal soak.jsonl              # kill it; rerun resumes
+//
+// Exit codes: 0 all points completed; 1 setup/internal error; 2 aborted
+// (signal or deadline); 3 completed with point failures (see -crashdir).
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/signal"
+	"runtime"
+	"strconv"
+	"strings"
+	"syscall"
+	"time"
+
+	"scalablebulk"
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/fault"
+)
+
+type roundReport struct {
+	Seed      int64   `json:"seed"`
+	Profile   string  `json:"fault_profile"`
+	Points    int     `json:"points"`
+	Completed int     `json:"completed"`
+	Restored  int     `json:"restored"`
+	Failures  int     `json:"failures"`
+	WallMS    float64 `json:"wall_ms"`
+}
+
+type soakReport struct {
+	GeneratedBy string                      `json:"generated_by"`
+	Config      map[string]any              `json:"config"`
+	Rounds      []roundReport               `json:"rounds"`
+	Points      int                         `json:"points_total"`
+	Completed   int                         `json:"completed_total"`
+	Restored    int                         `json:"restored_total"`
+	Failures    []string                    `json:"failures,omitempty"`
+	Retried     []scalablebulk.JournalPoint `json:"retried,omitempty"`
+	Aborted     bool                        `json:"aborted"`
+}
+
+func main() {
+	os.Exit(run())
+}
+
+func run() int {
+	var (
+		journalPath = flag.String("journal", "sbsoak.journal.jsonl", "JSONL checkpoint journal; an interrupted soak resumes from it ('' disables)")
+		crashDir    = flag.String("crashdir", "crashes", "directory for per-point crash bundles ('' disables)")
+		chunks      = flag.Int("chunks", 4, "Session ChunksPerCore (whole-problem work = 64× this)")
+		seed        = flag.Int64("seed", 1, "base seed; round r uses seed+r")
+		rounds      = flag.Int("rounds", 2, "seed rounds to sweep")
+		faults      = flag.String("faults", "chaos",
+			"fault-injection profile: off | "+strings.Join(fault.Names(), " | "))
+		faultSeed = flag.Int64("faultseed", 0, "fault injector seed (0: reuse the run seed)")
+		apps      = flag.String("apps", "Radix,Barnes,FFT", "comma-separated application models")
+		protos    = flag.String("protocols", strings.Join(scalablebulk.Protocols, ","), "comma-separated protocols")
+		coresList = flag.String("cores", "8,16", "comma-separated core counts")
+		par       = flag.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
+		maxCycles = flag.Int64("maxcycles", 0, "starting cycle budget per run (0 = Table 2 default); small values exercise retry escalation")
+		retries   = flag.Int("retries", 3, "max attempts per point under faults (1 disables retry)")
+		outPath   = flag.String("o", "", "write a JSON soak report to this path (- for stdout)")
+		quick     = flag.Bool("quick", false, "CI smoke matrix: 2 apps × 4 protocols × 8 cores, 1 round, tiny chunks")
+	)
+	flag.Parse()
+
+	if *quick {
+		*apps, *coresList, *rounds, *chunks = "Radix,FFT", "8", 1, 2
+	}
+	profile, err := fault.ByName(*faults)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sbsoak:", err)
+		return 1
+	}
+	var points []scalablebulk.Point
+	coreCounts, err := splitInts(*coresList)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sbsoak:", err)
+		return 1
+	}
+	for _, app := range strings.Split(*apps, ",") {
+		if _, ok := scalablebulk.AppByName(app); !ok {
+			fmt.Fprintf(os.Stderr, "sbsoak: unknown app %q\n", app)
+			return 1
+		}
+		for _, protocol := range strings.Split(*protos, ",") {
+			for _, cores := range coreCounts {
+				points = append(points, scalablebulk.Point{App: app, Protocol: protocol, Cores: cores})
+			}
+		}
+	}
+	parallelism := *par
+	if parallelism <= 0 {
+		parallelism = runtime.GOMAXPROCS(0)
+	}
+
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+
+	var journal *scalablebulk.Journal
+	if *journalPath != "" {
+		journal, err = scalablebulk.OpenJournal(*journalPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbsoak:", err)
+			return 1
+		}
+		defer journal.Close()
+		fmt.Fprintf(os.Stderr, "journal %s: %d checkpointed point(s)\n", *journalPath, journal.Len())
+	}
+
+	rep := soakReport{
+		GeneratedBy: "cmd/sbsoak",
+		Config: map[string]any{
+			"chunks_per_core": *chunks, "seed": *seed, "rounds": *rounds,
+			"faults": *faults, "apps": *apps, "protocols": *protos,
+			"cores": *coresList, "parallelism": parallelism,
+			"timeout": timeout.String(), "maxcycles": *maxCycles,
+			"retries": *retries, "quick": *quick,
+		},
+	}
+	var failures []string
+	for r := 0; r < *rounds; r++ {
+		roundSeed := *seed + int64(r)
+		s := scalablebulk.NewSession(*chunks, roundSeed, nil)
+		s.CrashDir = *crashDir
+		s.Configure = func(cfg *scalablebulk.Config) {
+			cfg.Faults = profile
+			cfg.FaultSeed = *faultSeed
+			cfg.RunTimeout = *timeout
+			if *maxCycles > 0 {
+				cfg.MaxCycles = event.Time(*maxCycles)
+			}
+		}
+		if *retries > 1 {
+			pol := scalablebulk.DefaultRetryPolicy()
+			pol.MaxAttempts = *retries
+			s.Retry = &pol
+		}
+		if journal != nil {
+			s.UseJournal(journal)
+		}
+		start := time.Now()
+		out := s.SweepContext(ctx, points, parallelism)
+		rr := roundReport{
+			Seed: roundSeed, Profile: *faults, Points: out.Points,
+			Completed: out.Completed, Restored: out.Restored,
+			Failures: len(out.Failures),
+			WallMS:   float64(time.Since(start).Microseconds()) / 1000,
+		}
+		rep.Rounds = append(rep.Rounds, rr)
+		rep.Points += out.Points
+		rep.Completed += out.Completed
+		rep.Restored += out.Restored
+		for _, f := range out.Failures {
+			failures = append(failures, f.Err.Error())
+			fmt.Fprintf(os.Stderr, "FAIL %s/%s/%d: %v\n", f.Point.App, f.Point.Protocol, f.Point.Cores, f.Err)
+		}
+		fmt.Printf("round %d (seed %d, profile %s): points=%d completed=%d restored=%d failures=%d (%.1fs)\n",
+			r+1, roundSeed, *faults, rr.Points, rr.Completed, rr.Restored, rr.Failures,
+			time.Since(start).Seconds())
+		if out.Aborted {
+			rep.Aborted = true
+			break
+		}
+	}
+	rep.Failures = failures
+	if journal != nil {
+		for _, jp := range journal.Points() {
+			if len(jp.Attempts) > 1 {
+				rep.Retried = append(rep.Retried, jp)
+			}
+		}
+	}
+
+	fmt.Printf("sbsoak: done points=%d completed=%d restored=%d failures=%d aborted=%v\n",
+		rep.Points, rep.Completed, rep.Restored, len(failures), rep.Aborted)
+	if *outPath != "" {
+		data, _ := json.MarshalIndent(&rep, "", "  ")
+		data = append(data, '\n')
+		if *outPath == "-" {
+			os.Stdout.Write(data)
+		} else if err := os.WriteFile(*outPath, data, 0o644); err != nil {
+			fmt.Fprintln(os.Stderr, "sbsoak:", err)
+			return 1
+		}
+	}
+	switch {
+	case rep.Aborted:
+		return 2
+	case len(failures) > 0:
+		return 3
+	}
+	return 0
+}
+
+func splitInts(s string) ([]int, error) {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(part))
+		if err != nil {
+			return nil, fmt.Errorf("bad core count %q", part)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

@@ -1,11 +1,15 @@
 package scalablebulk
 
 import (
+	"context"
+	"errors"
 	"fmt"
 	"io"
 	"runtime"
 	"sort"
 	"sync"
+	"sync/atomic"
+	"time"
 
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/stats"
@@ -30,9 +34,34 @@ type Session struct {
 	// Seed makes every run deterministic.
 	Seed int64
 
-	mu    sync.Mutex
-	out   io.Writer
-	cache map[runKey]*cacheEntry
+	// Configure, when non-nil, adjusts each point's materialized Config
+	// before it runs (fault profiles, budgets, RunTimeout). It must be set
+	// before the first Result/Sweep call and be deterministic: the
+	// checkpoint journal keys entries by the configured Config's hash.
+	Configure func(*Config)
+	// Retry, when non-nil, retries transient MaxCycles aborts under fault
+	// profiles with escalated cycle budgets (see RunWithRetry). Set before
+	// first use.
+	Retry *RetryPolicy
+	// CrashDir, when non-empty, receives one JSON crash bundle per
+	// panicking point (panics are isolated per point either way — a panic
+	// becomes that point's *CrashError while the rest of the sweep keeps
+	// running). Set before first use.
+	CrashDir string
+
+	mu      sync.Mutex
+	out     io.Writer
+	cache   map[runKey]*cacheEntry
+	journal *Journal
+
+	// nRestored counts points satisfied from the journal (SweepOutcome
+	// reports per-sweep deltas).
+	nRestored atomic.Int64
+
+	// testPointHook, when non-nil, runs at the start of each point's
+	// simulation inside the worker's panic isolation — the test seam for
+	// injected panics and mid-sweep cancellation.
+	testPointHook func(Point)
 }
 
 type runKey struct {
@@ -90,11 +119,43 @@ func (s *Session) printf(format string, args ...any) {
 // TotalWork is the whole-problem chunk count shared by all machine sizes.
 func (s *Session) TotalWork() int { return 64 * s.ChunksPerCore }
 
+// UseJournal attaches an open checkpoint journal: completed points are
+// recorded to it and verified-complete entries are restored instead of
+// re-run. A journal may be shared by several Sessions (entries are keyed by
+// point and config hash). Attach before the first Result/Sweep call.
+func (s *Session) UseJournal(j *Journal) {
+	s.mu.Lock()
+	s.journal = j
+	s.mu.Unlock()
+}
+
+// AttachJournal opens (or creates) the JSONL checkpoint journal at path and
+// attaches it, returning the number of entries loaded.
+func (s *Session) AttachJournal(path string) (int, error) {
+	j, err := OpenJournal(path)
+	if err != nil {
+		return 0, err
+	}
+	s.UseJournal(j)
+	return j.Len(), nil
+}
+
+// Journal returns the attached journal, if any.
+func (s *Session) Journal() *Journal {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.journal
+}
+
 // Result runs (or returns the cached) simulation of app × protocol × cores.
 // Safe for concurrent use; concurrent requests for the same point share one
 // run (single flight).
 func (s *Session) Result(app, protocol string, cores int) (*Result, error) {
-	k := runKey{app, protocol, cores}
+	return s.result(context.Background(), Point{app, protocol, cores})
+}
+
+func (s *Session) result(ctx context.Context, p Point) (*Result, error) {
+	k := runKey{p.App, p.Protocol, p.Cores}
 	s.mu.Lock()
 	if s.cache == nil {
 		s.cache = map[runKey]*cacheEntry{}
@@ -106,22 +167,90 @@ func (s *Session) Result(app, protocol string, cores int) (*Result, error) {
 	}
 	s.mu.Unlock()
 	if ok {
-		<-e.done
-		return e.res, e.err
+		select {
+		case <-e.done:
+			return e.res, e.err
+		case <-ctx.Done():
+			return nil, &AbortError{App: p.App, Protocol: p.Protocol,
+				Cores: p.Cores, Cause: ctx.Err()}
+		}
 	}
-	e.res, e.err = s.run(k)
+	e.res, e.err = s.run(ctx, k)
+	if e.err != nil && errors.Is(e.err, ErrAborted) {
+		// An abort is a withdrawn budget, not a result: drop the cache slot
+		// so a later call — e.g. a resumed sweep on this session — re-runs
+		// the point instead of replaying the abort.
+		s.mu.Lock()
+		delete(s.cache, k)
+		s.mu.Unlock()
+	}
 	close(e.done)
 	return e.res, e.err
 }
 
-func (s *Session) run(k runKey) (*Result, error) {
+// pointConfig materializes one point's Config: Table 2 defaults, the
+// session's strong-scaling work division and seed, then the Configure hook.
+func (s *Session) pointConfig(k runKey) Config {
+	cfg := DefaultConfig(k.cores, k.protocol)
+	cfg.Seed = s.Seed
+	cfg.ChunksPerCore = s.TotalWork() / k.cores
+	if cfg.ChunksPerCore < 1 {
+		cfg.ChunksPerCore = 1
+	}
+	if s.Configure != nil {
+		s.Configure(&cfg)
+	}
+	return cfg
+}
+
+func (s *Session) run(ctx context.Context, k runKey) (res *Result, err error) {
+	p := Point{k.app, k.protocol, k.cores}
 	prof, ok := workload.ByName(k.app)
 	if !ok {
 		return nil, fmt.Errorf("unknown application %q", k.app)
 	}
-	cfg := DefaultConfig(k.cores, k.protocol)
-	cfg.Seed = s.Seed
-	return RunScaled(prof, cfg, s.TotalWork())
+	cfg := s.pointConfig(k)
+	hash := ConfigHash(cfg)
+	if j := s.Journal(); j != nil {
+		if r, attempts, ok := j.Lookup(p, hash); ok {
+			r.Attempts = attempts
+			s.nRestored.Add(1)
+			return r, nil
+		}
+	}
+	start := time.Now()
+	// Panic isolation: a panicking point resolves to a *CrashError (with a
+	// crash bundle when CrashDir is set) instead of unwinding the worker.
+	defer func() {
+		if rec := recover(); rec != nil {
+			cr := NewCrashReport(p, cfg, rec)
+			ce := &CrashError{Point: p, Report: cr}
+			if s.CrashDir != "" {
+				ce.BundlePath, ce.WriteErr = WriteCrashBundle(s.CrashDir, cr)
+			}
+			res, err = nil, ce
+		}
+	}()
+	if s.testPointHook != nil {
+		s.testPointHook(p)
+	}
+	if s.Retry != nil {
+		res, err = RunWithRetry(ctx, prof, cfg, *s.Retry)
+	} else {
+		res, err = RunContext(ctx, prof, cfg)
+	}
+	if err != nil {
+		return nil, err
+	}
+	if j := s.Journal(); j != nil {
+		if jerr := j.Record(p, hash, res, time.Since(start)); jerr != nil {
+			// A completed point the journal cannot persist is a real
+			// failure for a durable sweep: surface it rather than let a
+			// resume silently redo (or worse, trust stale) work.
+			return nil, fmt.Errorf("journal %s: %w", j.Path(), jerr)
+		}
+	}
+	return res, nil
 }
 
 // SweepPoints enumerates, in a fixed deterministic order, every simulation
@@ -152,36 +281,117 @@ func (s *Session) Sweep(parallelism int) error {
 
 // SweepList is Sweep over an arbitrary point list.
 func (s *Session) SweepList(points []Point, parallelism int) error {
+	return s.SweepContext(context.Background(), points, parallelism).Err()
+}
+
+// PointFailure is one failed sweep point (its error may be a *CrashError).
+type PointFailure struct {
+	Point Point
+	Err   error
+}
+
+// SweepOutcome summarizes a sweep: it distinguishes "completed with point
+// failures" (some points crashed or errored while the rest ran to the end)
+// from "aborted" (the context was canceled or its deadline passed, leaving
+// points unrun).
+type SweepOutcome struct {
+	// Points is the number of points requested.
+	Points int
+	// Completed counts points that produced a result (run, cached, or
+	// restored from the journal).
+	Completed int
+	// Restored counts points satisfied from the checkpoint journal during
+	// this sweep (a subset of Completed).
+	Restored int
+	// Failures lists failed points in input order, deduplicated. Aborted
+	// points are not failures; they simply were not run.
+	Failures []PointFailure
+	// Aborted reports that the sweep stopped early on cancellation or
+	// deadline.
+	Aborted bool
+}
+
+// Err reduces the outcome to the historical Sweep contract: the error of the
+// earliest failing point in input order, ErrAborted for a clean-but-aborted
+// sweep, nil otherwise.
+func (o *SweepOutcome) Err() error {
+	if len(o.Failures) > 0 {
+		return o.Failures[0].Err
+	}
+	if o.Aborted {
+		return ErrAborted
+	}
+	return nil
+}
+
+// SweepContext runs the points on a bounded worker pool with cancellation:
+// when ctx is canceled, workers stop claiming points, in-flight simulations
+// abort at their next cancellation poll, and the outcome reports Aborted. A
+// panicking point is isolated into a *CrashError (and a crash bundle when
+// CrashDir is set) while the remaining points keep running; every completed
+// point is recorded in the attached journal, so an interrupted sweep resumes
+// where it left off.
+func (s *Session) SweepContext(ctx context.Context, points []Point, parallelism int) *SweepOutcome {
 	if parallelism <= 0 {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 	if parallelism > len(points) {
 		parallelism = len(points)
 	}
-	errs := make([]error, len(points))
+	restored0 := s.nRestored.Load()
+	type slot struct {
+		ran bool
+		err error
+	}
+	slots := make([]slot, len(points))
+	work := make(chan int, len(points))
+	for i := range points {
+		work <- i
+	}
+	close(work)
 	var wg sync.WaitGroup
-	work := make(chan int)
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
 		go func() {
 			defer wg.Done()
 			for i := range work {
-				p := points[i]
-				_, errs[i] = s.Result(p.App, p.Protocol, p.Cores)
+				if ctx.Err() != nil {
+					return // unclaimed points stay !ran
+				}
+				_, err := s.result(ctx, points[i])
+				slots[i] = slot{ran: true, err: err}
 			}
 		}()
 	}
-	for i := range points {
-		work <- i
-	}
-	close(work)
 	wg.Wait()
-	for _, err := range errs {
-		if err != nil {
-			return err
+	out := &SweepOutcome{Points: len(points), Aborted: ctx.Err() != nil}
+	seen := map[Point]bool{}
+	for i, sl := range slots {
+		switch {
+		case !sl.ran:
+			// not claimed: only happens on abort
+		case sl.err == nil:
+			out.Completed++
+		case errors.Is(sl.err, ErrAborted):
+			out.Aborted = true
+		case !seen[points[i]]:
+			seen[points[i]] = true
+			out.Failures = append(out.Failures, PointFailure{points[i], sl.err})
 		}
 	}
-	return nil
+	out.Restored = int(s.nRestored.Load() - restored0)
+	return out
+}
+
+// Resume attaches the checkpoint journal at path and sweeps every
+// SweepPoints point: verified-complete points are restored from the journal
+// and only the remainder is simulated, so an interrupted sweep continues
+// where it left off and still produces byte-identical figure output.
+func (s *Session) Resume(ctx context.Context, path string, parallelism int) (*SweepOutcome, error) {
+	if _, err := s.AttachJournal(path); err != nil {
+		return nil, err
+	}
+	return s.SweepContext(ctx, s.SweepPoints(), parallelism), nil
 }
 
 // Prefetch is the historical name of Sweep, kept for callers that predate

@@ -1,0 +1,197 @@
+package system
+
+import (
+	"context"
+	"errors"
+	"strings"
+	"testing"
+	"time"
+
+	"scalablebulk/internal/fault"
+	"scalablebulk/internal/sig"
+	"scalablebulk/internal/workload"
+)
+
+func mustApp(t *testing.T, name string) workload.Profile {
+	t.Helper()
+	prof, ok := workload.ByName(name)
+	if !ok {
+		t.Fatalf("unknown app %q", name)
+	}
+	return prof
+}
+
+// TestRunContextCancel: a canceled context aborts the run with an
+// *AbortError that matches both ErrAborted and context.Canceled — and does
+// NOT match ErrDeadlock, so callers can tell a withdrawn budget from a
+// stuck machine.
+func TestRunContextCancel(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	_, err := RunContext(ctx, mustApp(t, "Radix"), quickCfg(8, ProtoScalableBulk))
+	if err == nil {
+		t.Fatal("expected abort, got success")
+	}
+	if !errors.Is(err, ErrAborted) {
+		t.Errorf("errors.Is(err, ErrAborted) = false for %v", err)
+	}
+	if !errors.Is(err, context.Canceled) {
+		t.Errorf("errors.Is(err, context.Canceled) = false for %v", err)
+	}
+	if errors.Is(err, ErrDeadlock) {
+		t.Errorf("cancellation must not look like a deadlock: %v", err)
+	}
+	var ae *AbortError
+	if !errors.As(err, &ae) {
+		t.Fatalf("expected *AbortError, got %T", err)
+	}
+	if ae.App != "Radix" || ae.Cores != 8 {
+		t.Errorf("AbortError context = %s/%d, want Radix/8", ae.App, ae.Cores)
+	}
+}
+
+// TestRunTimeout: Config.RunTimeout imposes a wall-clock deadline whose
+// abort carries context.DeadlineExceeded as the cause.
+func TestRunTimeout(t *testing.T) {
+	cfg := quickCfg(64, ProtoScalableBulk)
+	cfg.RunTimeout = time.Nanosecond
+	_, err := RunContext(context.Background(), mustApp(t, "Barnes"), cfg)
+	if err == nil {
+		t.Fatal("expected deadline abort, got success")
+	}
+	if !errors.Is(err, ErrAborted) || !errors.Is(err, context.DeadlineExceeded) {
+		t.Errorf("want ErrAborted + DeadlineExceeded, got %v", err)
+	}
+}
+
+// TestDumpTruncated: a 64-core deadlock dump is bounded at MaxDumpLines
+// with an explicit elided-line count, so error logs stay small.
+func TestDumpTruncated(t *testing.T) {
+	cfg := quickCfg(64, ProtoScalableBulk)
+	cfg.MaxCycles = 1000
+	_, err := Run(mustApp(t, "Barnes"), cfg)
+	var de *DeadlockError
+	if !errors.As(err, &de) {
+		t.Fatalf("expected *DeadlockError, got %v", err)
+	}
+	if !de.BudgetExhausted {
+		t.Error("MaxCycles abort must set BudgetExhausted")
+	}
+	if !strings.Contains(de.Dump, "more lines elided") {
+		t.Errorf("64-core dump should be truncated, got %d bytes without marker", len(de.Dump))
+	}
+	if n := strings.Count(de.Dump, "\n") + 1; n > MaxDumpLines+1 {
+		t.Errorf("dump has %d lines, want <= %d", n, MaxDumpLines+1)
+	}
+}
+
+func TestTruncateLines(t *testing.T) {
+	in := "a\nb\nc\nd"
+	if got := truncateLines(in, 4); got != in {
+		t.Errorf("no-op truncation changed the dump: %q", got)
+	}
+	if got := truncateLines(in, 2); got != "a\nb\n... (2 more lines elided)" {
+		t.Errorf("truncateLines(.., 2) = %q", got)
+	}
+}
+
+// TestRunPanicWrapping: a panic escaping the simulation is re-panicked as a
+// *RunPanic carrying the simulated cycle, a machine dump and the original
+// stack — the raw material for crash bundles.
+func TestRunPanicWrapping(t *testing.T) {
+	cfg := quickCfg(8, ProtoScalableBulk)
+	cfg.OnApplyWrite = func(sig.Line, int) { panic("injected fault") }
+	var rec any
+	func() {
+		defer func() { rec = recover() }()
+		_, _ = Run(mustApp(t, "Radix"), cfg)
+	}()
+	rp, ok := rec.(*RunPanic)
+	if !ok {
+		t.Fatalf("expected *RunPanic, got %T (%v)", rec, rec)
+	}
+	if rp.Value != "injected fault" {
+		t.Errorf("Value = %v, want the original panic value", rp.Value)
+	}
+	if rp.App != "Radix" || rp.Protocol != ProtoScalableBulk || rp.Cores != 8 {
+		t.Errorf("machine context = %s/%s/%d", rp.App, rp.Protocol, rp.Cores)
+	}
+	if rp.Cycle == 0 {
+		t.Error("Cycle = 0; the panic fired mid-run")
+	}
+	if rp.Stack == "" || !strings.Contains(rp.Stack, "goroutine") {
+		t.Error("Stack missing the Go stack trace")
+	}
+	if rp.Dump == "" {
+		t.Error("Dump empty; the machine state at the panic is lost")
+	}
+}
+
+// TestRetryEscalationConverges: under a fault profile, a MaxCycles abort is
+// transient — RunWithRetry escalates the budget until the run converges on
+// the same deterministic result a clean run produces, and records the
+// attempt history.
+func TestRetryEscalationConverges(t *testing.T) {
+	prof := mustApp(t, "Radix")
+	cfg := DefaultConfig(8, ProtoScalableBulk)
+	cfg.ChunksPerCore = 4
+	cfg.Seed = 3
+	chaos, err := fault.ByName("chaos")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg.Faults = chaos
+
+	clean, err := Run(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	cfg.MaxCycles = clean.Cycles / 2
+	if _, err := Run(prof, cfg); !Retryable(err, cfg) {
+		t.Fatalf("halved budget should be a retryable abort, got %v", err)
+	}
+
+	var slept []time.Duration
+	pol := RetryPolicy{MaxAttempts: 4, BudgetFactor: 4,
+		Sleep: func(d time.Duration) { slept = append(slept, d) }}
+	res, err := RunWithRetry(context.Background(), prof, cfg, pol)
+	if err != nil {
+		t.Fatalf("retry did not converge: %v", err)
+	}
+	if res.Cycles != clean.Cycles {
+		t.Errorf("retried result diverged: %d cycles, clean run %d", res.Cycles, clean.Cycles)
+	}
+	if len(res.Attempts) != 2 {
+		t.Fatalf("attempts = %d, want 2 (one abort, one success)", len(res.Attempts))
+	}
+	if a := res.Attempts[0]; a.Outcome == "ok" || a.AbortCycle == 0 {
+		t.Errorf("first attempt should record the abort: %+v", a)
+	}
+	if a := res.Attempts[1]; a.Outcome != "ok" || a.MaxCycles != cfg.MaxCycles*4 {
+		t.Errorf("second attempt should succeed at 4x budget: %+v", a)
+	}
+	if len(slept) != 1 {
+		t.Errorf("backoffs = %d, want 1", len(slept))
+	}
+}
+
+// TestRetryRefusesFaultFreeDeadlock: without a fault profile a MaxCycles
+// abort is a real bug, not noise — RunWithRetry fails after one attempt and
+// the error still matches ErrDeadlock.
+func TestRetryRefusesFaultFreeDeadlock(t *testing.T) {
+	cfg := quickCfg(8, ProtoScalableBulk)
+	cfg.MaxCycles = 1000
+	pol := RetryPolicy{Sleep: func(time.Duration) {}}
+	_, err := RunWithRetry(context.Background(), mustApp(t, "Radix"), cfg, pol)
+	var re *RetryError
+	if !errors.As(err, &re) {
+		t.Fatalf("expected *RetryError, got %v", err)
+	}
+	if len(re.Attempts) != 1 {
+		t.Errorf("attempts = %d, want 1 (non-retryable)", len(re.Attempts))
+	}
+	if !errors.Is(err, ErrDeadlock) {
+		t.Errorf("RetryError should unwrap to the deadlock: %v", err)
+	}
+}

@@ -6,9 +6,12 @@
 package system
 
 import (
+	"context"
 	"errors"
 	"fmt"
+	"runtime/debug"
 	"strings"
+	"time"
 
 	"scalablebulk/internal/bulksc"
 	"scalablebulk/internal/cache"
@@ -65,6 +68,11 @@ type Config struct {
 	// MaxCycles aborts a run that exceeds this time (deadlock guard).
 	MaxCycles event.Time
 
+	// RunTimeout, when nonzero, aborts a run whose wall-clock time exceeds
+	// it with an *AbortError (Cause context.DeadlineExceeded). Purely a
+	// budget: it cannot perturb the results of a run that completes.
+	RunTimeout time.Duration
+
 	// OnAbort, when set, receives the machine state if the run aborts
 	// (deadlock or MaxCycles) — a debugging hook.
 	OnAbort func(procs []*proc.Proc, proto dir.Protocol)
@@ -119,6 +127,11 @@ type DeadlockError struct {
 	Cycle    event.Time
 	Reason   string // "event queue empty" or "exceeded MaxCycles=N"
 	Dump     string // per-processor pipeline state + protocol module state
+	// BudgetExhausted marks a MaxCycles abort (as opposed to an empty event
+	// queue). Under an enabled fault profile these are treated as transient
+	// — slow but live — and are retried by RunWithRetry with an escalated
+	// budget.
+	BudgetExhausted bool
 }
 
 func (e *DeadlockError) Error() string {
@@ -133,8 +146,24 @@ func (e *DeadlockError) Error() string {
 // Unwrap lets errors.Is(err, ErrDeadlock) match.
 func (e *DeadlockError) Unwrap() error { return ErrDeadlock }
 
+// MaxDumpLines bounds the machine dump embedded in DeadlockErrors and crash
+// bundles: a 64-core dump (one line per stuck processor plus per-module
+// protocol state) is truncated past this many lines with an elided-line
+// count, so error logs and crash bundles stay small.
+const MaxDumpLines = 48
+
+// truncateLines caps s at max lines, appending how many were elided.
+func truncateLines(s string, max int) string {
+	lines := strings.Split(s, "\n")
+	if len(lines) <= max {
+		return s
+	}
+	return strings.Join(lines[:max], "\n") +
+		fmt.Sprintf("\n... (%d more lines elided)", len(lines)-max)
+}
+
 // dumpMachine renders the stuck processors and the protocol's per-module
-// state (any engine exposing DebugModule).
+// state (any engine exposing DebugModule), truncated to MaxDumpLines.
 func dumpMachine(procs []*proc.Proc, proto dir.Protocol) string {
 	var b strings.Builder
 	for _, p := range procs {
@@ -149,7 +178,7 @@ func dumpMachine(procs []*proc.Proc, proto dir.Protocol) string {
 			}
 		}
 	}
-	return strings.TrimRight(b.String(), "\n")
+	return truncateLines(strings.TrimRight(b.String(), "\n"), MaxDumpLines)
 }
 
 // Result is everything a run measured.
@@ -181,6 +210,12 @@ type Result struct {
 	// Checked reports whether the invariant checker ran (and found nothing:
 	// a run with violations returns an error instead).
 	Checked bool
+
+	// Attempts is the retry history when the run went through RunWithRetry
+	// (a single entry for a first-attempt success). Deliberately excluded
+	// from result fingerprints: the measurements of a completed run do not
+	// depend on how many escalations it took to fit the cycle budget.
+	Attempts []RunAttempt
 }
 
 // MeanCommitLatency is a convenience accessor (Figure 13).
@@ -212,10 +247,36 @@ func (r *Result) Validate() error {
 
 // Run simulates one (application, machine, protocol) combination.
 func Run(prof workload.Profile, cfg Config) (*Result, error) {
+	return RunContext(context.Background(), prof, cfg)
+}
+
+// RunContext is Run with cancellation: the event loop polls ctx (and the
+// RunTimeout wall-clock deadline, if set) every ctxPollInterval events and
+// aborts with an *AbortError, leaving deadlocks to *DeadlockError. A panic
+// escaping the simulation is re-panicked wrapped in *RunPanic carrying the
+// machine state, for sweep workers to recover into crash bundles.
+func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result, error) {
 	if cfg.Cores <= 0 {
 		return nil, fmt.Errorf("system: need at least one core")
 	}
 	eng := event.New()
+	var procs []*proc.Proc
+	var proto dir.Protocol
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*RunPanic); ok {
+				panic(r)
+			}
+			rp := &RunPanic{
+				App: prof.Name, Protocol: cfg.Protocol, Cores: cfg.Cores,
+				Cycle: eng.Now(), Value: r, Stack: string(debug.Stack()),
+			}
+			if len(procs) > 0 && proto != nil {
+				rp.Dump = dumpMachine(procs, proto)
+			}
+			panic(rp)
+		}
+	}()
 	net := mesh.New(eng, mesh.Config{
 		Nodes: cfg.Cores, LinkLatency: cfg.LinkLatency, Contention: cfg.Contention,
 	})
@@ -254,7 +315,6 @@ func Run(prof workload.Profile, cfg Config) (*Result, error) {
 		}
 	}
 
-	var proto dir.Protocol
 	pcfg := proc.DefaultConfig()
 	pcfg.Seed = cfg.Seed
 	switch cfg.Protocol {
@@ -289,7 +349,7 @@ func Run(prof workload.Profile, cfg Config) (*Result, error) {
 	}
 
 	gen := workload.New(prof, cfg.Cores, cfg.Seed)
-	procs := make([]*proc.Proc, cfg.Cores)
+	procs = make([]*proc.Proc, cfg.Cores)
 	env.Cores = make([]dir.Core, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		procs[i] = proc.New(env, proto, gen, i, cfg.ChunksPerCore, cfg.L1, cfg.L2, pcfg)
@@ -341,21 +401,41 @@ func Run(prof workload.Profile, cfg Config) (*Result, error) {
 		}
 		return true
 	}
-	abort := func(reason string) error {
+	abort := func(reason string, budget bool) error {
 		if cfg.OnAbort != nil {
 			cfg.OnAbort(procs, proto)
 		}
 		return &DeadlockError{
 			App: prof.Name, Protocol: cfg.Protocol, Cores: cfg.Cores,
 			Cycle: eng.Now(), Reason: reason, Dump: dumpMachine(procs, proto),
+			BudgetExhausted: budget,
 		}
 	}
+	abortCtx := func(cause error) error {
+		return &AbortError{
+			App: prof.Name, Protocol: cfg.Protocol, Cores: cfg.Cores,
+			Cycle: eng.Now(), Cause: cause,
+		}
+	}
+	var deadline time.Time
+	if cfg.RunTimeout > 0 {
+		deadline = time.Now().Add(cfg.RunTimeout)
+	}
+	steps := 0
 	for !allDone() {
 		if !eng.Step() {
-			return nil, abort("event queue empty")
+			return nil, abort("event queue empty", false)
 		}
 		if eng.Now() > cfg.MaxCycles {
-			return nil, abort(fmt.Sprintf("exceeded MaxCycles=%d", cfg.MaxCycles))
+			return nil, abort(fmt.Sprintf("exceeded MaxCycles=%d", cfg.MaxCycles), true)
+		}
+		if steps++; steps%ctxPollInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, abortCtx(err)
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return nil, abortCtx(context.DeadlineExceeded)
+			}
 		}
 	}
 	if chk != nil {
@@ -404,9 +484,14 @@ func TotalWork(cfg Config) int { return cfg.Cores * cfg.ChunksPerCore }
 // `totalChunks` divided evenly (the paper's strong-scaling setup: the same
 // reference input on 1, 32 or 64 threads).
 func RunScaled(prof workload.Profile, cfg Config, totalChunks int) (*Result, error) {
+	return RunScaledContext(context.Background(), prof, cfg, totalChunks)
+}
+
+// RunScaledContext is RunScaled with cancellation (see RunContext).
+func RunScaledContext(ctx context.Context, prof workload.Profile, cfg Config, totalChunks int) (*Result, error) {
 	cfg.ChunksPerCore = totalChunks / cfg.Cores
 	if cfg.ChunksPerCore < 1 {
 		cfg.ChunksPerCore = 1
 	}
-	return Run(prof, cfg)
+	return RunContext(ctx, prof, cfg)
 }

@@ -1,0 +1,357 @@
+package scalablebulk
+
+// Execution-resilience support for sweeps and soaks: per-point crash bundles
+// (a panicking point becomes a JSON report instead of killing the sweep) and
+// a JSONL checkpoint journal of completed points, fingerprint-verified on
+// load so Session.Resume can skip verified-complete work and an interrupted
+// sweep still produces byte-identical figure output. See DESIGN.md §10.
+
+import (
+	"bytes"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"path/filepath"
+	"runtime/debug"
+	"sync"
+	"time"
+
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/fault"
+	"scalablebulk/internal/mesh"
+	"scalablebulk/internal/stats"
+	"scalablebulk/internal/system"
+)
+
+// configSignature canonicalizes every result-determining Config field. The
+// journal keys entries by its hash, so a journal is only reused against the
+// exact machine, workload sizing, seed and fault schedule that produced it.
+// MaxCycles and RunTimeout are deliberately excluded: they are budgets, and
+// the measurements of a run that completed do not depend on them.
+func configSignature(cfg Config) string {
+	faults := "off"
+	if cfg.Faults.Enabled() {
+		faults = cfg.Faults.Name
+	}
+	return fmt.Sprintf(
+		"v1 cores=%d proto=%s chunks=%d warmup=%d seed=%d link=%d mem=%d dir=%d cont=%t l1=%d/%d l2=%d/%d sb=%+v faults=%s fseed=%d check=%t",
+		cfg.Cores, cfg.Protocol, cfg.ChunksPerCore, cfg.WarmupChunks, cfg.Seed,
+		cfg.LinkLatency, cfg.MemLatency, cfg.DirLookup, cfg.Contention,
+		cfg.L1.SizeBytes, cfg.L1.Assoc, cfg.L2.SizeBytes, cfg.L2.Assoc,
+		cfg.SB, faults, cfg.FaultSeed, cfg.Check)
+}
+
+// ConfigHash is the short hex digest of the config's canonical signature,
+// used as the journal key alongside the point.
+func ConfigHash(cfg Config) string {
+	h := sha256.Sum256([]byte(configSignature(cfg)))
+	return hex.EncodeToString(h[:8])
+}
+
+func fingerprintHash(fp string) string {
+	h := sha256.Sum256([]byte(fp))
+	return hex.EncodeToString(h[:])
+}
+
+// CrashReport is the crash-bundle schema: everything needed to reproduce and
+// diagnose one panicking sweep point. Written as JSON under the crash
+// directory while the remaining points keep running.
+type CrashReport struct {
+	Time         string              `json:"time"`
+	App          string              `json:"app"`
+	Protocol     string              `json:"protocol"`
+	Cores        int                 `json:"cores"`
+	Seed         int64               `json:"seed"`
+	FaultProfile string              `json:"fault_profile,omitempty"`
+	FaultSeed    int64               `json:"fault_seed,omitempty"`
+	ConfigHash   string              `json:"config_hash"`
+	Cycle        event.Time          `json:"cycle_reached,omitempty"`
+	Panic        string              `json:"panic"`
+	MachineDump  string              `json:"machine_dump,omitempty"` // truncated (system.MaxDumpLines)
+	Stack        string              `json:"stack"`
+	Attempts     []system.RunAttempt `json:"attempts,omitempty"`
+}
+
+// NewCrashReport builds the crash bundle for a panic value recovered while
+// running point p under cfg. If the panic unwound out of the simulator it
+// arrives wrapped in *system.RunPanic, which carries the simulated cycle
+// reached, the truncated machine dump and the original stack; a bare value
+// gets the recovery site's stack instead.
+func NewCrashReport(p Point, cfg Config, recovered any) *CrashReport {
+	cr := &CrashReport{
+		Time: time.Now().UTC().Format(time.RFC3339),
+		App:  p.App, Protocol: p.Protocol, Cores: p.Cores,
+		Seed:       cfg.Seed,
+		ConfigHash: ConfigHash(cfg),
+		Panic:      fmt.Sprint(recovered),
+		Stack:      string(debug.Stack()),
+	}
+	if cfg.Faults.Enabled() {
+		cr.FaultProfile = cfg.Faults.Name
+		cr.FaultSeed = cfg.FaultSeed
+	}
+	if rp, ok := recovered.(*system.RunPanic); ok {
+		cr.Cycle = rp.Cycle
+		cr.MachineDump = rp.Dump
+		cr.Stack = rp.Stack
+		cr.Panic = fmt.Sprint(rp.Value)
+	}
+	return cr
+}
+
+// WriteCrashBundle writes the report as an indented JSON file under dir
+// (created if needed) and returns its path.
+func WriteCrashBundle(dir string, r *CrashReport) (string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	data, err := json.MarshalIndent(r, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	path := filepath.Join(dir, fmt.Sprintf("crash-%s-%s-%d-%d.json",
+		sanitizeName(r.App), sanitizeName(r.Protocol), r.Cores, time.Now().UnixNano()))
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return "", err
+	}
+	return path, nil
+}
+
+func sanitizeName(s string) string {
+	out := make([]rune, 0, len(s))
+	for _, r := range s {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= 'A' && r <= 'Z' || r >= '0' && r <= '9' || r == '-':
+			out = append(out, r)
+		default:
+			out = append(out, '_')
+		}
+	}
+	return string(out)
+}
+
+// CrashError is the error a panicking sweep point resolves to: the point
+// keeps its slot in the sweep's failure summary while the remaining points
+// run to completion.
+type CrashError struct {
+	Point      Point
+	Report     *CrashReport
+	BundlePath string // "" when no crash directory was configured
+	WriteErr   error  // non-nil if writing the bundle itself failed
+}
+
+func (e *CrashError) Error() string {
+	s := fmt.Sprintf("point %s/%s/%d panicked: %s",
+		e.Point.App, e.Point.Protocol, e.Point.Cores, e.Report.Panic)
+	if e.BundlePath != "" {
+		s += " (crash bundle: " + e.BundlePath + ")"
+	}
+	if e.WriteErr != nil {
+		s += fmt.Sprintf(" (crash bundle write failed: %v)", e.WriteErr)
+	}
+	return s
+}
+
+// resultJSON is the restorable subset of Result persisted in the journal:
+// every field any figure reduction or ResultFingerprint reads. The live
+// protocol engine (Result.Proto) is run-scoped and not persisted — restored
+// results render figures, they don't expose engine diagnostics.
+type resultJSON struct {
+	App              string            `json:"app"`
+	Protocol         string            `json:"protocol"`
+	Cores            int               `json:"cores"`
+	Cycles           event.Time        `json:"cycles"`
+	Breakdown        stats.Breakdown   `json:"breakdown"`
+	PerCore          []stats.Breakdown `json:"per_core"`
+	ChunksCommitted  uint64            `json:"chunks_committed"`
+	Squashes         int               `json:"squashes"`
+	PerCoreCommitted []int             `json:"per_core_committed"`
+	Coll             *stats.Collector  `json:"collector"`
+	Traffic          mesh.Stats        `json:"traffic"`
+	Faults           *fault.Stats      `json:"faults,omitempty"`
+	Checked          bool              `json:"checked,omitempty"`
+}
+
+func toResultJSON(r *Result) *resultJSON {
+	return &resultJSON{
+		App: r.App, Protocol: r.Protocol, Cores: r.Cores,
+		Cycles: r.Cycles, Breakdown: r.Breakdown, PerCore: r.PerCore,
+		ChunksCommitted: r.ChunksCommitted, Squashes: r.Squashes,
+		PerCoreCommitted: r.PerCoreCommitted, Coll: r.Coll,
+		Traffic: r.Traffic, Faults: r.Faults, Checked: r.Checked,
+	}
+}
+
+func (r *resultJSON) restore() *Result {
+	return &Result{
+		App: r.App, Protocol: r.Protocol, Cores: r.Cores,
+		Cycles: r.Cycles, Breakdown: r.Breakdown, PerCore: r.PerCore,
+		ChunksCommitted: r.ChunksCommitted, Squashes: r.Squashes,
+		PerCoreCommitted: r.PerCoreCommitted, Coll: r.Coll,
+		Traffic: r.Traffic, Faults: r.Faults, Checked: r.Checked,
+	}
+}
+
+// journalEntry is one JSONL line: a completed point keyed by (point,
+// config-hash), its full restorable result, the SHA-256 of its
+// ResultFingerprint (verified on load), and the attempt history.
+type journalEntry struct {
+	V           int                 `json:"v"`
+	App         string              `json:"app"`
+	Protocol    string              `json:"protocol"`
+	Cores       int                 `json:"cores"`
+	ConfigHash  string              `json:"config_hash"`
+	Fingerprint string              `json:"fingerprint_sha256"`
+	WallMS      float64             `json:"wall_ms"`
+	Attempts    []system.RunAttempt `json:"attempts,omitempty"`
+	Result      *resultJSON         `json:"result"`
+}
+
+type journalKey struct {
+	app, protocol string
+	cores         int
+	configHash    string
+}
+
+// Journal is the durable sweep checkpoint: an append-only JSONL file of
+// completed points. Safe for concurrent use by sweep workers and for sharing
+// across Sessions (e.g. one journal spanning a soak's seed rounds).
+type Journal struct {
+	mu      sync.Mutex
+	path    string
+	f       *os.File
+	entries map[journalKey]*journalEntry
+}
+
+// OpenJournal opens (creating if absent) the journal at path and loads its
+// entries. A truncated final line — the signature of a kill mid-append — is
+// discarded: the file is truncated back to the last complete entry before
+// appending resumes, so a crashed writer never corrupts the journal.
+func OpenJournal(path string) (*Journal, error) {
+	j := &Journal{path: path, entries: map[journalKey]*journalEntry{}}
+	data, err := os.ReadFile(path)
+	if err != nil && !os.IsNotExist(err) {
+		return nil, err
+	}
+	valid := 0
+	for valid < len(data) {
+		nl := bytes.IndexByte(data[valid:], '\n')
+		if nl < 0 {
+			break // truncated tail: drop it
+		}
+		line := data[valid : valid+nl]
+		var e journalEntry
+		if err := json.Unmarshal(line, &e); err != nil {
+			break // corrupt line: drop it and everything after
+		}
+		if e.V == 1 && e.Result != nil {
+			e := e
+			j.entries[journalKey{e.App, e.Protocol, e.Cores, e.ConfigHash}] = &e
+		}
+		valid += nl + 1
+	}
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	if err := f.Truncate(int64(valid)); err != nil {
+		f.Close()
+		return nil, err
+	}
+	if _, err := f.Seek(int64(valid), io.SeekStart); err != nil {
+		f.Close()
+		return nil, err
+	}
+	j.f = f
+	return j, nil
+}
+
+// Path returns the journal's file path.
+func (j *Journal) Path() string { return j.path }
+
+// Len returns the number of loaded-plus-recorded entries.
+func (j *Journal) Len() int {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	return len(j.entries)
+}
+
+// Lookup restores the journaled result for (p, configHash). The restored
+// result's ResultFingerprint is re-hashed and compared against the recorded
+// digest; a mismatch (corruption, or a result produced by different code)
+// reports ok=false so the point is re-run rather than trusted.
+func (j *Journal) Lookup(p Point, configHash string) (res *Result, attempts []system.RunAttempt, ok bool) {
+	j.mu.Lock()
+	e := j.entries[journalKey{p.App, p.Protocol, p.Cores, configHash}]
+	j.mu.Unlock()
+	if e == nil {
+		return nil, nil, false
+	}
+	res = e.Result.restore()
+	if fingerprintHash(ResultFingerprint(res)) != e.Fingerprint {
+		return nil, nil, false
+	}
+	return res, e.Attempts, true
+}
+
+// Record appends one completed point, fsyncing so a subsequent kill cannot
+// lose it.
+func (j *Journal) Record(p Point, configHash string, res *Result, wall time.Duration) error {
+	e := &journalEntry{
+		V: 1, App: p.App, Protocol: p.Protocol, Cores: p.Cores,
+		ConfigHash:  configHash,
+		Fingerprint: fingerprintHash(ResultFingerprint(res)),
+		WallMS:      float64(wall.Microseconds()) / 1000,
+		Attempts:    res.Attempts,
+		Result:      toResultJSON(res),
+	}
+	data, err := json.Marshal(e)
+	if err != nil {
+		return err
+	}
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	j.entries[journalKey{p.App, p.Protocol, p.Cores, configHash}] = e
+	if _, err := j.f.Write(append(data, '\n')); err != nil {
+		return err
+	}
+	return j.f.Sync()
+}
+
+// JournalPoint summarizes one journal entry for reports: the point, how long
+// it took, and its retry history.
+type JournalPoint struct {
+	Point      Point               `json:"point"`
+	ConfigHash string              `json:"config_hash"`
+	WallMS     float64             `json:"wall_ms"`
+	Attempts   []system.RunAttempt `json:"attempts,omitempty"`
+}
+
+// Points lists the journal's entries (order unspecified).
+func (j *Journal) Points() []JournalPoint {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	out := make([]JournalPoint, 0, len(j.entries))
+	for _, e := range j.entries {
+		out = append(out, JournalPoint{
+			Point:      Point{e.App, e.Protocol, e.Cores},
+			ConfigHash: e.ConfigHash, WallMS: e.WallMS, Attempts: e.Attempts,
+		})
+	}
+	return out
+}
+
+// Close closes the journal file.
+func (j *Journal) Close() error {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.f == nil {
+		return nil
+	}
+	err := j.f.Close()
+	j.f = nil
+	return err
+}

@@ -1,0 +1,328 @@
+package scalablebulk
+
+// Resilience-layer tests: per-point panic isolation with crash bundles,
+// mid-sweep cancellation, journal round-trips with fingerprint verification
+// and truncated-tail recovery, and the headline acceptance check — a sweep
+// killed partway resumes from its journal and still renders byte-identical
+// figure output.
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"scalablebulk/internal/sig"
+)
+
+// TestSweepPanicIsolation: one point's panic becomes a *CrashError with a
+// valid JSON crash bundle while every other point completes.
+func TestSweepPanicIsolation(t *testing.T) {
+	victim := Point{"FFT", ProtoTCC, 16}
+	points := []Point{
+		{"Radix", ProtoScalableBulk, 8},
+		{"Radix", ProtoTCC, 8},
+		{"FFT", ProtoScalableBulk, 16},
+		victim,
+	}
+	dir := t.TempDir()
+	s := NewSession(detChunks, 2, nil)
+	s.CrashDir = dir
+	s.testPointHook = func(p Point) {
+		if p == victim {
+			panic("injected sweep panic")
+		}
+	}
+	out := s.SweepContext(context.Background(), points, 2)
+	if out.Completed != len(points)-1 {
+		t.Errorf("completed = %d, want %d (all but the victim)", out.Completed, len(points)-1)
+	}
+	if out.Aborted {
+		t.Error("a panicking point must not abort the sweep")
+	}
+	if len(out.Failures) != 1 || out.Failures[0].Point != victim {
+		t.Fatalf("failures = %+v, want exactly the victim", out.Failures)
+	}
+	var ce *CrashError
+	if !errors.As(out.Failures[0].Err, &ce) {
+		t.Fatalf("failure error is %T, want *CrashError", out.Failures[0].Err)
+	}
+	if ce.WriteErr != nil || ce.BundlePath == "" {
+		t.Fatalf("crash bundle not written: path=%q err=%v", ce.BundlePath, ce.WriteErr)
+	}
+	data, err := os.ReadFile(ce.BundlePath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var rep CrashReport
+	if err := json.Unmarshal(data, &rep); err != nil {
+		t.Fatalf("crash bundle is not valid JSON: %v", err)
+	}
+	if rep.App != victim.App || rep.Protocol != victim.Protocol || rep.Cores != victim.Cores {
+		t.Errorf("bundle identifies %s/%s/%d, want the victim", rep.App, rep.Protocol, rep.Cores)
+	}
+	if rep.Panic != "injected sweep panic" || rep.Stack == "" || rep.ConfigHash == "" {
+		t.Errorf("bundle incomplete: panic=%q stack=%dB hash=%q", rep.Panic, len(rep.Stack), rep.ConfigHash)
+	}
+
+	// The non-victim points really completed.
+	if _, err := s.Result("Radix", ProtoTCC, 8); err != nil {
+		t.Errorf("sibling point failed: %v", err)
+	}
+}
+
+// TestCrashBundleFromRunPanic: a panic inside the simulator (not the test
+// seam) reaches the bundle wrapped in machine context — simulated cycle and
+// truncated machine dump.
+func TestCrashBundleFromRunPanic(t *testing.T) {
+	s := NewSession(detChunks, 2, nil)
+	s.Configure = func(cfg *Config) {
+		if cfg.Protocol == ProtoTCC {
+			cfg.OnApplyWrite = func(sig.Line, int) { panic("mid-simulation fault") }
+		}
+	}
+	_, err := s.Result("Radix", ProtoTCC, 8)
+	var ce *CrashError
+	if !errors.As(err, &ce) {
+		t.Fatalf("expected *CrashError, got %v", err)
+	}
+	rep := ce.Report
+	if rep.Panic != "mid-simulation fault" {
+		t.Errorf("Panic = %q", rep.Panic)
+	}
+	if rep.Cycle == 0 {
+		t.Error("Cycle = 0; the simulated time at the panic is lost")
+	}
+	if rep.MachineDump == "" {
+		t.Error("MachineDump empty; the machine state at the panic is lost")
+	}
+	if !strings.Contains(rep.Stack, "goroutine") {
+		t.Error("Stack is not the panicking goroutine's Go stack")
+	}
+	// The healthy protocol on the same session is untouched.
+	if _, err := s.Result("Radix", ProtoScalableBulk, 8); err != nil {
+		t.Errorf("healthy point failed: %v", err)
+	}
+}
+
+// TestResumeAfterCancelByteIdenticalFigures is the acceptance test for
+// durable sweeps: cancel a journaled sweep partway, resume it on a fresh
+// session from the journal alone, and require figure output byte-identical
+// to an uninterrupted reference session.
+func TestResumeAfterCancelByteIdenticalFigures(t *testing.T) {
+	render := func(s *Session) string {
+		var buf bytes.Buffer
+		s.SetOut(&buf)
+		if err := s.Figure9(); err != nil {
+			t.Fatal(err)
+		}
+		if err := s.Figure11(); err != nil {
+			t.Fatal(err)
+		}
+		return buf.String()
+	}
+	// The points Figures 9 and 11 consume.
+	var pts []Point
+	for _, p := range Splash2() {
+		for _, cores := range []int{32, 64} {
+			pts = append(pts, Point{p.Name, ProtoScalableBulk, cores})
+		}
+	}
+	const seed = 3
+
+	ref := NewSession(detChunks, seed, nil)
+	want := render(ref)
+
+	// First sweep: journaled, canceled after the 6th point starts.
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	s1 := NewSession(detChunks, seed, nil)
+	if _, err := s1.AttachJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	var started atomic.Int64
+	s1.testPointHook = func(Point) {
+		if started.Add(1) == 6 {
+			cancel()
+		}
+	}
+	out1 := s1.SweepContext(ctx, pts, 4)
+	if !out1.Aborted {
+		t.Fatal("canceled sweep not reported as aborted")
+	}
+	if len(out1.Failures) != 0 {
+		t.Fatalf("cancellation produced point failures: %+v", out1.Failures)
+	}
+	s1.Journal().Close()
+
+	// The journal left behind is consistent: every entry fingerprint-verifies.
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	checkpointed := j.Len()
+	if checkpointed == 0 {
+		t.Fatal("canceled sweep checkpointed nothing")
+	}
+	if checkpointed >= len(pts) {
+		t.Fatalf("cancellation did not interrupt the sweep (%d/%d points)", checkpointed, len(pts))
+	}
+	for _, jp := range j.Points() {
+		if _, _, ok := j.Lookup(jp.Point, jp.ConfigHash); !ok {
+			t.Errorf("journal entry %v does not verify", jp.Point)
+		}
+	}
+	j.Close()
+
+	// Resume on a fresh session: journaled points restore, the rest run.
+	s2 := NewSession(detChunks, seed, nil)
+	if _, err := s2.AttachJournal(path); err != nil {
+		t.Fatal(err)
+	}
+	out2 := s2.SweepContext(context.Background(), pts, 4)
+	if err := out2.Err(); err != nil {
+		t.Fatal(err)
+	}
+	if out2.Restored != checkpointed {
+		t.Errorf("restored %d points, journal held %d", out2.Restored, checkpointed)
+	}
+	if out2.Completed != len(pts) {
+		t.Errorf("resumed sweep completed %d/%d points", out2.Completed, len(pts))
+	}
+	s2.Journal().Close()
+
+	if got := render(s2); got != want {
+		t.Errorf("resumed session's figures differ from the uninterrupted reference:\n--- reference\n%s--- resumed\n%s", want, got)
+	}
+}
+
+// TestJournalRoundTripVerifies: a recorded result survives a journal
+// close/reopen bit-for-bit — including the collector state behind
+// BottleneckRatio — and loading tolerates a truncated tail and garbage.
+func TestJournalRoundTripVerifies(t *testing.T) {
+	prof, _ := AppByName("Radix")
+	cfg := DefaultConfig(8, ProtoScalableBulk)
+	cfg.Seed = 3
+	cfg.ChunksPerCore = 8
+	res, err := Run(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Point{"Radix", ProtoScalableBulk, 8}
+	hash := ConfigHash(cfg)
+
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(p, hash, res, time.Second); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, _, ok := j2.Lookup(p, hash)
+	if !ok {
+		t.Fatal("recorded entry does not restore")
+	}
+	if ResultFingerprint(got) != ResultFingerprint(res) {
+		t.Error("restored fingerprint differs from the live result")
+	}
+	if got.Coll.BottleneckRatio() != res.Coll.BottleneckRatio() {
+		t.Errorf("BottleneckRatio diverged after restore: %v != %v",
+			got.Coll.BottleneckRatio(), res.Coll.BottleneckRatio())
+	}
+	if _, _, ok := j2.Lookup(p, "deadbeef00000000"); ok {
+		t.Error("Lookup matched a foreign config hash")
+	}
+	j2.Close()
+
+	// A kill mid-append leaves a truncated tail; reopening drops it and
+	// keeps every complete entry.
+	if f, err := os.OpenFile(path, os.O_APPEND|os.O_WRONLY, 0o644); err == nil {
+		f.WriteString(`{"v":1,"app":"Barnes","truncated`)
+		f.Close()
+	}
+	j3, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j3.Len() != 1 {
+		t.Errorf("after truncated-tail recovery Len = %d, want 1", j3.Len())
+	}
+	if _, _, ok := j3.Lookup(p, hash); !ok {
+		t.Error("complete entry lost during truncated-tail recovery")
+	}
+	// And the file itself was truncated back, so appending stays valid JSONL.
+	if err := j3.Record(Point{"FFT", ProtoScalableBulk, 8}, hash, res, 0); err != nil {
+		t.Fatal(err)
+	}
+	j3.Close()
+	j4, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j4.Len() != 2 {
+		t.Errorf("post-recovery append not readable: Len = %d, want 2", j4.Len())
+	}
+	j4.Close()
+}
+
+// TestJournalRejectsTamperedResult: an entry whose stored result no longer
+// matches its recorded fingerprint is ignored, forcing a re-run.
+func TestJournalRejectsTamperedResult(t *testing.T) {
+	prof, _ := AppByName("FFT")
+	cfg := DefaultConfig(8, ProtoScalableBulk)
+	cfg.Seed = 2
+	cfg.ChunksPerCore = 4
+	res, err := Run(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Point{"FFT", ProtoScalableBulk, 8}
+	path := filepath.Join(t.TempDir(), "j.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := j.Record(p, ConfigHash(cfg), res, 0); err != nil {
+		t.Fatal(err)
+	}
+	j.Close()
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tampered := bytes.Replace(data, []byte(`"cycles":`+jsonNumber(res.Cycles)), []byte(`"cycles":1`), 1)
+	if bytes.Equal(tampered, data) {
+		t.Fatal("tamper target not found in journal line")
+	}
+	if err := os.WriteFile(path, tampered, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j2.Close()
+	if _, _, ok := j2.Lookup(p, ConfigHash(cfg)); ok {
+		t.Error("tampered entry passed fingerprint verification")
+	}
+}
+
+func jsonNumber[T ~uint64 | ~int64](v T) string {
+	b, _ := json.Marshal(v)
+	return string(b)
+}
