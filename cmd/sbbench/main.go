@@ -36,7 +36,10 @@ import (
 
 	scalablebulk "scalablebulk"
 	"scalablebulk/internal/event"
+	"scalablebulk/internal/metrics"
+	"scalablebulk/internal/msg"
 	"scalablebulk/internal/sig"
+	"scalablebulk/internal/trace"
 )
 
 type microResult struct {
@@ -86,19 +89,32 @@ func main() {
 func run() int {
 	testing.Init() // registers -test.benchtime, which micro() adjusts per mode
 	var (
-		quick    = flag.Bool("quick", false, "CI smoke mode: shorter micro runs, skip the serial sweep")
-		chunks   = flag.Int("chunks", 4, "Session ChunksPerCore (figure-sweep sizing)")
-		seed     = flag.Int64("seed", 1, "simulation seed")
-		par      = flag.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
-		timeout  = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
-		crashDir = flag.String("crashdir", "", "directory for per-point crash bundles ('' disables)")
-		outPath  = flag.String("o", "BENCH_PR2.json", "JSON report path (- for stdout)")
-		gobench  = flag.String("gobench", "", "also write benchstat-compatible text to this path")
+		quick     = flag.Bool("quick", false, "CI smoke mode: shorter micro runs, skip the serial sweep")
+		chunks    = flag.Int("chunks", 4, "Session ChunksPerCore (figure-sweep sizing)")
+		seed      = flag.Int64("seed", 1, "simulation seed")
+		par       = flag.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
+		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
+		crashDir  = flag.String("crashdir", "", "directory for per-point crash bundles ('' disables)")
+		outPath   = flag.String("o", "BENCH_PR2.json", "JSON report path (- for stdout)")
+		gobench   = flag.String("gobench", "", "also write benchstat-compatible text to this path")
+		telemetry = flag.String("telemetry", "", "serve live metrics on this address while benchmarking (e.g. :8090)")
 	)
 	flag.Parse()
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
+
+	var reg *metrics.Registry
+	if *telemetry != "" {
+		reg = metrics.NewRegistry()
+		addr, closeFn, err := metrics.Serve(*telemetry, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbbench:", err)
+			return 1
+		}
+		defer closeFn()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics\n", addr)
+	}
 
 	parallelism := *par
 	if parallelism <= 0 {
@@ -132,10 +148,18 @@ func run() int {
 	rep.Micro["sig_empty_ref"] = micro(benchTime, benchSigEmptyRef)
 	rep.Micro["sig_union"] = micro(benchTime, benchSigUnion)
 	rep.Micro["sig_union_ref"] = micro(benchTime, benchSigUnionRef)
+	fmt.Fprintln(os.Stderr, "== micro: trace nil-sink ==")
+	rep.Micro["trace_nilsink"] = micro(benchTime, benchTraceNilSink)
+	if m := rep.Micro["trace_nilsink"]; m.AllocsPerOp != 0 {
+		// The disabled tracer allocating would tax every simulated message;
+		// fail loudly rather than publish a poisoned baseline.
+		fmt.Fprintf(os.Stderr, "sbbench: trace_nilsink allocated %d allocs/op, want 0\n", m.AllocsPerOp)
+		return 1
+	}
 
 	fmt.Fprintln(os.Stderr, "== per-protocol runs (Barnes, 64 processors) ==")
 	for _, protocol := range scalablebulk.Protocols {
-		pr, err := protocolRun(ctx, protocol, *chunks, *seed, *timeout)
+		pr, err := protocolRun(ctx, protocol, *chunks, *seed, *timeout, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sbbench: %s: %v\n", protocol, err)
 			if errors.Is(err, scalablebulk.ErrAborted) {
@@ -147,7 +171,7 @@ func run() int {
 	}
 
 	fmt.Fprintln(os.Stderr, "== figure sweep ==")
-	sw, figs, code := sweep(ctx, *chunks, *seed, parallelism, !*quick, *timeout, *crashDir)
+	sw, figs, code := sweep(ctx, *chunks, *seed, parallelism, !*quick, *timeout, *crashDir, reg)
 	rep.Sweep, rep.Figures = sw, figs
 	if code != 0 && code != 3 {
 		return code
@@ -291,9 +315,23 @@ func benchSigUnionRef(b *testing.B) {
 	}
 }
 
+// benchTraceNilSink measures the disabled-tracer emission paths — the price
+// every message pays when no -trace sink is attached. The contract is zero
+// allocations and low single-digit ns/op; run() hard-fails on any allocation.
+func benchTraceNilSink(b *testing.B) {
+	var tr *trace.Tracer
+	m := &msg.Msg{Kind: msg.Grab, Src: 1, Dst: 2, Tag: msg.CTag{Proc: 1, Seq: 3}}
+	b.ReportAllocs()
+	for i := 0; i < b.N; i++ {
+		tr.Span(trace.KCommit, trace.PhaseBegin, 3, false, m.Tag, 0)
+		tr.MsgSend(m)
+		tr.MsgDeliver(m)
+	}
+}
+
 // protocolRun measures one full simulation: wall time, simulated
 // cycles/second of wall time, and heap allocations.
-func protocolRun(ctx context.Context, protocol string, chunks int, seed int64, timeout time.Duration) (protocolResult, error) {
+func protocolRun(ctx context.Context, protocol string, chunks int, seed int64, timeout time.Duration, reg *metrics.Registry) (protocolResult, error) {
 	prof, _ := scalablebulk.AppByName("Barnes")
 	cfg := scalablebulk.DefaultConfig(64, protocol)
 	cfg.ChunksPerCore = chunks
@@ -310,6 +348,7 @@ func protocolRun(ctx context.Context, protocol string, chunks int, seed int64, t
 	if err != nil {
 		return protocolResult{}, err
 	}
+	metrics.ObserveRun(reg, res.Coll, res.Traffic)
 	pr := protocolResult{
 		Protocol:     protocol,
 		App:          "Barnes",
@@ -329,11 +368,12 @@ func protocolRun(ctx context.Context, protocol string, chunks int, seed int64, t
 // is set, serially on a fresh session for the measured speedup. Figure
 // renders are timed afterward from the populated cache. The int is the
 // process exit code: 0 clean, 2 aborted, 3 point failures (figures skipped).
-func sweep(ctx context.Context, chunks int, seed int64, parallelism int, serial bool, timeout time.Duration, crashDir string) (sweepResult, []figureResult, int) {
+func sweep(ctx context.Context, chunks int, seed int64, parallelism int, serial bool, timeout time.Duration, crashDir string, reg *metrics.Registry) (sweepResult, []figureResult, int) {
 	configure := func(cfg *scalablebulk.Config) { cfg.RunTimeout = timeout }
 	s := scalablebulk.NewSession(chunks, seed, nil)
 	s.Configure = configure
 	s.CrashDir = crashDir
+	s.Metrics = reg
 	points := s.SweepPoints()
 	start := time.Now()
 	out := s.SweepContext(ctx, points, parallelism)
@@ -423,12 +463,14 @@ func writeGobench(path string, rep *report) error {
 		"sig_overlaps", "sig_overlaps_ref",
 		"sig_empty", "sig_empty_ref",
 		"sig_union", "sig_union_ref",
+		"trace_nilsink",
 	}
 	camel := map[string]string{
 		"event_calendar": "EventCalendar", "event_heap": "EventHeap",
 		"sig_overlaps": "SigOverlaps", "sig_overlaps_ref": "SigOverlapsRef",
 		"sig_empty": "SigEmpty", "sig_empty_ref": "SigEmptyRef",
 		"sig_union": "SigUnion", "sig_union_ref": "SigUnionRef",
+		"trace_nilsink": "TraceNilSink",
 	}
 	for _, n := range names {
 		m, ok := rep.Micro[n]

@@ -32,6 +32,7 @@ import (
 	"scalablebulk"
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/fault"
+	"scalablebulk/internal/metrics"
 )
 
 type roundReport struct {
@@ -79,6 +80,8 @@ func run() int {
 		retries   = flag.Int("retries", 3, "max attempts per point under faults (1 disables retry)")
 		outPath   = flag.String("o", "", "write a JSON soak report to this path (- for stdout)")
 		quick     = flag.Bool("quick", false, "CI smoke matrix: 2 apps × 4 protocols × 8 cores, 1 round, tiny chunks")
+		progress  = flag.Duration("progress", 30*time.Second, "sweep heartbeat period on stderr (0 disables)")
+		telemetry = flag.String("telemetry", "", "serve live metrics on this address (e.g. :8090): /metrics, /debug/vars, /debug/pprof")
 	)
 	flag.Parse()
 
@@ -115,6 +118,18 @@ func run() int {
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
+	var reg *metrics.Registry
+	if *telemetry != "" {
+		reg = metrics.NewRegistry()
+		addr, closeFn, err := metrics.Serve(*telemetry, reg)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbsoak:", err)
+			return 1
+		}
+		defer closeFn()
+		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
+	}
+
 	var journal *scalablebulk.Journal
 	if *journalPath != "" {
 		journal, err = scalablebulk.OpenJournal(*journalPath)
@@ -134,6 +149,7 @@ func run() int {
 			"cores": *coresList, "parallelism": parallelism,
 			"timeout": timeout.String(), "maxcycles": *maxCycles,
 			"retries": *retries, "quick": *quick,
+			"progress": progress.String(), "telemetry": *telemetry,
 		},
 	}
 	var failures []string
@@ -141,6 +157,21 @@ func run() int {
 		roundSeed := *seed + int64(r)
 		s := scalablebulk.NewSession(*chunks, roundSeed, nil)
 		s.CrashDir = *crashDir
+		s.Metrics = reg
+		if *progress > 0 {
+			round := r + 1
+			s.ProgressInterval = *progress
+			s.OnProgress = func(p scalablebulk.SweepProgress) {
+				if p.Final {
+					return // the per-round summary line covers completion
+				}
+				fmt.Fprintf(os.Stderr,
+					"round %d: %d/%d points (%d failed), %s elapsed, ETA %s, last %s/%s/%d fp=%s\n",
+					round, p.Done, p.Total, p.Failed,
+					p.Elapsed.Round(time.Second), p.ETA.Round(time.Second),
+					p.LastPoint.App, p.LastPoint.Protocol, p.LastPoint.Cores, p.LastFingerprint)
+			}
+		}
 		s.Configure = func(cfg *scalablebulk.Config) {
 			cfg.Faults = profile
 			cfg.FaultSeed = *faultSeed

@@ -1,119 +1,142 @@
-// Command sbtrace runs a small machine with the ScalableBulk engine's
-// protocol trace enabled and prints every network message plus every
-// group-formation event — the message-level view of Figures 3, 4 and 5.
+// Command sbtrace runs a small machine with structured tracing enabled and
+// writes the event stream — the message-level view of Figures 3, 4 and 5,
+// now backed by the trace package, so the same run can render as the classic
+// text log, as machine-readable JSONL, or as Chrome trace-event JSON for
+// Perfetto / chrome://tracing.
 //
 // Usage:
 //
 //	sbtrace -app Barnes -cores 8 -chunks 2 | head -100
+//	sbtrace -app Barnes -cores 8 -format perfetto -o trace.json
+//	sbtrace -format jsonl -kind squash,commit -core 3
+//
+// Delivery events are emitted at delivery time (after contention retiming
+// and fault rewrites), so with -reads the printed cycle numbers match the
+// actual arrival order.
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
+	"strings"
 
 	"scalablebulk/internal/cache"
-	"scalablebulk/internal/core"
-	"scalablebulk/internal/dir"
-	"scalablebulk/internal/event"
-	"scalablebulk/internal/mem"
-	"scalablebulk/internal/mesh"
 	"scalablebulk/internal/msg"
-	"scalablebulk/internal/proc"
-	"scalablebulk/internal/stats"
+	"scalablebulk/internal/system"
+	"scalablebulk/internal/trace"
 	"scalablebulk/internal/workload"
 )
 
+// traceOpts is everything the CLI configures; factored out so tests drive the
+// same pipeline the command runs.
+type traceOpts struct {
+	app, protocol string
+	cores, chunks int
+	seed          int64
+	reads         bool
+	format        string // "text", "jsonl" or "perfetto"
+	coreF         int    // -1: all
+	kinds         string // comma-separated kind names, "" = all
+	chunk         string // "P3.7", "" = all
+}
+
+// buildSink assembles the format sink wrapped in any requested filters.
+func buildSink(w io.Writer, o traceOpts) (trace.Sink, error) {
+	var sink trace.Sink
+	switch o.format {
+	case "text":
+		sink = trace.NewText(w)
+	case "jsonl":
+		sink = trace.NewJSONL(w)
+	case "perfetto":
+		sink = trace.NewPerfetto(w)
+	default:
+		return nil, fmt.Errorf("unknown format %q (want text, jsonl or perfetto)", o.format)
+	}
+	if o.coreF < 0 && o.kinds == "" && o.chunk == "" {
+		return sink, nil
+	}
+	f := trace.NewFilter(sink)
+	f.Core = o.coreF
+	if o.kinds != "" {
+		f.Kinds = make(map[trace.Kind]bool)
+		for _, name := range strings.Split(o.kinds, ",") {
+			k, ok := trace.KindByName(strings.TrimSpace(name))
+			if !ok {
+				return nil, fmt.Errorf("unknown event kind %q", name)
+			}
+			f.Kinds[k] = true
+		}
+	}
+	if o.chunk != "" {
+		var proc int
+		var seq uint64
+		if _, err := fmt.Sscanf(o.chunk, "P%d.%d", &proc, &seq); err != nil {
+			return nil, fmt.Errorf("bad chunk %q (want P<proc>.<seq>): %v", o.chunk, err)
+		}
+		f.Chunk = &msg.CTag{Proc: proc, Seq: seq}
+	}
+	return f, nil
+}
+
+// runTrace runs the machine with the sink attached and returns the result.
+func runTrace(o traceOpts, sink trace.Sink) (*system.Result, error) {
+	prof, ok := workload.ByName(o.app)
+	if !ok {
+		return nil, fmt.Errorf("unknown app %q", o.app)
+	}
+	cfg := system.DefaultConfig(o.cores, o.protocol)
+	cfg.ChunksPerCore = o.chunks
+	cfg.Seed = o.seed
+	// Tiny caches keep the trace interesting (more sharing).
+	cfg.L1 = cache.Config{SizeBytes: 8 << 10, Assoc: 4}
+	cfg.L2 = cache.Config{SizeBytes: 64 << 10, Assoc: 8}
+	cfg.TraceSink = sink
+	cfg.TraceReads = o.reads
+	return system.Run(prof, cfg)
+}
+
 func main() {
-	app := flag.String("app", "Barnes", "application model")
-	cores := flag.Int("cores", 8, "number of processors")
-	chunks := flag.Int("chunks", 2, "chunks per core")
-	seed := flag.Int64("seed", 1, "deterministic seed")
-	reads := flag.Bool("reads", false, "also trace read-path messages")
+	o := traceOpts{}
+	flag.StringVar(&o.app, "app", "Barnes", "application model")
+	flag.StringVar(&o.protocol, "proto", system.ProtoScalableBulk,
+		"protocol: ScalableBulk, TCC, SEQ or BulkSC")
+	flag.IntVar(&o.cores, "cores", 8, "number of processors")
+	flag.IntVar(&o.chunks, "chunks", 2, "chunks per core")
+	flag.Int64Var(&o.seed, "seed", 1, "deterministic seed")
+	flag.BoolVar(&o.reads, "reads", false, "also trace read-path messages")
+	flag.StringVar(&o.format, "format", "text", "output format: text, jsonl or perfetto")
+	flag.IntVar(&o.coreF, "core", -1, "keep only events touching this tile")
+	flag.StringVar(&o.kinds, "kind", "", "comma-separated event kinds to keep (e.g. commit,squash)")
+	flag.StringVar(&o.chunk, "chunk", "", "keep only events about this chunk (e.g. P3.7)")
+	out := flag.String("o", "", "output file (default stdout)")
 	flag.Parse()
 
-	prof, ok := workload.ByName(*app)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown app %q\n", *app)
-		os.Exit(1)
-	}
-
-	eng := event.New()
-	net := mesh.New(eng, mesh.Config{Nodes: *cores, LinkLatency: 7, Contention: true})
-	env := &dir.Env{
-		Eng: eng, Net: net, Map: mem.NewMapper(*cores), State: dir.NewState(),
-		Coll: stats.New(), DirLookup: 2, MemLatency: 300,
-	}
-	proto := core.New(env, core.DefaultConfig())
-	proto.Trace = func(format string, args ...any) {
-		fmt.Printf("%8d  * %s\n", eng.Now(), fmt.Sprintf(format, args...))
-	}
-	isRead := func(k msg.Kind) bool {
-		switch k {
-		case msg.ReadReq, msg.ReadMemReply, msg.ReadShReply, msg.ReadDirtyFwd,
-			msg.ReadDirtyReply, msg.ReadNack:
-			return true
-		}
-		return false
-	}
-	net.OnSend = func(m *msg.Msg) {
-		if !*reads && isRead(m.Kind) {
-			return
-		}
-		extra := ""
-		if m.Kind == msg.CommitRequest {
-			extra = fmt.Sprintf(" gvec=%v try=%d", m.GVec, m.TID)
-		}
-		if m.Recall != nil {
-			extra = fmt.Sprintf(" +recall(%s try %d)", m.Recall.Tag, m.Recall.Try)
-		}
-		fmt.Printf("%8d  > %s%s\n", eng.Now(), m, extra)
-	}
-
-	gen := workload.New(prof, *cores, *seed)
-	procs := make([]*proc.Proc, *cores)
-	env.Cores = make([]dir.Core, *cores)
-	pcfg := proc.DefaultConfig()
-	pcfg.Seed = *seed
-	for i := 0; i < *cores; i++ {
-		// Tiny caches keep the trace interesting (more sharing).
-		procs[i] = proc.New(env, proto, gen, i, *chunks,
-			cache.Config{SizeBytes: 8 << 10, Assoc: 4},
-			cache.Config{SizeBytes: 64 << 10, Assoc: 8}, pcfg)
-		env.Cores[i] = procs[i]
-	}
-	rp := &dir.ReadPath{Env: env, Proto: proto}
-	for i := 0; i < *cores; i++ {
-		node := i
-		net.Register(node, func(m *msg.Msg) {
-			if m.Kind.SideOf() == msg.SideDir {
-				if !rp.HandleDir(node, m) {
-					proto.HandleDir(node, m)
-				}
-			} else {
-				procs[node].Handle(m)
-			}
-		})
-	}
-	for _, p := range procs {
-		p.Start()
-	}
-	for {
-		done := true
-		for _, p := range procs {
-			if !p.Done() {
-				done = false
-				break
-			}
-		}
-		if done {
-			break
-		}
-		if !eng.Step() {
-			fmt.Fprintln(os.Stderr, "deadlock: event queue drained")
+	w := io.Writer(os.Stdout)
+	if *out != "" {
+		f, err := os.Create(*out)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
+		defer f.Close()
+		w = f
 	}
-	fmt.Printf("%8d  all %d chunks committed; %d messages, group failures: %+v\n",
-		eng.Now(), *cores**chunks, net.Stats().Messages, proto.Fails)
+	sink, err := buildSink(w, o)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	res, err := runTrace(o, sink)
+	if cerr := sink.Close(); cerr != nil && err == nil {
+		err = cerr
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	fmt.Fprintf(os.Stderr, "%8d  all %d chunks committed; %d messages, %d squashes\n",
+		res.Cycles, res.ChunksCommitted, res.Traffic.Messages, res.Squashes)
 }

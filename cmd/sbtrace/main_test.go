@@ -1,0 +1,101 @@
+package main
+
+import (
+	"bytes"
+	"flag"
+	"os"
+	"path/filepath"
+	"testing"
+
+	"scalablebulk/internal/trace"
+)
+
+var update = flag.Bool("update", false, "rewrite the golden trace")
+
+func tinyOpts(format string) traceOpts {
+	return traceOpts{
+		app: "Barnes", protocol: "ScalableBulk",
+		cores: 4, chunks: 1, seed: 1,
+		format: format, coreF: -1,
+		// Lifecycle kinds only: NoC arrows would bloat the golden file
+		// without adding coverage (the delivery-time contract is tested in
+		// internal/trace and internal/system).
+		kinds: "exec,commit,hold,commit_req,group_formed,group_fail,squash,commit_done",
+	}
+}
+
+// TestGoldenTextTrace locks the human-readable lifecycle trace of a tiny
+// deterministic run. Run with -update after an intentional format or
+// protocol change; CI diffs against the checked-in file.
+func TestGoldenTextTrace(t *testing.T) {
+	var buf bytes.Buffer
+	sink, err := buildSink(&buf, tinyOpts("text"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := runTrace(tinyOpts("text"), sink); err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	golden := filepath.Join("testdata", "barnes4.golden.txt")
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, buf.Bytes(), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if !bytes.Equal(buf.Bytes(), want) {
+		t.Fatalf("trace differs from %s (run with -update after intentional changes)\ngot %d bytes, want %d",
+			golden, buf.Len(), len(want))
+	}
+}
+
+// TestPerfettoPipeline runs the sbtrace perfetto path end to end and
+// validates the Chrome trace-event schema — the acceptance check behind the
+// CI trace-smoke job.
+func TestPerfettoPipeline(t *testing.T) {
+	var buf bytes.Buffer
+	o := tinyOpts("perfetto")
+	o.kinds = "" // full stream: exporter must balance everything
+	sink, err := buildSink(&buf, o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := runTrace(o, sink)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := sink.Close(); err != nil {
+		t.Fatal(err)
+	}
+	if res.ChunksCommitted == 0 {
+		t.Fatal("no chunks committed")
+	}
+	if err := trace.ValidatePerfetto(buf.Bytes()); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBuildSinkRejectsBadFlags covers the CLI error paths.
+func TestBuildSinkRejectsBadFlags(t *testing.T) {
+	var buf bytes.Buffer
+	for _, o := range []traceOpts{
+		{format: "yaml", coreF: -1},
+		{format: "text", coreF: -1, kinds: "nope"},
+		{format: "text", coreF: -1, chunk: "3.7"},
+	} {
+		if _, err := buildSink(&buf, o); err == nil {
+			t.Errorf("buildSink accepted %+v", o)
+		}
+	}
+}

@@ -6,6 +6,7 @@ package main
 
 import (
 	"fmt"
+	"os"
 
 	"scalablebulk/internal/chunk"
 	"scalablebulk/internal/core"
@@ -16,6 +17,7 @@ import (
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/sig"
 	"scalablebulk/internal/stats"
+	"scalablebulk/internal/trace"
 )
 
 // procSim is a miniature committing processor, enough to ack invalidations
@@ -64,10 +66,10 @@ func main() {
 		Eng: eng, Net: net, Map: mem.NewMapper(6), State: dir.NewState(),
 		Coll: stats.New(), DirLookup: 2, MemLatency: 300,
 	}
+	// Structured protocol trace, rendered as text lines on stdout.
+	env.Trace = trace.New(eng, trace.NewText(os.Stdout))
+	env.Coll.Trace = env.Trace
 	proto := core.New(env, core.DefaultConfig())
-	proto.Trace = func(format string, args ...any) {
-		fmt.Printf("%8d  %s\n", eng.Now(), fmt.Sprintf(format, args...))
-	}
 	net.OnSend = func(m *msg.Msg) {
 		extra := ""
 		if m.Recall != nil {

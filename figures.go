@@ -11,6 +11,7 @@ import (
 	"sync/atomic"
 	"time"
 
+	"scalablebulk/internal/metrics"
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/stats"
 	"scalablebulk/internal/workload"
@@ -48,6 +49,17 @@ type Session struct {
 	// becomes that point's *CrashError while the rest of the sweep keeps
 	// running). Set before first use.
 	CrashDir string
+
+	// OnProgress, when non-nil, receives a heartbeat every ProgressInterval
+	// while SweepContext runs, plus one final heartbeat when the sweep ends.
+	// It is called from a dedicated goroutine, never from sweep workers.
+	OnProgress func(SweepProgress)
+	// ProgressInterval is the heartbeat period; ≤ 0 selects 10 seconds.
+	ProgressInterval time.Duration
+	// Metrics, when non-nil, accumulates each completed run's collector and
+	// traffic counters (see metrics.ObserveRun) plus live sweep_done /
+	// sweep_total gauges, so a -telemetry HTTP endpoint can watch a soak.
+	Metrics *metrics.Registry
 
 	mu      sync.Mutex
 	out     io.Writer
@@ -215,6 +227,9 @@ func (s *Session) run(ctx context.Context, k runKey) (res *Result, err error) {
 		if r, attempts, ok := j.Lookup(p, hash); ok {
 			r.Attempts = attempts
 			s.nRestored.Add(1)
+			if s.Metrics != nil {
+				metrics.ObserveRun(s.Metrics, r.Coll, r.Traffic)
+			}
 			return r, nil
 		}
 	}
@@ -249,6 +264,9 @@ func (s *Session) run(ctx context.Context, k runKey) (res *Result, err error) {
 			// resume silently redo (or worse, trust stale) work.
 			return nil, fmt.Errorf("journal %s: %w", j.Path(), jerr)
 		}
+	}
+	if s.Metrics != nil {
+		metrics.ObserveRun(s.Metrics, res.Coll, res.Traffic)
 	}
 	return res, nil
 }
@@ -324,6 +342,26 @@ func (o *SweepOutcome) Err() error {
 	return nil
 }
 
+// SweepProgress is one heartbeat of a running sweep, delivered to
+// Session.OnProgress.
+type SweepProgress struct {
+	// Done counts points resolved so far (completed or failed) out of Total.
+	Done, Total int
+	// Failed counts points resolved with an error so far.
+	Failed int
+	// Elapsed is the wall-clock time since the sweep started. ETA linearly
+	// extrapolates the remaining points from the pace so far; it is zero
+	// until the first point resolves.
+	Elapsed, ETA time.Duration
+	// LastPoint and LastFingerprint identify the most recently completed
+	// point and the short hash of its ResultFingerprint — a quick visual
+	// check that a resumed soak reproduces the previous runs.
+	LastPoint       Point
+	LastFingerprint string
+	// Final marks the closing heartbeat sent after the last point resolves.
+	Final bool
+}
+
 // SweepContext runs the points on a bounded worker pool with cancellation:
 // when ctx is canceled, workers stop claiming points, in-flight simulations
 // abort at their next cancellation poll, and the outcome reports Aborted. A
@@ -349,6 +387,57 @@ func (s *Session) SweepContext(ctx context.Context, points []Point, parallelism 
 		work <- i
 	}
 	close(work)
+
+	// Sweep progress shared between workers and the heartbeat goroutine.
+	start := time.Now()
+	var done, failed atomic.Int64
+	var lastMu sync.Mutex
+	var last Point
+	var lastFP string
+	snapshot := func(final bool) SweepProgress {
+		p := SweepProgress{
+			Done: int(done.Load()), Total: len(points),
+			Failed:  int(failed.Load()),
+			Elapsed: time.Since(start), Final: final,
+		}
+		if p.Done > 0 {
+			p.ETA = time.Duration(float64(p.Elapsed) / float64(p.Done) * float64(p.Total-p.Done))
+		}
+		lastMu.Lock()
+		p.LastPoint, p.LastFingerprint = last, lastFP
+		lastMu.Unlock()
+		if s.Metrics != nil {
+			s.Metrics.Gauge("sweep_done").Set(float64(p.Done))
+			s.Metrics.Gauge("sweep_total").Set(float64(p.Total))
+		}
+		return p
+	}
+	stopHB := make(chan struct{})
+	hbDone := make(chan struct{})
+	if s.OnProgress != nil || s.Metrics != nil {
+		interval := s.ProgressInterval
+		if interval <= 0 {
+			interval = 10 * time.Second
+		}
+		go func() {
+			defer close(hbDone)
+			t := time.NewTicker(interval)
+			defer t.Stop()
+			for {
+				select {
+				case <-t.C:
+					if p := snapshot(false); s.OnProgress != nil {
+						s.OnProgress(p)
+					}
+				case <-stopHB:
+					return
+				}
+			}
+		}()
+	} else {
+		close(hbDone)
+	}
+
 	var wg sync.WaitGroup
 	for w := 0; w < parallelism; w++ {
 		wg.Add(1)
@@ -358,12 +447,25 @@ func (s *Session) SweepContext(ctx context.Context, points []Point, parallelism 
 				if ctx.Err() != nil {
 					return // unclaimed points stay !ran
 				}
-				_, err := s.result(ctx, points[i])
+				r, err := s.result(ctx, points[i])
 				slots[i] = slot{ran: true, err: err}
+				if err != nil {
+					failed.Add(1)
+				} else if r != nil {
+					lastMu.Lock()
+					last, lastFP = points[i], fingerprintHash(ResultFingerprint(r))[:12]
+					lastMu.Unlock()
+				}
+				done.Add(1)
 			}
 		}()
 	}
 	wg.Wait()
+	close(stopHB)
+	<-hbDone
+	if p := snapshot(true); s.OnProgress != nil {
+		s.OnProgress(p)
+	}
 	out := &SweepOutcome{Points: len(points), Aborted: ctx.Err() != nil}
 	seen := map[Point]bool{}
 	for i, sl := range slots {

@@ -15,6 +15,7 @@ import (
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/sig"
+	"scalablebulk/internal/trace"
 )
 
 // Config tunes the arbiter.
@@ -140,6 +141,10 @@ func (p *Protocol) armWatchdog(proc int, ck *chunk.Chunk) {
 			return
 		}
 		p.Watchdog++
+		p.env.Trace.Emit(trace.Event{
+			Kind: trace.KWatchdog, Node: proc, Tag: ck.Tag, Try: int(try),
+			Cause: trace.CauseWatchdog,
+		})
 		delete(p.jobs, proc)
 		p.env.Cores[proc].CommitRefused(ck.Tag)
 	})
@@ -185,6 +190,11 @@ func (p *Protocol) decide(m *msg.Msg) {
 		// chunk wrote do not overlap the addresses accessed by any other
 		// committing chunk (§2.1).
 		if m.WSig.Overlaps(&f.wsig) || m.WSig.Overlaps(&f.rsig) || m.RSig.Overlaps(&f.wsig) {
+			p.env.Trace.Emit(trace.Event{
+				Kind: trace.KRefused, Node: p.arbNode, Dir: true,
+				Tag: m.Tag, Try: int(m.TID), Cause: trace.CauseDenied,
+				Other: f.tag, HasOther: true,
+			})
 			p.env.Net.Send(&msg.Msg{Kind: msg.ArbDeny, Src: p.arbNode, Dst: m.Tag.Proc, Tag: m.Tag, TID: m.TID})
 			return
 		}
@@ -192,6 +202,7 @@ func (p *Protocol) decide(m *msg.Msg) {
 	p.inflight = append(p.inflight, &inflight{
 		tag: m.Tag, rsig: m.RSig, wsig: m.WSig, writeLines: m.WriteLines, try: int(m.TID),
 	})
+	p.env.Trace.Span(trace.KHold, trace.PhaseBegin, p.arbNode, true, m.Tag, int(m.TID))
 	p.env.Coll.GroupFormed(m.Tag.Proc, m.Tag.Seq, int(m.TID), p.env.Eng.Now())
 	p.env.Net.Send(&msg.Msg{Kind: msg.ArbGrant, Src: p.arbNode, Dst: m.Tag.Proc, Tag: m.Tag, TID: m.TID})
 }
@@ -206,6 +217,7 @@ func (p *Protocol) onDone(m *msg.Msg) {
 				}
 			}
 			p.inflight = append(p.inflight[:i], p.inflight[i+1:]...)
+			p.env.Trace.Span(trace.KHold, trace.PhaseEnd, p.arbNode, true, f.tag, f.try)
 			return
 		}
 	}
@@ -299,6 +311,7 @@ func (p *Protocol) onInvAck(node int, m *msg.Msg) {
 func (p *Protocol) complete(node int, job *commitJob) {
 	delete(p.jobs, node)
 	tag := job.ck.Tag
+	p.env.Trace.Instant(trace.KCommitDone, node, false, tag, int(job.try))
 	p.env.Net.Send(&msg.Msg{Kind: msg.ArbDone, Src: node, Dst: p.arbNode, Tag: tag, TID: job.try})
 	p.env.Cores[node].CommitFinished(tag)
 }

@@ -33,6 +33,7 @@ import (
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/sig"
+	"scalablebulk/internal/trace"
 )
 
 // chunkState is the lifecycle of a CST entry (Figure 6: the h and c bits).
@@ -151,10 +152,6 @@ type Protocol struct {
 	// Fails tallies group-formation failures by cause.
 	Fails FailStats
 
-	// Trace, when set, receives a line per protocol event (for the
-	// grouptrace tooling). Keep nil for performance runs.
-	Trace func(format string, args ...any)
-
 	// OnHeld and OnReleased, when non-nil, observe CST occupancy
 	// transitions (invariant checking). Nil on performance runs.
 	OnHeld     func(module int, tag msg.CTag, try int)
@@ -192,12 +189,6 @@ func New(env *dir.Env, cfg Config) *Protocol {
 
 // Name implements dir.Protocol.
 func (p *Protocol) Name() string { return "ScalableBulk" }
-
-func (p *Protocol) trace(format string, args ...any) {
-	if p.Trace != nil {
-		p.Trace(format, args...)
-	}
-}
 
 // rank returns a module's current priority rank (lower = higher priority).
 // With rotation disabled this is the module ID (baseline policy, §3.2.1).
@@ -240,7 +231,6 @@ func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
 	}
 
 	gvec := p.orderGVec(ck.Dirs)
-	p.trace("P%d commit_request %s gvec=%v", proc, ck.Tag, gvec)
 	p.armWatchdog(ck.Tag, try, gvec)
 	for _, d := range gvec {
 		p.env.Net.Send(&msg.Msg{
@@ -272,7 +262,10 @@ func (p *Protocol) armWatchdog(tag msg.CTag, try int, gvec []int) {
 		}
 		delete(p.watch, k)
 		p.Fails.Watchdog++
-		p.trace("watchdog fails %s try %d (stalled past %d cycles)", tag, try, p.cfg.CommitDeadline)
+		p.env.Trace.Emit(trace.Event{
+			Kind: trace.KWatchdog, Node: gv[0], Dir: true,
+			Tag: tag, Try: try, Cause: trace.CauseWatchdog,
+		})
 		// Synthesized failure from the leader: every module unwinds the
 		// attempt (no-op where it never arrived), and the processor is told
 		// directly in case the leader module never saw the attempt at all.
@@ -378,7 +371,10 @@ func (p *Protocol) entryFor(mod *module, tag msg.CTag, try int) *cstEntry {
 		return nil // stale message of an older attempt
 	}
 	if try > e.try {
-		p.trace("D%d clears stale attempt %s try %d (newer try %d arrived)", mod.id, tag, e.try, try)
+		p.env.Trace.Emit(trace.Event{
+			Kind: trace.KStaleClear, Node: mod.id, Dir: true,
+			Tag: tag, Try: e.try, Cause: trace.CauseStale,
+		})
 		if e.gotSigs {
 			p.multicastFailure(mod, tag, e.try, e.gvec)
 		}
@@ -416,6 +412,7 @@ func (p *Protocol) onCommitRequest(mod *module, m *msg.Msg) {
 	if e == nil || e.gotSigs {
 		return // stale or duplicate
 	}
+	p.env.Trace.Instant(trace.KCommitReq, mod.id, true, m.Tag, try)
 	e.rsig, e.wsig = m.RSig, m.WSig
 	e.gvec = m.GVec
 	e.writeLines = m.WriteLines
@@ -483,7 +480,11 @@ func (p *Protocol) tryAdvance(mod *module, e *cstEntry) {
 		// overlapping groups deadlock each other) — the globally oldest
 		// chunk passes every reservation and is guaranteed progress.
 		p.Fails.Reserved++
-		p.failGroup(mod, e, false)
+		p.env.Trace.Emit(trace.Event{
+			Kind: trace.KReserved, Node: mod.id, Dir: true, Tag: e.tag, Try: e.try,
+			Other: *mod.reserved, HasOther: true,
+		})
+		p.failGroup(mod, e, false, trace.CauseReserved)
 		return
 	}
 	// A commit_recall on the lookout kills this attempt (§3.4).
@@ -491,7 +492,7 @@ func (p *Protocol) tryAdvance(mod *module, e *cstEntry) {
 		if e.try <= try {
 			delete(mod.lookout, e.tag)
 			p.Fails.Recalled++
-			p.failGroup(mod, e, false)
+			p.failGroup(mod, e, false, trace.CauseRecalled)
 			return
 		}
 		delete(mod.lookout, e.tag) // stale lookout for an older attempt
@@ -500,16 +501,19 @@ func (p *Protocol) tryAdvance(mod *module, e *cstEntry) {
 	// module wins; this entry loses (§3.2.1).
 	for _, o := range mod.cst {
 		if o != e && o.state != stPending && incompatible(e, o) {
-			p.trace("D%d collision: %s loses to %s", mod.id, e.tag, o.tag)
+			p.env.Trace.Emit(trace.Event{
+				Kind: trace.KCollision, Node: mod.id, Dir: true, Tag: e.tag, Try: e.try,
+				Other: o.tag, HasOther: true,
+			})
 			p.Fails.Collision++
-			p.failGroup(mod, e, true)
+			p.failGroup(mod, e, true, trace.CauseCollision)
 			return
 		}
 	}
 
 	// Win: h ← 1, push g onward, irrevocably choosing this group here.
 	e.state = stHeld
-	p.trace("D%d holds %s", mod.id, e.tag)
+	p.env.Trace.Span(trace.KHold, trace.PhaseBegin, mod.id, true, e.tag, e.try)
 	if p.OnHeld != nil {
 		p.OnHeld(mod.id, e.tag, e.try)
 	}
@@ -543,7 +547,7 @@ func (p *Protocol) successor(e *cstEntry, d int) int {
 func (p *Protocol) confirmGroup(mod *module, e *cstEntry) {
 	e.state = stConfirmed
 	p.closeWatchdog(e.tag, e.try)
-	p.trace("D%d group formed for %s", mod.id, e.tag)
+	p.env.Trace.Instant(trace.KGroupFormed, mod.id, true, e.tag, e.try)
 	p.env.Coll.GroupFormed(e.tag.Proc, e.tag.Seq, e.try, p.env.Eng.Now())
 
 	// g_success to all members (Figure 3(c)).
@@ -616,7 +620,7 @@ func (p *Protocol) onBulkInvAck(mod *module, m *msg.Msg) {
 // multicast (carrying any commit_recalls), the group breaks down, and the
 // signatures are deallocated (Figure 3(e)).
 func (p *Protocol) finishCommit(mod *module, e *cstEntry) {
-	p.trace("D%d commit done for %s", mod.id, e.tag)
+	p.env.Trace.Instant(trace.KCommitDone, mod.id, true, e.tag, e.try)
 	for _, d := range e.gvec[1:] {
 		p.env.Net.Send(&msg.Msg{Kind: msg.CommitDone, Src: mod.id, Dst: d, Tag: e.tag,
 			Recall: firstRecall(e.recalls)})
@@ -680,7 +684,7 @@ func (p *Protocol) handleRecall(mod *module, winner *cstEntry, r *msg.RecallInfo
 		// Already has (R,W) and/or g for the loser.
 		if loser.state == stPending {
 			p.Fails.Recalled++
-			p.failGroup(mod, loser, false)
+			p.failGroup(mod, loser, false, trace.CauseRecalled)
 		}
 		// If the loser somehow advanced here it will be killed by the
 		// processor discarding commit_success; cannot happen in practice
@@ -688,15 +692,18 @@ func (p *Protocol) handleRecall(mod *module, winner *cstEntry, r *msg.RecallInfo
 		return
 	}
 	// Be on the lookout for the loser's (R,W)+g (§3.4).
-	p.trace("D%d recall lookout for %s try %d", mod.id, r.Tag, try)
+	p.env.Trace.Instant(trace.KRecall, mod.id, true, r.Tag, try)
 	mod.lookout[r.Tag] = try
 }
 
 // failGroup runs at the module that detects a collision (or enforces a
 // reservation/recall): it multicasts g_failure to the losing group and, if
 // it is itself the loser's leader, notifies the processor (Tables 4/5).
-func (p *Protocol) failGroup(mod *module, e *cstEntry, countSquash bool) {
-	p.trace("D%d fails group %s", mod.id, e.tag)
+func (p *Protocol) failGroup(mod *module, e *cstEntry, countSquash bool, cause trace.Cause) {
+	p.env.Trace.Emit(trace.Event{
+		Kind: trace.KGroupFail, Node: mod.id, Dir: true,
+		Tag: e.tag, Try: e.try, Cause: cause,
+	})
 	var aux uint64
 	if countSquash {
 		aux = 1
@@ -782,7 +789,7 @@ func (p *Protocol) noteFailure(mod *module, tag msg.CTag, try int, countSquash b
 		(mod.reserved == nil || tagOlder(tag, *mod.reserved)) {
 		t := tag
 		mod.reserved = &t
-		p.trace("D%d reserved for starving %s", mod.id, tag)
+		p.env.Trace.Instant(trace.KReserved, mod.id, true, tag, try)
 	}
 }
 
@@ -805,8 +812,11 @@ func (p *Protocol) DebugModule(i int) string {
 // this entry get another chance to advance.
 func (p *Protocol) deallocate(mod *module, e *cstEntry, success bool) {
 	mod.remove(e.tag)
-	if p.OnReleased != nil && e.state != stPending {
-		p.OnReleased(mod.id, e.tag, e.try)
+	if e.state != stPending {
+		p.env.Trace.Span(trace.KHold, trace.PhaseEnd, mod.id, true, e.tag, e.try)
+		if p.OnReleased != nil {
+			p.OnReleased(mod.id, e.tag, e.try)
+		}
 	}
 	if success {
 		delete(mod.squashes, e.tag)

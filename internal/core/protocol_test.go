@@ -13,6 +13,7 @@ import (
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/sig"
 	"scalablebulk/internal/stats"
+	"scalablebulk/internal/trace"
 )
 
 // fakeProc is a minimal committing processor: it submits chunks, retries on
@@ -86,13 +87,19 @@ func (f *fakeProc) handle(m *msg.Msg) {
 
 // rig is a wired mini-machine: protocol + read path + fake processors.
 type rig struct {
-	eng   *event.Engine
-	net   *mesh.Network
-	env   *dir.Env
-	proto *Protocol
-	procs []*fakeProc
-	log   []string
+	eng    *event.Engine
+	net    *mesh.Network
+	env    *dir.Env
+	proto  *Protocol
+	procs  []*fakeProc
+	events []trace.Event
 }
+
+// rigSink collects the rig's structured trace events for assertions.
+type rigSink struct{ r *rig }
+
+func (s rigSink) Event(e trace.Event) { s.r.events = append(s.r.events, e) }
+func (s rigSink) Close() error        { return nil }
 
 func newRig(t *testing.T, nodes int, cfg Config) *rig {
 	t.Helper()
@@ -103,10 +110,9 @@ func newRig(t *testing.T, nodes int, cfg Config) *rig {
 		Coll: stats.New(), DirLookup: 2, MemLatency: 300,
 	}
 	r := &rig{eng: eng, net: net, env: env}
+	env.Trace = trace.New(eng, rigSink{r})
+	env.Coll.Trace = env.Trace
 	r.proto = New(env, cfg)
-	r.proto.Trace = func(format string, args ...any) {
-		r.log = append(r.log, fmt.Sprintf(format, args...))
-	}
 	rp := &dir.ReadPath{Env: env, Proto: r.proto}
 	for i := 0; i < nodes; i++ {
 		fp := &fakeProc{
@@ -346,8 +352,8 @@ func TestOCIRecallKillsLoserGroup(t *testing.T) {
 		if r.procs[1].squashes > 0 {
 			sawSquash = true
 		}
-		for _, line := range r.log {
-			if len(line) > 0 && containsStr(line, "recall lookout") {
+		for _, e := range r.events {
+			if e.Kind == trace.KRecall {
 				sawLookout = true
 			}
 		}

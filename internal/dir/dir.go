@@ -19,6 +19,7 @@ import (
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/sig"
 	"scalablebulk/internal/stats"
+	"scalablebulk/internal/trace"
 )
 
 // LineInfo is the directory entry for one cache line.
@@ -183,6 +184,9 @@ type Env struct {
 
 	// Probe, when non-nil, receives commit milestones (invariant checking).
 	Probe Probe
+	// Trace, when non-nil, receives structured lifecycle events (package
+	// trace). Nil on performance runs — emission sites pay one nil check.
+	Trace *trace.Tracer
 
 	// DirLookup is the directory-module processing latency charged per
 	// transaction step (signature expansion, CST lookup).

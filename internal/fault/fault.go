@@ -19,6 +19,7 @@ import (
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/mesh"
 	"scalablebulk/internal/msg"
+	"scalablebulk/internal/trace"
 )
 
 // ClassFaults configures the faults applied to one traffic class.
@@ -89,6 +90,11 @@ type Injector struct {
 	prof  Profile
 	rng   *rand.Rand
 	stats Stats
+
+	// Trace, when non-nil, records every injected fault as a structured
+	// event. Emission never draws from the PRNG, so tracing a faulted run
+	// does not perturb its replay.
+	Trace *trace.Tracer
 }
 
 var _ mesh.Interposer = (*Injector)(nil)
@@ -118,10 +124,12 @@ func (in *Injector) Plan(m *msg.Msg, now, at event.Time) []mesh.Delivery {
 		(m.Src == in.prof.HotNode || m.Dst == in.prof.HotNode) {
 		t += in.prof.HotDelay
 		in.stats.HotHits++
+		in.Trace.Fault(trace.KFaultHot, m)
 	}
 	if cf.DelayProb > 0 && in.rng.Float64() < cf.DelayProb {
 		t += 1 + event.Time(in.rng.Int63n(int64(cf.DelayMax)))
 		in.stats.Delayed++
+		in.Trace.Fault(trace.KFaultDelay, m)
 	}
 	if cf.DropProb > 0 {
 		for r := 0; r < in.prof.MaxRetransmits; r++ {
@@ -130,6 +138,7 @@ func (in *Injector) Plan(m *msg.Msg, now, at event.Time) []mesh.Delivery {
 			}
 			t += in.prof.RetransmitDelay
 			in.stats.Retransmits++
+			in.Trace.Fault(trace.KFaultRetransmit, m)
 		}
 	}
 	out := []mesh.Delivery{{At: t, M: m}}
@@ -140,6 +149,7 @@ func (in *Injector) Plan(m *msg.Msg, now, at event.Time) []mesh.Delivery {
 		}
 		out = append(out, mesh.Delivery{At: dupAt, M: m.Clone()})
 		in.stats.Duplicated++
+		in.Trace.Fault(trace.KFaultDup, m)
 	}
 	return out
 }

@@ -16,6 +16,7 @@ import (
 
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/msg"
+	"scalablebulk/internal/trace"
 )
 
 // Config configures a torus network.
@@ -74,6 +75,10 @@ type Network struct {
 	OnDeliver func(*msg.Msg)
 	// Fault, when non-nil, rewrites planned deliveries (fault injection).
 	Fault Interposer
+	// Trace, when non-nil, records structured send/deliver events. Unlike
+	// OnSend/OnDeliver it copies only scalars and never retains the
+	// message, so it does not disable Transient recycling.
+	Trace *trace.Tracer
 
 	// deliverFn is the delivery event handler bound once at construction, so
 	// scheduling a delivery allocates neither a closure nor a method value.
@@ -194,6 +199,7 @@ func (n *Network) Send(m *msg.Msg) {
 	if n.OnSend != nil {
 		n.OnSend(m)
 	}
+	n.Trace.MsgSend(m)
 	flits := event.Time(m.Kind.FlitsOf())
 
 	if m.Src == m.Dst {
@@ -280,6 +286,7 @@ func (n *Network) deliver(arg any) {
 	if n.OnDeliver != nil {
 		n.OnDeliver(m)
 	}
+	n.Trace.MsgDeliver(m)
 	n.handlers[m.Dst](m)
 	if m.Kind.Transient() && n.Fault == nil && n.OnSend == nil && n.OnDeliver == nil {
 		*m = msg.Msg{}

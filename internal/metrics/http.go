@@ -1,0 +1,67 @@
+package metrics
+
+import (
+	"encoding/json"
+	"expvar"
+	"net"
+	"net/http"
+	"net/http/pprof"
+	"sync"
+	"sync/atomic"
+)
+
+// publishOnce guards the process-global expvar name: expvar.Publish panics
+// on duplicate names, and tests (or a soak that builds several servers)
+// may call Serve more than once per process. The published Func always
+// reads the most recently served registry.
+var (
+	publishOnce sync.Once
+	published   atomic.Pointer[Registry]
+)
+
+// Serve exposes the registry over HTTP on addr (the -telemetry flag):
+//
+//	/metrics      deterministic JSON snapshot of the registry
+//	/debug/vars   expvar (Go runtime memstats + the registry under
+//	              "scalablebulk")
+//	/debug/pprof  live CPU/heap/goroutine profiling for multi-hour soaks
+//
+// It returns the bound address (useful with ":0") and a shutdown func. The
+// server runs on its own goroutine and never touches the simulator's
+// single-threaded internals — only the atomic registry.
+func Serve(addr string, reg *Registry) (string, func() error, error) {
+	published.Store(reg)
+	publishOnce.Do(func() {
+		expvar.Publish("scalablebulk", expvar.Func(func() any {
+			if r := published.Load(); r != nil {
+				return r.Snapshot()
+			}
+			return nil
+		}))
+	})
+
+	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", "application/json")
+		data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")
+		if err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		w.Write(append(data, '\n'))
+	})
+	mux.Handle("/debug/vars", expvar.Handler())
+	mux.HandleFunc("/debug/pprof/", pprof.Index)
+	mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}

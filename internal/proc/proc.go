@@ -18,6 +18,7 @@ import (
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/sig"
 	"scalablebulk/internal/stats"
+	"scalablebulk/internal/trace"
 )
 
 // Generator produces the chunk stream of one thread. It must be
@@ -93,6 +94,16 @@ type Proc struct {
 	draining    bool       // consuming deferred messages: do not re-defer
 	awaiting    bool       // commit decision pending (conservative window)
 
+	// Exec-span bookkeeping (tracing only). execOpen guarantees every begun
+	// KExec span ends exactly once, whichever of the abandon paths fires.
+	execOpen bool
+	execTag  msg.CTag
+	execTry  int
+	// invTag is the committing chunk behind the invalidation currently being
+	// applied, so squash events can name their preemptor.
+	invTag   msg.CTag
+	invTagOK bool
+
 	// Accounting.
 	Acct      stats.Breakdown
 	Committed int
@@ -153,8 +164,44 @@ func (p *Proc) startNextChunk() {
 	p.beginExecute(ck)
 }
 
+// traceExecBegin opens the chunk's execution span on this core's track.
+func (p *Proc) traceExecBegin(ck *chunk.Chunk) {
+	if !p.env.Trace.Enabled() {
+		return
+	}
+	p.execOpen, p.execTag, p.execTry = true, ck.Tag, ck.Retries
+	p.env.Trace.Span(trace.KExec, trace.PhaseBegin, p.ID, false, ck.Tag, ck.Retries)
+}
+
+// traceExecEnd closes the open execution span, if any. Safe to call on every
+// path that stops or abandons the executing chunk.
+func (p *Proc) traceExecEnd() {
+	if !p.execOpen {
+		return
+	}
+	p.execOpen = false
+	p.env.Trace.Span(trace.KExec, trace.PhaseEnd, p.ID, false, p.execTag, p.execTry)
+}
+
+// traceSquash records one squash with its cause and, when known, the
+// committing chunk that triggered it.
+func (p *Proc) traceSquash(ck *chunk.Chunk, trueConflict bool) {
+	if !p.env.Trace.Enabled() {
+		return
+	}
+	cause := trace.CauseAliasing
+	if trueConflict {
+		cause = trace.CauseConflict
+	}
+	p.env.Trace.Emit(trace.Event{
+		Kind: trace.KSquash, Node: p.ID, Tag: ck.Tag, Try: ck.Retries,
+		Cause: cause, Other: p.invTag, HasOther: p.invTagOK,
+	})
+}
+
 // beginExecute (re)starts a chunk from its first access.
 func (p *Proc) beginExecute(ck *chunk.Chunk) {
+	p.traceExecEnd()
 	p.executing = ck
 	p.pc = 0
 	ck.ExecUseful, ck.ExecMiss = 0, 0
@@ -162,6 +209,7 @@ func (p *Proc) beginExecute(ck *chunk.Chunk) {
 	ck.WSig.Clear()
 	p.execEpoch++
 	p.pendingRead = nil
+	p.traceExecBegin(ck)
 	p.step(p.execEpoch)
 }
 
@@ -297,6 +345,7 @@ func (p *Proc) finishExecution(epoch uint64) {
 	}
 	ck := p.executing
 	p.executing = nil
+	p.traceExecEnd()
 	ck.Finalize(func(l sig.Line) int { return p.env.Map.Home(l, p.ID) })
 	if p.committing == nil {
 		p.submitCommit(ck)
@@ -338,6 +387,7 @@ func (p *Proc) CommitFinished(tag msg.CTag) {
 		ck := p.executing
 		p.Acct.Squash += ck.ExecUseful + ck.ExecMiss // partial re-execution wasted
 		p.executing = nil
+		p.traceExecEnd()
 		p.execEpoch++
 		p.pendingRead = nil
 		// The commit stands, so it must land in the collector like any
@@ -389,6 +439,7 @@ func (p *Proc) countCommit(ck *chunk.Chunk) {
 		p.FinishAt = p.env.Eng.Now()
 		// Abandon any speculative work beyond the target.
 		p.executing = nil
+		p.traceExecEnd()
 		p.finished = nil
 		p.execEpoch++
 		p.pendingRead = nil
@@ -468,6 +519,7 @@ func (p *Proc) squashExecuting(trueConflict bool) {
 	}
 	p.Squashes++
 	p.env.Coll.Squashed(trueConflict)
+	p.traceSquash(ck, trueConflict)
 	p.Acct.Squash += ck.ExecUseful + ck.ExecMiss
 	ck.Squashes++
 	p.hier.Squash(ck.WriteLines)
@@ -484,6 +536,7 @@ func (p *Proc) squashInFlight(trueConflict bool) *msg.RecallInfo {
 	now := p.env.Eng.Now()
 	p.Squashes++
 	p.env.Coll.Squashed(trueConflict)
+	p.traceSquash(ck, trueConflict)
 	p.env.Coll.CommitEnded(p.ID, ck.Tag.Seq, ck.Retries, now, false)
 	p.Acct.Squash += ck.ExecUseful + ck.ExecMiss
 	ck.Squashes++
@@ -606,7 +659,9 @@ func (p *Proc) Handle(m *msg.Msg) {
 		if p.MaybeDefer(m) {
 			return
 		}
+		p.invTag, p.invTagOK = m.Tag, true
 		recall := p.bulkInvalidate(&m.WSig, m.WriteLines)
+		p.invTagOK = false
 		ack := &msg.Msg{Kind: msg.BulkInvAck, Src: p.ID, Dst: m.Src, Tag: m.Tag}
 		if recall != nil && p.cfg.OCIRecall {
 			ack.Recall = recall

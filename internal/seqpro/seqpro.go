@@ -15,6 +15,7 @@ import (
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/sig"
+	"scalablebulk/internal/trace"
 )
 
 // Config tunes the protocol.
@@ -59,9 +60,9 @@ type occupancy struct {
 type job struct {
 	ck       *chunk.Chunk
 	try      uint64
-	nextIdx  int   // next directory in ck.Dirs to occupy
-	occupied []int // modules granted so far
-	pending  int   // outstanding invalidation acks
+	nextIdx  int          // next directory in ck.Dirs to occupy
+	occupied []int        // modules granted so far
+	pending  int          // outstanding invalidation acks
 	invAcked map[int]bool // sharers whose ack was counted (dup guard)
 	aborted  bool
 }
@@ -126,6 +127,10 @@ func (p *Protocol) armWatchdog(proc int, ck *chunk.Chunk) {
 			return
 		}
 		p.Watchdog++
+		p.env.Trace.Emit(trace.Event{
+			Kind: trace.KWatchdog, Node: proc, Tag: ck.Tag, Try: int(try),
+			Cause: trace.CauseWatchdog,
+		})
 		p.Abort(proc, ck.Tag)
 		p.env.Cores[proc].CommitRefused(ck.Tag)
 	})
@@ -154,6 +159,7 @@ func (p *Protocol) HandleDir(node int, m *msg.Msg) {
 		}
 		if ms.occupant == nil {
 			ms.occupant = &occupancy{tag: m.Tag, try: m.TID, wsig: m.WSig}
+			p.env.Trace.Span(trace.KHold, trace.PhaseBegin, node, true, m.Tag, int(m.TID))
 			p.env.Eng.After(p.env.DirLookup, func() {
 				p.env.Net.Send(&msg.Msg{Kind: msg.SeqGrant, Src: node, Dst: m.Tag.Proc, Tag: m.Tag, TID: m.TID})
 			})
@@ -173,11 +179,13 @@ func (p *Protocol) HandleDir(node int, m *msg.Msg) {
 			}
 			return
 		}
+		p.env.Trace.Span(trace.KHold, trace.PhaseEnd, node, true, m.Tag, int(m.TID))
 		ms.occupant = nil
 		if len(ms.queue) > 0 {
 			next := ms.queue[0]
 			ms.queue = ms.queue[1:]
 			ms.occupant = &occupancy{tag: next.Tag, try: next.TID, wsig: next.WSig}
+			p.env.Trace.Span(trace.KHold, trace.PhaseBegin, node, true, next.Tag, int(next.TID))
 			p.env.Eng.After(p.env.DirLookup, func() {
 				p.env.Net.Send(&msg.Msg{Kind: msg.SeqGrant, Src: node, Dst: next.Tag.Proc, Tag: next.Tag, TID: next.TID})
 			})
@@ -296,6 +304,7 @@ func (p *Protocol) onInvAck(proc int, m *msg.Msg) {
 
 func (p *Protocol) complete(proc int, j *job) {
 	delete(p.jobs, proc)
+	p.env.Trace.Instant(trace.KCommitDone, proc, false, j.ck.Tag, int(j.try))
 	p.env.Cores[proc].CommitFinished(j.ck.Tag)
 }
 

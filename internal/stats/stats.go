@@ -10,6 +10,7 @@ import (
 
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/msg"
+	"scalablebulk/internal/trace"
 )
 
 // TrafficClasses reduces per-kind message counts into the five Figure 18/19
@@ -104,6 +105,12 @@ type Collector struct {
 	// performance runs.
 	OnFormed func(proc int, seq uint64, try int, t event.Time)
 	OnEnded  func(proc int, seq uint64, try int, t event.Time, success bool)
+
+	// Trace, when non-nil, mirrors every commit attempt as a structured
+	// KCommit span (begin at CommitStarted, formed instant, end at
+	// CommitEnded). Because all four protocols report their milestones
+	// here, this one hook gives them a uniform lifecycle trace.
+	Trace *trace.Tracer
 }
 
 type attemptKey struct {
@@ -123,6 +130,7 @@ func (c *Collector) CommitStarted(proc int, seq uint64, try int, t event.Time) {
 	a := &Attempt{Req: t}
 	c.attempts = append(c.attempts, a)
 	c.open[attemptKey{proc, seq, try}] = a
+	c.Trace.Span(trace.KCommit, trace.PhaseBegin, proc, false, msg.CTag{Proc: proc, Seq: seq}, try)
 }
 
 // GroupFormed records that the attempt's group formed (or, for baselines,
@@ -131,6 +139,7 @@ func (c *Collector) GroupFormed(proc int, seq uint64, try int, t event.Time) {
 	if a := c.open[attemptKey{proc, seq, try}]; a != nil {
 		a.Formed = t
 	}
+	c.Trace.Instant(trace.KGroupFormed, proc, false, msg.CTag{Proc: proc, Seq: seq}, try)
 	if c.OnFormed != nil {
 		c.OnFormed(proc, seq, try, t)
 	}
@@ -151,6 +160,10 @@ func (c *Collector) CommitEnded(proc int, seq uint64, try int, t event.Time, suc
 	} else {
 		c.CommitFailures++
 	}
+	c.Trace.Emit(trace.Event{
+		Kind: trace.KCommit, Phase: trace.PhaseEnd, Node: proc,
+		Tag: msg.CTag{Proc: proc, Seq: seq}, Try: try, OK: success,
+	})
 	if c.OnEnded != nil {
 		c.OnEnded(proc, seq, try, t, success)
 	}

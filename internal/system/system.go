@@ -28,6 +28,7 @@ import (
 	"scalablebulk/internal/sig"
 	"scalablebulk/internal/stats"
 	"scalablebulk/internal/tcc"
+	"scalablebulk/internal/trace"
 	"scalablebulk/internal/workload"
 )
 
@@ -92,6 +93,20 @@ type Config struct {
 	// Check hook. The differential cross-protocol tests use it to collect
 	// each protocol's final committed-write multiset.
 	OnApplyWrite func(l sig.Line, writer int)
+
+	// TraceSink, when non-nil, receives every structured lifecycle, NoC and
+	// fault event of the run (package trace). The sink is closed by the
+	// caller, not by Run: a caller may reuse one sink across runs.
+	// Tracing observes the run without perturbing it — fingerprints are
+	// bit-identical with and without a sink.
+	TraceSink trace.Sink
+	// FlightRecorder, when > 0, keeps the last N trace events in a ring
+	// buffer whose rendered tail is attached to DeadlockError aborts, RunPanic
+	// reports and crash bundles. It works with or without a TraceSink.
+	FlightRecorder int
+	// TraceReads includes read-path (Transient) NoC messages in the trace —
+	// by far the most numerous events; off by default.
+	TraceReads bool
 }
 
 // DefaultConfig returns the Table 2 machine.
@@ -132,6 +147,10 @@ type DeadlockError struct {
 	// — slow but live — and are retried by RunWithRetry with an escalated
 	// budget.
 	BudgetExhausted bool
+	// Flight is the flight recorder's tail (rendered text lines, oldest
+	// first) when Config.FlightRecorder was enabled: the last trace events
+	// before the machine stopped.
+	Flight []string
 }
 
 func (e *DeadlockError) Error() string {
@@ -139,6 +158,10 @@ func (e *DeadlockError) Error() string {
 		e.App, e.Protocol, e.Cores, e.Cycle, e.Reason)
 	if e.Dump != "" {
 		s += "\n" + e.Dump
+	}
+	if len(e.Flight) > 0 {
+		s += fmt.Sprintf("\nflight recorder (last %d events):\n%s",
+			len(e.Flight), strings.Join(e.Flight, "\n"))
 	}
 	return s
 }
@@ -262,6 +285,7 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result
 	eng := event.New()
 	var procs []*proc.Proc
 	var proto dir.Protocol
+	var flight *trace.Ring
 	defer func() {
 		if r := recover(); r != nil {
 			if _, ok := r.(*RunPanic); ok {
@@ -274,6 +298,9 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result
 			if len(procs) > 0 && proto != nil {
 				rp.Dump = dumpMachine(procs, proto)
 			}
+			if flight != nil {
+				rp.Flight = flight.Dump()
+			}
 			panic(rp)
 		}
 	}()
@@ -285,6 +312,23 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result
 		Coll: stats.New(), DirLookup: cfg.DirLookup, MemLatency: cfg.MemLatency,
 	}
 
+	// Assemble the tracer: the caller's sink, the flight recorder, or both.
+	sink := cfg.TraceSink
+	if cfg.FlightRecorder > 0 {
+		flight = trace.NewRing(cfg.FlightRecorder)
+		if sink != nil {
+			sink = trace.Multi{sink, flight}
+		} else {
+			sink = flight
+		}
+	}
+	if tr := trace.New(eng, sink); tr != nil {
+		tr.Reads = cfg.TraceReads
+		env.Trace = tr
+		env.Coll.Trace = tr
+		net.Trace = tr
+	}
+
 	var inj *fault.Injector
 	if cfg.Faults.Enabled() {
 		seed := cfg.FaultSeed
@@ -292,6 +336,7 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result
 			seed = cfg.Seed
 		}
 		inj = fault.New(*cfg.Faults, seed)
+		inj.Trace = env.Trace
 		net.Fault = inj
 	}
 	var chk *check.Checker
@@ -405,11 +450,15 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result
 		if cfg.OnAbort != nil {
 			cfg.OnAbort(procs, proto)
 		}
-		return &DeadlockError{
+		de := &DeadlockError{
 			App: prof.Name, Protocol: cfg.Protocol, Cores: cfg.Cores,
 			Cycle: eng.Now(), Reason: reason, Dump: dumpMachine(procs, proto),
 			BudgetExhausted: budget,
 		}
+		if flight != nil {
+			de.Flight = flight.Dump()
+		}
+		return de
 	}
 	abortCtx := func(cause error) error {
 		return &AbortError{

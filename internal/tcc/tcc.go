@@ -27,6 +27,7 @@ import (
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/sig"
+	"scalablebulk/internal/trace"
 )
 
 // Config tunes the protocol.
@@ -166,6 +167,10 @@ func (p *Protocol) armWatchdog(proc int, ck *chunk.Chunk) {
 			return
 		}
 		p.Watchdog++
+		p.env.Trace.Emit(trace.Event{
+			Kind: trace.KWatchdog, Node: proc, Tag: ck.Tag, Try: try,
+			Cause: trace.CauseWatchdog,
+		})
 		p.Abort(proc, ck.Tag)
 		p.env.Cores[proc].CommitRefused(ck.Tag)
 	})
@@ -260,6 +265,10 @@ func (p *Protocol) drain(mod *tccMod) {
 			return
 		}
 		if e.skip {
+			if e.held {
+				// A held probe converted to a skip (abort): release the head.
+				p.env.Trace.Span(trace.KHold, trace.PhaseEnd, mod.id, true, e.tag, e.try)
+			}
 			delete(mod.entries, mod.next)
 			mod.next++
 			continue
@@ -267,6 +276,7 @@ func (p *Protocol) drain(mod *tccMod) {
 		if !e.held {
 			// Probe reached the head: ack it and hold.
 			e.held = true
+			p.env.Trace.Span(trace.KHold, trace.PhaseBegin, mod.id, true, e.tag, e.try)
 			p.noteStarted(mod, e)
 			tid := mod.next
 			p.env.Eng.After(p.env.DirLookup, func() {
@@ -302,6 +312,7 @@ func (p *Protocol) drain(mod *tccMod) {
 		for _, l := range e.marks {
 			p.env.State.ApplyCommitWrite(l, e.tag.Proc)
 		}
+		p.env.Trace.Span(trace.KHold, trace.PhaseEnd, mod.id, true, e.tag, e.try)
 		p.env.Net.Send(&msg.Msg{Kind: msg.TCCAck, Src: mod.id, Dst: e.tag.Proc, Tag: e.tag, TID: mod.next})
 		delete(mod.entries, mod.next)
 		mod.next++
@@ -461,6 +472,7 @@ func (p *Protocol) onDoneAck(proc int, m *msg.Msg) {
 
 func (p *Protocol) complete(proc int, j *job) {
 	delete(p.jobs, proc)
+	p.env.Trace.Instant(trace.KCommitDone, proc, false, j.ck.Tag, j.ck.Retries)
 	p.env.Cores[proc].CommitFinished(j.ck.Tag)
 }
 

@@ -1,0 +1,257 @@
+package trace
+
+import (
+	"io"
+	"sort"
+	"strconv"
+)
+
+// Perfetto buffers events and, on Close, writes Chrome trace-event JSON
+// (the legacy JSON format Perfetto and chrome://tracing both load).
+//
+// Track model: pid 1 is the "cores" process and pid 2 the "directories"
+// process, with one thread per tile on each side. Execution spans are
+// synchronous B/E slices on their core's thread (a core executes one chunk
+// at a time, so they nest trivially). Commit attempts and directory holds
+// are nestable async b/e pairs keyed by chunk attempt — commit attempts
+// overlap the next chunk's execution, and BulkSC's arbiter holds overlap
+// each other, so synchronous slices would violate Chrome's nesting rules.
+// Cycles map 1:1 to microseconds (ts is in μs).
+type Perfetto struct {
+	w      io.Writer
+	events []Event
+}
+
+// NewPerfetto builds a Perfetto sink over w. Nothing is written until Close.
+func NewPerfetto(w io.Writer) *Perfetto { return &Perfetto{w: w} }
+
+// Event implements Sink.
+func (p *Perfetto) Event(e Event) { p.events = append(p.events, e) }
+
+const (
+	pidCores = 1
+	pidDirs  = 2
+)
+
+func (e *Event) track() (pid, tid int) {
+	pid = pidCores
+	if e.Dir {
+		pid = pidDirs
+	}
+	return pid, e.Node
+}
+
+// Close renders the buffered events and writes the JSON document.
+func (p *Perfetto) Close() error {
+	var b []byte
+	b = append(b, `{"displayTimeUnit":"ms","traceEvents":[`...)
+
+	// Track metadata, deterministic order: cores then directories.
+	seen := map[track2]bool{}
+	var tracks []track2
+	for i := range p.events {
+		pid, tid := p.events[i].track()
+		tr := track2{pid, tid}
+		if !seen[tr] {
+			seen[tr] = true
+			tracks = append(tracks, tr)
+		}
+	}
+	sort.Slice(tracks, func(i, j int) bool {
+		if tracks[i].pid != tracks[j].pid {
+			return tracks[i].pid < tracks[j].pid
+		}
+		return tracks[i].tid < tracks[j].tid
+	})
+	first := true
+	meta := func(pid, tid int, key, name string) {
+		if !first {
+			b = append(b, ',')
+		}
+		first = false
+		b = append(b, `{"ph":"M","pid":`...)
+		b = strconv.AppendInt(b, int64(pid), 10)
+		b = append(b, `,"tid":`...)
+		b = strconv.AppendInt(b, int64(tid), 10)
+		b = append(b, `,"name":"`...)
+		b = append(b, key...)
+		b = append(b, `","args":{"name":"`...)
+		b = append(b, name...)
+		b = append(b, `"}}`...)
+	}
+	meta(pidCores, 0, "process_name", "cores")
+	meta(pidDirs, 0, "process_name", "directories")
+	for _, tr := range tracks {
+		side := "core "
+		if tr.pid == pidDirs {
+			side = "dir "
+		}
+		meta(tr.pid, tr.tid, "thread_name", side+strconv.Itoa(tr.tid))
+	}
+
+	// Body. Track open spans so the file is always balanced: runs stop the
+	// moment the workload finishes, legitimately leaving holds (and the
+	// last chunks' attempts) open — those are closed at the final cycle.
+	var maxT uint64
+	syncOpen := map[track2]int{}
+	asyncOpen := map[string]asyncKey{}
+	for i := range p.events {
+		e := &p.events[i]
+		if uint64(e.T) > maxT {
+			maxT = uint64(e.T)
+		}
+		b = p.renderEvent(b, e, &first, syncOpen, asyncOpen)
+	}
+
+	// Close dangling spans at the last observed cycle.
+	for _, tr := range tracks {
+		for d := syncOpen[tr]; d > 0; d-- {
+			b = appendDur(b, &first, "E", tr.pid, tr.tid, maxT)
+			b = append(b, '}')
+		}
+	}
+	ids := make([]string, 0, len(asyncOpen))
+	for id := range asyncOpen {
+		ids = append(ids, id)
+	}
+	sort.Strings(ids)
+	for _, id := range ids {
+		k := asyncOpen[id]
+		b = appendDur(b, &first, "e", k.pid, k.tid, maxT)
+		b = append(b, `,"cat":"`...)
+		b = append(b, k.cat...)
+		b = append(b, `","id":"`...)
+		b = append(b, id...)
+		b = append(b, `","name":"`...)
+		b = append(b, k.name...)
+		b = append(b, `"}`...)
+	}
+
+	b = append(b, "]}\n"...)
+	_, err := p.w.Write(b)
+	return err
+}
+
+type asyncKey struct {
+	pid, tid  int
+	cat, name string
+}
+
+// appendDur opens one event object with the common ph/pid/tid/ts fields;
+// the caller appends any extra fields and the closing brace.
+func appendDur(b []byte, first *bool, ph string, pid, tid int, ts uint64) []byte {
+	if !*first {
+		b = append(b, ',')
+	}
+	*first = false
+	b = append(b, `{"ph":"`...)
+	b = append(b, ph...)
+	b = append(b, `","pid":`...)
+	b = strconv.AppendInt(b, int64(pid), 10)
+	b = append(b, `,"tid":`...)
+	b = strconv.AppendInt(b, int64(tid), 10)
+	b = append(b, `,"ts":`...)
+	b = strconv.AppendUint(b, ts, 10)
+	return b
+}
+
+// spanID is the async-event id of one chunk attempt's span at one module:
+// "P3.7/1@D5" — unique per (kind instance), shared between its b and e.
+func spanID(e *Event) string {
+	b := appendTag(nil, e.Tag.Proc, e.Tag.Seq)
+	b = append(b, '/')
+	b = strconv.AppendInt(b, int64(e.Try), 10)
+	if e.Kind == KHold {
+		b = append(b, '@')
+		b = e.appendTile(b)
+	}
+	return string(b)
+}
+
+func spanName(e *Event) string {
+	b := append([]byte(e.Kind.String()), ' ')
+	return string(appendTag(b, e.Tag.Proc, e.Tag.Seq))
+}
+
+func (p *Perfetto) renderEvent(b []byte, e *Event, first *bool, syncOpen map[track2]int, asyncOpen map[string]asyncKey) []byte {
+	pid, tid := e.track()
+	ts := uint64(e.T)
+	switch {
+	case e.Kind == KExec:
+		tr := track2{pid, tid}
+		if e.Phase == PhaseBegin {
+			syncOpen[tr]++
+			b = appendDur(b, first, "B", pid, tid, ts)
+			b = append(b, `,"cat":"exec","name":"`...)
+			b = append(b, spanName(e)...)
+			b = append(b, `"}`...)
+		} else {
+			if syncOpen[tr] == 0 {
+				return b // end without begin (trace started mid-span): drop
+			}
+			syncOpen[tr]--
+			b = appendDur(b, first, "E", pid, tid, ts)
+			b = append(b, '}')
+		}
+	case e.Kind == KCommit || e.Kind == KHold:
+		id := spanID(e)
+		cat := e.Kind.String()
+		if e.Phase == PhaseBegin {
+			asyncOpen[id] = asyncKey{pid, tid, cat, spanName(e)}
+			b = appendDur(b, first, "b", pid, tid, ts)
+		} else {
+			if _, ok := asyncOpen[id]; !ok {
+				return b
+			}
+			delete(asyncOpen, id)
+			b = appendDur(b, first, "e", pid, tid, ts)
+		}
+		b = append(b, `,"cat":"`...)
+		b = append(b, cat...)
+		b = append(b, `","id":"`...)
+		b = append(b, id...)
+		b = append(b, `","name":"`...)
+		b = append(b, spanName(e)...)
+		b = append(b, `"}`...)
+	default:
+		b = appendDur(b, first, "i", pid, tid, ts)
+		b = append(b, `,"s":"t","cat":"`...)
+		switch e.Kind {
+		case KSend, KDeliver:
+			b = append(b, "noc"...)
+		case KFaultDelay, KFaultDup, KFaultRetransmit, KFaultHot:
+			b = append(b, "fault"...)
+		default:
+			b = append(b, "lifecycle"...)
+		}
+		b = append(b, `","name":"`...)
+		b = append(b, instantName(e)...)
+		b = append(b, `"}`...)
+	}
+	return b
+}
+
+type track2 = struct{ pid, tid int }
+
+func instantName(e *Event) string {
+	var b []byte
+	b = append(b, e.Kind.String()...)
+	switch e.Kind {
+	case KSend, KDeliver, KFaultDelay, KFaultDup, KFaultRetransmit, KFaultHot:
+		b = append(b, ' ')
+		b = append(b, e.MsgKind.String()...)
+	default:
+		b = append(b, ' ')
+		b = appendTag(b, e.Tag.Proc, e.Tag.Seq)
+		if e.Cause != CauseNone {
+			b = append(b, " ("...)
+			b = append(b, e.Cause.String()...)
+			b = append(b, ')')
+		}
+		if e.HasOther {
+			b = append(b, " by "...)
+			b = appendTag(b, e.Other.Proc, e.Other.Seq)
+		}
+	}
+	return string(b)
+}

@@ -1,0 +1,84 @@
+package trace
+
+import (
+	"encoding/json"
+	"fmt"
+)
+
+// ValidatePerfetto checks a rendered Perfetto document against the Chrome
+// trace-event schema rules every consumer assumes: a non-empty traceEvents
+// array, required fields per phase, balanced B/E per track and b/e per async
+// id. The trace tests and the CI trace-smoke job both run it.
+func ValidatePerfetto(data []byte) error {
+	var doc struct {
+		TraceEvents []map[string]any `json:"traceEvents"`
+	}
+	if err := json.Unmarshal(data, &doc); err != nil {
+		return fmt.Errorf("not valid JSON: %w", err)
+	}
+	if len(doc.TraceEvents) == 0 {
+		return fmt.Errorf("empty traceEvents")
+	}
+	syncDepth := map[[2]float64]int{}
+	asyncOpen := map[string]int{}
+	for i, ev := range doc.TraceEvents {
+		ph, _ := ev["ph"].(string)
+		if ph == "" {
+			return fmt.Errorf("event %d missing ph: %v", i, ev)
+		}
+		pid, okPid := ev["pid"].(float64)
+		tid, okTid := ev["tid"].(float64)
+		if !okPid || !okTid {
+			return fmt.Errorf("event %d missing pid/tid: %v", i, ev)
+		}
+		if ph != "M" {
+			if _, ok := ev["ts"].(float64); !ok {
+				return fmt.Errorf("event %d missing ts: %v", i, ev)
+			}
+		}
+		tr := [2]float64{pid, tid}
+		switch ph {
+		case "B":
+			syncDepth[tr]++
+		case "E":
+			syncDepth[tr]--
+			if syncDepth[tr] < 0 {
+				return fmt.Errorf("event %d: E without B on track %v", i, tr)
+			}
+		case "b", "e":
+			id, _ := ev["id"].(string)
+			if id == "" {
+				return fmt.Errorf("event %d: async event without id: %v", i, ev)
+			}
+			if _, ok := ev["cat"].(string); !ok {
+				return fmt.Errorf("event %d: async event without cat: %v", i, ev)
+			}
+			if ph == "b" {
+				asyncOpen[id]++
+			} else {
+				asyncOpen[id]--
+				if asyncOpen[id] < 0 {
+					return fmt.Errorf("event %d: e without b for id %s", i, id)
+				}
+			}
+		case "i":
+			if _, ok := ev["name"].(string); !ok {
+				return fmt.Errorf("event %d: instant without name: %v", i, ev)
+			}
+		case "M":
+		default:
+			return fmt.Errorf("event %d: unexpected ph %q", i, ph)
+		}
+	}
+	for tr, d := range syncDepth {
+		if d != 0 {
+			return fmt.Errorf("track %v: %d unbalanced B events", tr, d)
+		}
+	}
+	for id, d := range asyncOpen {
+		if d != 0 {
+			return fmt.Errorf("id %s: %d unbalanced b events", id, d)
+		}
+	}
+	return nil
+}

@@ -1,0 +1,88 @@
+package scalablebulk
+
+import (
+	"sync"
+	"testing"
+	"time"
+
+	"scalablebulk/internal/metrics"
+	"scalablebulk/internal/sig"
+)
+
+// TestSweepProgressAndMetrics drives a small sweep with the heartbeat and a
+// metrics registry attached: the final heartbeat must report completion with
+// a fingerprint, and the registry must hold the folded-in run counters plus
+// the live sweep gauges.
+func TestSweepProgressAndMetrics(t *testing.T) {
+	s := NewSession(1, 1, nil)
+	s.ProgressInterval = time.Millisecond
+	var mu sync.Mutex
+	var beats []SweepProgress
+	s.OnProgress = func(p SweepProgress) {
+		mu.Lock()
+		beats = append(beats, p)
+		mu.Unlock()
+	}
+	reg := metrics.NewRegistry()
+	s.Metrics = reg
+
+	points := []Point{
+		{App: "FFT", Protocol: ProtoScalableBulk, Cores: 4},
+		{App: "Radix", Protocol: ProtoScalableBulk, Cores: 4},
+	}
+	if err := s.SweepList(points, 2); err != nil {
+		t.Fatal(err)
+	}
+
+	mu.Lock()
+	defer mu.Unlock()
+	if len(beats) == 0 {
+		t.Fatal("no heartbeats delivered")
+	}
+	last := beats[len(beats)-1]
+	if !last.Final {
+		t.Fatalf("last heartbeat not final: %+v", last)
+	}
+	if last.Done != 2 || last.Total != 2 || last.Failed != 0 {
+		t.Fatalf("final heartbeat = %+v, want done=2 total=2 failed=0", last)
+	}
+	if last.LastFingerprint == "" || last.LastPoint.App == "" {
+		t.Fatalf("final heartbeat lacks last-point identity: %+v", last)
+	}
+	if last.Elapsed <= 0 {
+		t.Fatalf("final heartbeat has no elapsed time: %+v", last)
+	}
+
+	snap := reg.Snapshot()
+	if got := snap.Counters["runs_total"]; got != 2 {
+		t.Fatalf("runs_total = %d, want 2", got)
+	}
+	if got := snap.Counters["chunks_committed_total"]; got != 2*4*16 {
+		t.Fatalf("chunks_committed_total = %d, want %d", got, 2*4*16)
+	}
+	if got := snap.Gauges["sweep_done"]; got != 2 {
+		t.Fatalf("sweep_done gauge = %v, want 2", got)
+	}
+	if snap.Histograms["commit_latency_cycles"].Count == 0 {
+		t.Fatal("commit latency histogram empty after two runs")
+	}
+}
+
+// TestCrashBundleCarriesFlightRecorder checks the flight recorder tail
+// travels from a panic inside a traced run, through the *RunPanic, into the
+// point's crash report.
+func TestCrashBundleCarriesFlightRecorder(t *testing.T) {
+	s := NewSession(1, 1, nil)
+	s.Configure = func(cfg *Config) {
+		cfg.FlightRecorder = 32
+		cfg.OnApplyWrite = func(sig.Line, int) { panic("injected for flight-recorder test") }
+	}
+	_, err := s.Result("FFT", ProtoScalableBulk, 4)
+	ce, ok := err.(*CrashError)
+	if !ok {
+		t.Fatalf("got %v, want *CrashError", err)
+	}
+	if n := len(ce.Report.FlightRecorder); n == 0 || n > 32 {
+		t.Fatalf("crash report flight recorder tail has %d lines, want 1..32", n)
+	}
+}
