@@ -23,12 +23,15 @@ import (
 	"fmt"
 	"strings"
 
+	"scalablebulk/internal/core"
+	"scalablebulk/internal/protocol"
 	"scalablebulk/internal/stats"
 	"scalablebulk/internal/system"
 	"scalablebulk/internal/workload"
 )
 
-// Protocol names (Table 3 of the paper, plus the OCI ablation).
+// Protocol names (Table 3 of the paper, plus the OCI ablation). These are
+// registry keys; RegisteredProtocols enumerates everything that linked in.
 const (
 	// ProtoScalableBulk is the paper's protocol (package internal/core).
 	ProtoScalableBulk = system.ProtoScalableBulk
@@ -39,12 +42,41 @@ const (
 	// ProtoBulkSC is the BulkSC centralized-arbiter baseline.
 	ProtoBulkSC = system.ProtoBulkSC
 	// ProtoNoOCI is ScalableBulk with Optimistic Commit Initiation
-	// disabled — the Figure 4(c) conservative ablation.
-	ProtoNoOCI = system.ProtoNoOCI
+	// disabled — the Figure 4(c) conservative ablation. It registers itself
+	// from internal/core; nothing in internal/system names it.
+	ProtoNoOCI = core.NameNoOCI
 )
 
 // Protocols lists the four evaluated protocols in the paper's order.
 var Protocols = system.Protocols
+
+// ProtocolInfo describes one protocol in the registry.
+type ProtocolInfo struct {
+	// Name is the registry key accepted by Config.Protocol.
+	Name string
+	// Doc is the protocol's one-line description.
+	Doc string
+	// Evaluated marks the four Table 3 protocols the figure sweeps compare;
+	// variants (e.g. the OCI ablation) leave it false.
+	Evaluated bool
+}
+
+// RegisteredProtocols enumerates every protocol linked into the binary, the
+// paper's four first, variants after. The CLIs' -protocols flags print it.
+func RegisteredProtocols() []ProtocolInfo {
+	var out []ProtocolInfo
+	for _, d := range protocol.Descriptors() {
+		out = append(out, ProtocolInfo{Name: d.Name, Doc: d.Doc, Evaluated: d.Evaluated})
+	}
+	return out
+}
+
+// IsProtocol reports whether name is a registered protocol — the check the
+// CLIs run on -protocol flags before building a machine.
+func IsProtocol(name string) bool {
+	_, ok := protocol.Lookup(name)
+	return ok
+}
 
 // Config describes one simulation; DefaultConfig gives the Table 2 machine.
 type Config = system.Config

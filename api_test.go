@@ -24,8 +24,11 @@ func TestDefaultConfigMatchesTable2(t *testing.T) {
 	if cfg.L2.SizeBytes != 512<<10 || cfg.L2.Assoc != 8 {
 		t.Error("L2 must be 512KB/8-way")
 	}
-	if !cfg.SB.OCI {
-		t.Error("ScalableBulk runs with OCI enabled")
+	if cfg.ProtoOptions != nil {
+		t.Error("DefaultConfig leaves ProtoOptions nil (registry defaults apply)")
+	}
+	if !IsProtocol(ProtoScalableBulk) || !IsProtocol(ProtoNoOCI) {
+		t.Error("ScalableBulk and its OCI-off ablation must be registered")
 	}
 }
 

@@ -230,7 +230,11 @@ func BenchmarkAblationOCI(b *testing.B) {
 func BenchmarkAblationPriorityRotation(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		base := ablationRun(b, func(c *Config) {})
-		rot := ablationRun(b, func(c *Config) { c.SB.RotationInterval = 10000 })
+		rot := ablationRun(b, func(c *Config) {
+			sb := core.DefaultConfig()
+			sb.RotationInterval = 10000
+			c.ProtoOptions = sb
+		})
 		b.ReportMetric(base.MeanCommitLatency(), "fixed_cycles")
 		b.ReportMetric(rot.MeanCommitLatency(), "rotating_cycles")
 	}
@@ -240,10 +244,13 @@ func BenchmarkAblationPriorityRotation(b *testing.B) {
 func BenchmarkAblationStarvationMAX(b *testing.B) {
 	for i := 0; i < b.N; i++ {
 		for _, max := range []int{4, 12, 64} {
-			r := ablationRun(b, func(c *Config) { c.SB.MaxSquashes = max })
-			sb := r.Proto.(*core.Protocol)
+			r := ablationRun(b, func(c *Config) {
+				sb := core.DefaultConfig()
+				sb.MaxSquashes = max
+				c.ProtoOptions = sb
+			})
 			b.ReportMetric(float64(r.Cycles), fmt.Sprintf("max%d_exec", max))
-			b.ReportMetric(float64(sb.Fails.Reserved), fmt.Sprintf("max%d_resv", max))
+			b.ReportMetric(float64(r.Proto.Stats()["fail_reserved"]), fmt.Sprintf("max%d_resv", max))
 		}
 	}
 }

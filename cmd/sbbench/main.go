@@ -35,6 +35,7 @@ import (
 	"time"
 
 	scalablebulk "scalablebulk"
+	"scalablebulk/internal/cliutil"
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/metrics"
 	"scalablebulk/internal/msg"
@@ -98,8 +99,14 @@ func run() int {
 		outPath   = flag.String("o", "BENCH_PR2.json", "JSON report path (- for stdout)")
 		gobench   = flag.String("gobench", "", "also write benchstat-compatible text to this path")
 		telemetry = flag.String("telemetry", "", "serve live metrics on this address while benchmarking (e.g. :8090)")
+		protoList = flag.Bool("protocols", false, "list registered commit protocols and exit")
 	)
 	flag.Parse()
+
+	if *protoList {
+		fmt.Print(cliutil.ProtocolList())
+		return 0
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

@@ -22,6 +22,7 @@ import (
 	"time"
 
 	"scalablebulk"
+	"scalablebulk/internal/cliutil"
 )
 
 func main() {
@@ -35,7 +36,13 @@ func run() int {
 	squash := flag.Bool("squash", false, "also print the §6.1 squash classification")
 	par := flag.Int("j", 0, "parallel simulations during prefetch (0 = all CPUs)")
 	journal := flag.String("journal", "", "JSONL checkpoint journal for the prefetch; an interrupted run resumes from it")
+	protoList := flag.Bool("protocols", false, "list registered commit protocols and exit")
 	flag.Parse()
+
+	if *protoList {
+		fmt.Print(cliutil.ProtocolList())
+		return 0
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()

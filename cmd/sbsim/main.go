@@ -5,7 +5,8 @@
 // Usage:
 //
 //	sbsim -app Radix -cores 64 -protocol ScalableBulk -chunks 32
-//	sbsim -list
+//	sbsim -list        # application models
+//	sbsim -protocols   # registered commit protocols
 //
 // Exit codes: 0 success; 1 error (a panic writes a crash bundle when
 // -crashdir is set); 2 aborted by SIGINT/SIGTERM or the -timeout budget.
@@ -23,6 +24,7 @@ import (
 	"syscall"
 
 	"scalablebulk"
+	"scalablebulk/internal/cliutil"
 	"scalablebulk/internal/fault"
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/stats"
@@ -36,7 +38,7 @@ func run() int {
 	app := flag.String("app", "Radix", "application model (see -list)")
 	cores := flag.Int("cores", 64, "number of processors (1, 32 or 64 in the paper)")
 	protocol := flag.String("protocol", scalablebulk.ProtoScalableBulk,
-		"commit protocol: ScalableBulk | TCC | SEQ | BulkSC | ScalableBulk-NoOCI")
+		"commit protocol (see -protocols for the registry)")
 	chunks := flag.Int("chunks", 32, "chunks committed per core")
 	seed := flag.Int64("seed", 1, "deterministic seed")
 	faults := flag.String("faults", "off",
@@ -47,6 +49,7 @@ func run() int {
 	crashDir := flag.String("crashdir", "", "write a JSON crash bundle here if the run panics")
 	retry := flag.Bool("retry", false, "retry transient MaxCycles aborts under faults with escalated budgets")
 	list := flag.Bool("list", false, "list application models and exit")
+	protoList := flag.Bool("protocols", false, "list registered commit protocols and exit")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	flag.Parse()
 
@@ -56,10 +59,18 @@ func run() int {
 		}
 		return 0
 	}
+	if *protoList {
+		fmt.Print(cliutil.ProtocolList())
+		return 0
+	}
 
 	prof, ok := scalablebulk.AppByName(*app)
 	if !ok {
 		fmt.Fprintf(os.Stderr, "unknown app %q; try -list\n", *app)
+		return 1
+	}
+	if err := cliutil.CheckProtocol(*protocol); err != nil {
+		fmt.Fprintln(os.Stderr, "sbsim:", err)
 		return 1
 	}
 	cfg := scalablebulk.DefaultConfig(*cores, *protocol)

@@ -10,6 +10,8 @@
 //	sbsoak                                  # default soak (chaos profile)
 //	sbsoak -quick                           # CI smoke matrix
 //	sbsoak -rounds 8 -faults loss -j 4      # 8 seed rounds of the loss profile
+//	sbsoak -proto ScalableBulk,TCC          # restrict the protocol matrix
+//	sbsoak -protocols                       # list the protocol registry
 //	sbsoak -journal soak.jsonl              # kill it; rerun resumes
 //
 // Exit codes: 0 all points completed; 1 setup/internal error; 2 aborted
@@ -30,6 +32,7 @@ import (
 	"time"
 
 	"scalablebulk"
+	"scalablebulk/internal/cliutil"
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/fault"
 	"scalablebulk/internal/metrics"
@@ -72,7 +75,8 @@ func run() int {
 			"fault-injection profile: off | "+strings.Join(fault.Names(), " | "))
 		faultSeed = flag.Int64("faultseed", 0, "fault injector seed (0: reuse the run seed)")
 		apps      = flag.String("apps", "Radix,Barnes,FFT", "comma-separated application models")
-		protos    = flag.String("protocols", strings.Join(scalablebulk.Protocols, ","), "comma-separated protocols")
+		protos    = flag.String("proto", strings.Join(scalablebulk.Protocols, ","), "comma-separated protocols to soak")
+		protoList = flag.Bool("protocols", false, "list registered commit protocols and exit")
 		coresList = flag.String("cores", "8,16", "comma-separated core counts")
 		par       = flag.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
@@ -85,6 +89,10 @@ func run() int {
 	)
 	flag.Parse()
 
+	if *protoList {
+		fmt.Print(cliutil.ProtocolList())
+		return 0
+	}
 	if *quick {
 		*apps, *coresList, *rounds, *chunks = "Radix,FFT", "8", 1, 2
 	}
@@ -105,6 +113,10 @@ func run() int {
 			return 1
 		}
 		for _, protocol := range strings.Split(*protos, ",") {
+			if err := cliutil.CheckProtocol(protocol); err != nil {
+				fmt.Fprintln(os.Stderr, "sbsoak:", err)
+				return 1
+			}
 			for _, cores := range coreCounts {
 				points = append(points, scalablebulk.Point{App: app, Protocol: protocol, Cores: cores})
 			}

@@ -23,6 +23,7 @@ import (
 	"strings"
 
 	"scalablebulk/internal/cache"
+	"scalablebulk/internal/cliutil"
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/system"
 	"scalablebulk/internal/trace"
@@ -102,7 +103,7 @@ func main() {
 	o := traceOpts{}
 	flag.StringVar(&o.app, "app", "Barnes", "application model")
 	flag.StringVar(&o.protocol, "proto", system.ProtoScalableBulk,
-		"protocol: ScalableBulk, TCC, SEQ or BulkSC")
+		"commit protocol (see -protocols for the registry)")
 	flag.IntVar(&o.cores, "cores", 8, "number of processors")
 	flag.IntVar(&o.chunks, "chunks", 2, "chunks per core")
 	flag.Int64Var(&o.seed, "seed", 1, "deterministic seed")
@@ -112,7 +113,17 @@ func main() {
 	flag.StringVar(&o.kinds, "kind", "", "comma-separated event kinds to keep (e.g. commit,squash)")
 	flag.StringVar(&o.chunk, "chunk", "", "keep only events about this chunk (e.g. P3.7)")
 	out := flag.String("o", "", "output file (default stdout)")
+	protoList := flag.Bool("protocols", false, "list registered commit protocols and exit")
 	flag.Parse()
+
+	if *protoList {
+		fmt.Print(cliutil.ProtocolList())
+		return
+	}
+	if err := cliutil.CheckProtocol(o.protocol); err != nil {
+		fmt.Fprintln(os.Stderr, "sbtrace:", err)
+		os.Exit(1)
+	}
 
 	w := io.Writer(os.Stdout)
 	if *out != "" {

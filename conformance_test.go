@@ -1,0 +1,155 @@
+package scalablebulk
+
+// Registry conformance suite: every protocol that registers itself — the
+// paper's four evaluated protocols AND every variant (today: the OCI-off
+// ablation; tomorrow: whatever a contributor adds per DESIGN.md §12) — must
+// honor the simulator-wide contracts the differential tests pin for the
+// evaluated four: bit-identical determinism under a fixed seed, all chunks
+// committed with zero squashes on a conflict-free workload, and identical
+// committed-write serialization under forced conflicts. A new protocol
+// registered through internal/protocol gets this suite for free; nothing
+// here names a concrete engine.
+
+import (
+	"os"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// conformanceNames enumerates every registered protocol, evaluated first.
+func conformanceNames() []string {
+	var out []string
+	for _, p := range RegisteredProtocols() {
+		out = append(out, p.Name)
+	}
+	return out
+}
+
+// TestRegistryContents pins what links into the library: the four Table 3
+// protocols in the paper's order (all marked evaluated), the OCI-off variant
+// after them (not evaluated), and a one-line doc for every entry.
+func TestRegistryContents(t *testing.T) {
+	infos := RegisteredProtocols()
+	want := []string{ProtoScalableBulk, ProtoTCC, ProtoSEQ, ProtoBulkSC}
+	if len(infos) < len(want)+1 {
+		t.Fatalf("registry has %d protocols, want at least %d: %+v", len(infos), len(want)+1, infos)
+	}
+	for i, name := range want {
+		if infos[i].Name != name {
+			t.Errorf("registry[%d] = %q, want %q (Table 3 order)", i, infos[i].Name, name)
+		}
+		if !infos[i].Evaluated {
+			t.Errorf("%s must be marked evaluated", name)
+		}
+	}
+	if !reflect.DeepEqual(Protocols, want) {
+		t.Errorf("Protocols = %v, want the evaluated four %v", Protocols, want)
+	}
+	sawNoOCI := false
+	for _, p := range infos {
+		if p.Doc == "" {
+			t.Errorf("%s registered without a doc line", p.Name)
+		}
+		if p.Name == ProtoNoOCI {
+			sawNoOCI = true
+			if p.Evaluated {
+				t.Error("the OCI ablation is a variant, not an evaluated protocol")
+			}
+		}
+	}
+	if !sawNoOCI {
+		t.Errorf("OCI-off variant %q missing from the registry", ProtoNoOCI)
+	}
+}
+
+// TestConformanceDeterminism: every registered protocol, variants included,
+// produces a byte-identical fingerprint on repeated runs of one seed.
+func TestConformanceDeterminism(t *testing.T) {
+	const app, seed = "Barnes", 7
+	for _, name := range conformanceNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			first := serialFingerprint(t, app, name, 16, seed)
+			again := serialFingerprint(t, app, name, 16, seed)
+			if first != again {
+				t.Errorf("two serial runs differ:\n--- run 1\n%s--- run 2\n%s", first, again)
+			}
+		})
+	}
+}
+
+// TestConformanceConflictFree: on disjoint per-thread footprints every
+// registered protocol commits all chunks, squashes nothing, and applies the
+// same committed-write multiset as the others.
+func TestConformanceConflictFree(t *testing.T) {
+	const cores, chunks = 16, 3
+	prof := conflictFreeProfile()
+	var refWrites map[writeKey]int
+	var refProto string
+	for _, name := range conformanceNames() {
+		r, writes := runWithWrites(t, prof, name, cores, chunks)
+		if got, want := r.ChunksCommitted, uint64(cores*chunks); got != want {
+			t.Errorf("%s: committed %d chunks, want %d", name, got, want)
+		}
+		if r.Squashes != 0 {
+			t.Errorf("%s: %d squashes on a conflict-free workload", name, r.Squashes)
+		}
+		if refWrites == nil {
+			refWrites, refProto = writes, name
+			if len(writes) == 0 {
+				t.Fatalf("%s: no committed writes observed", name)
+			}
+			continue
+		}
+		if !reflect.DeepEqual(writes, refWrites) {
+			t.Errorf("%s committed-write multiset differs from %s: %s",
+				name, refProto, diffWrites(refWrites, writes))
+		}
+	}
+}
+
+// TestConformanceForcedConflict: under maximal contention every registered
+// protocol still commits each chunk exactly once and serializes to the same
+// committed-write multiset.
+func TestConformanceForcedConflict(t *testing.T) {
+	const cores, chunks = 16, 3
+	prof := forcedConflictProfile()
+	var refWrites map[writeKey]int
+	var refProto string
+	for _, name := range conformanceNames() {
+		r, writes := runWithWrites(t, prof, name, cores, chunks)
+		if got, want := r.ChunksCommitted, uint64(cores*chunks); got != want {
+			t.Errorf("%s: committed %d chunks, want %d", name, got, want)
+		}
+		if refWrites == nil {
+			refWrites, refProto = writes, name
+			continue
+		}
+		if !reflect.DeepEqual(writes, refWrites) {
+			t.Errorf("%s committed-write multiset differs from %s: %s",
+				name, refProto, diffWrites(refWrites, writes))
+		}
+	}
+}
+
+// TestVariantRegistersOutsideSystem enforces the registry's reason to exist:
+// a protocol variant (the OCI-off ablation) plugs in purely through
+// self-registration, with zero edits to internal/system — system.go neither
+// names the variant nor imports any concrete engine package.
+func TestVariantRegistersOutsideSystem(t *testing.T) {
+	src, err := os.ReadFile(filepath.Join("internal", "system", "system.go"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s := string(src)
+	if strings.Contains(s, "NoOCI") {
+		t.Error("internal/system/system.go mentions NoOCI; variants must register themselves")
+	}
+	for _, pkg := range []string{"core", "tcc", "seqpro", "bulksc"} {
+		if strings.Contains(s, `"scalablebulk/internal/`+pkg+`"`) {
+			t.Errorf("internal/system/system.go imports engine package %s directly; it must only blank-import internal/protocol/all", pkg)
+		}
+	}
+}

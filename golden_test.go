@@ -1,0 +1,63 @@
+package scalablebulk
+
+// Golden fingerprint pinning: the protocol-registry refactor (and any future
+// refactor of the commit-engine kernel) must be behavior-preserving, bit for
+// bit. The fingerprints under testdata/goldens were generated from the
+// pre-registry switch-based wiring; every registered paper protocol plus the
+// OCI-off ablation must keep reproducing them exactly at 16 and 64 cores.
+//
+// Regenerate (only when a change is *intended* to move results) with:
+//
+//	go test -run TestGoldenFingerprints -update .
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"testing"
+)
+
+var updateGoldens = flag.Bool("update", false, "rewrite the golden fingerprint files")
+
+// goldenPoints is the pinned matrix: every paper protocol plus the OCI-off
+// variant, at 16 and 64 cores.
+func goldenPoints() []string {
+	return append(append([]string(nil), Protocols...), ProtoNoOCI)
+}
+
+func goldenPath(protocol string, cores int) string {
+	return filepath.Join("testdata", "goldens", fmt.Sprintf("%s-%d.txt", protocol, cores))
+}
+
+// TestGoldenFingerprints compares every protocol × {16,64} fingerprint
+// against its pinned pre-refactor value.
+func TestGoldenFingerprints(t *testing.T) {
+	const app, seed = "Barnes", 7
+	for _, protocol := range goldenPoints() {
+		for _, cores := range []int{16, 64} {
+			protocol, cores := protocol, cores
+			t.Run(fmt.Sprintf("%s/%d", protocol, cores), func(t *testing.T) {
+				got := serialFingerprint(t, app, protocol, cores, seed)
+				path := goldenPath(protocol, cores)
+				if *updateGoldens {
+					if err := os.MkdirAll(filepath.Dir(path), 0o755); err != nil {
+						t.Fatal(err)
+					}
+					if err := os.WriteFile(path, []byte(got), 0o644); err != nil {
+						t.Fatal(err)
+					}
+					return
+				}
+				want, err := os.ReadFile(path)
+				if err != nil {
+					t.Fatalf("missing golden (run with -update to create): %v", err)
+				}
+				if got != string(want) {
+					t.Errorf("fingerprint drifted from pinned pre-refactor golden %s:\n--- want\n%s--- got\n%s",
+						path, want, got)
+				}
+			})
+		}
+	}
+}

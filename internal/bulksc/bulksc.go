@@ -14,6 +14,8 @@ import (
 	"scalablebulk/internal/dir"
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/msg"
+	"scalablebulk/internal/protocol"
+	"scalablebulk/internal/protocol/kernel"
 	"scalablebulk/internal/sig"
 	"scalablebulk/internal/trace"
 )
@@ -39,11 +41,12 @@ type Config struct {
 	CommitDeadline event.Time
 }
 
-// DefaultCommitDeadline mirrors the ScalableBulk watchdog headroom.
-const DefaultCommitDeadline event.Time = 200_000
-
-// WatchdogDisabled, assigned to Config.CommitDeadline, disables the watchdog.
-const WatchdogDisabled event.Time = ^event.Time(0)
+// DefaultCommitDeadline and WatchdogDisabled alias the machine-wide values in
+// internal/protocol, kept here so existing callers keep compiling.
+const (
+	DefaultCommitDeadline = protocol.DefaultCommitDeadline
+	WatchdogDisabled      = protocol.WatchdogDisabled
+)
 
 // DefaultConfig mirrors a fast centralized arbiter.
 func DefaultConfig() Config {
@@ -62,29 +65,30 @@ type inflight struct {
 // attempt is refused, so every message matched against this attempt uses the
 // snapshot.
 type commitJob struct {
-	ck          *chunk.Chunk
-	try         uint64
-	granted     bool
-	pendingAcks int
-	invAcked    map[int]bool // responders whose ack was counted (dup guard)
+	ck      *chunk.Chunk
+	try     uint64
+	granted bool
+	// inv counts each responder's ack once (dup guard).
+	inv kernel.AckSet[int]
 }
 
-// Protocol is the BulkSC engine; it implements dir.Protocol.
+// Protocol is the BulkSC engine; it implements protocol.Engine.
 type Protocol struct {
 	env *dir.Env
 	cfg Config
+	k   *kernel.Kernel
 
 	arbNode  int
 	busy     event.Time // arbiter pipeline: time its queue drains
 	inflight []*inflight
 
 	jobs map[int]*commitJob // committing processor → job
-
-	// Watchdog counts commit attempts abandoned by the stall deadline.
-	Watchdog uint64
 }
 
-var _ dir.Protocol = (*Protocol)(nil)
+var (
+	_ protocol.Engine   = (*Protocol)(nil)
+	_ protocol.Debugger = (*Protocol)(nil)
+)
 
 // New builds a BulkSC engine over env.
 func New(env *dir.Env, cfg Config) *Protocol {
@@ -94,14 +98,17 @@ func New(env *dir.Env, cfg Config) *Protocol {
 	if cfg.RetryBackoff == 0 {
 		cfg.RetryBackoff = 30
 	}
-	if cfg.CommitDeadline == 0 {
-		cfg.CommitDeadline = DefaultCommitDeadline
-	}
-	return &Protocol{env: env, cfg: cfg, arbNode: env.Net.Center(), jobs: make(map[int]*commitJob)}
+	return &Protocol{env: env, cfg: cfg, k: kernel.New(env, cfg.CommitDeadline),
+		arbNode: env.Net.Center(), jobs: make(map[int]*commitJob)}
 }
 
 // Name implements dir.Protocol.
-func (p *Protocol) Name() string { return "BulkSC" }
+func (p *Protocol) Name() string { return Name }
+
+// Stats implements protocol.Engine.
+func (p *Protocol) Stats() map[string]uint64 {
+	return map[string]uint64{"fail_watchdog": p.k.WD.Fired}
+}
 
 // ArbiterNode returns the tile hosting the centralized arbiter.
 func (p *Protocol) ArbiterNode() int { return p.arbNode }
@@ -109,8 +116,8 @@ func (p *Protocol) ArbiterNode() int { return p.arbNode }
 // RequestCommit implements dir.Protocol: send the signatures to the central
 // arbiter and wait for OK / not-OK.
 func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
-	p.env.Coll.CommitStarted(proc, ck.Tag.Seq, ck.Retries, p.env.Eng.Now())
-	j := &commitJob{ck: ck, try: uint64(ck.Retries), invAcked: make(map[int]bool)}
+	p.k.Started(proc, ck)
+	j := &commitJob{ck: ck, try: uint64(ck.Retries)}
 	p.jobs[proc] = j
 	p.env.Net.Send(&msg.Msg{
 		Kind: msg.ArbRequest, Src: proc, Dst: p.arbNode, Tag: ck.Tag,
@@ -120,31 +127,24 @@ func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
 	p.armWatchdog(proc, ck)
 }
 
-// armWatchdog schedules the stall deadline for one commit attempt. An
+// armWatchdog schedules the kernel stall deadline for one commit attempt. An
 // attempt already granted is past its serialization point (the arbiter
 // checked it against everything in flight), so the deadline re-arms and
 // keeps watching the ack collection; an attempt still awaiting its decision
 // is abandoned and retried — a late grant for it is handed back with an
 // abandoning arb_done so the arbiter's entry cannot leak.
 func (p *Protocol) armWatchdog(proc int, ck *chunk.Chunk) {
-	if p.cfg.CommitDeadline == WatchdogDisabled {
-		return
-	}
 	try := uint64(ck.Retries)
-	p.env.Eng.After(p.cfg.CommitDeadline, func() {
+	p.k.WD.Arm(proc, false, ck.Tag, int(try), func() kernel.Disposition {
 		j := p.jobs[proc]
 		if j == nil || j.ck != ck || j.try != try {
-			return
+			return kernel.Closed
 		}
 		if j.granted {
-			p.armWatchdog(proc, ck)
-			return
+			return kernel.Watching
 		}
-		p.Watchdog++
-		p.env.Trace.Emit(trace.Event{
-			Kind: trace.KWatchdog, Node: proc, Tag: ck.Tag, Try: int(try),
-			Cause: trace.CauseWatchdog,
-		})
+		return kernel.Stalled
+	}, func() {
 		delete(p.jobs, proc)
 		p.env.Cores[proc].CommitRefused(ck.Tag)
 	})
@@ -202,8 +202,8 @@ func (p *Protocol) decide(m *msg.Msg) {
 	p.inflight = append(p.inflight, &inflight{
 		tag: m.Tag, rsig: m.RSig, wsig: m.WSig, writeLines: m.WriteLines, try: int(m.TID),
 	})
-	p.env.Trace.Span(trace.KHold, trace.PhaseBegin, p.arbNode, true, m.Tag, int(m.TID))
-	p.env.Coll.GroupFormed(m.Tag.Proc, m.Tag.Seq, int(m.TID), p.env.Eng.Now())
+	p.k.HoldBegin(p.arbNode, m.Tag, int(m.TID))
+	p.k.Formed(m.Tag.Proc, m.Tag.Seq, int(m.TID))
 	p.env.Net.Send(&msg.Msg{Kind: msg.ArbGrant, Src: p.arbNode, Dst: m.Tag.Proc, Tag: m.Tag, TID: m.TID})
 }
 
@@ -217,7 +217,7 @@ func (p *Protocol) onDone(m *msg.Msg) {
 				}
 			}
 			p.inflight = append(p.inflight[:i], p.inflight[i+1:]...)
-			p.env.Trace.Span(trace.KHold, trace.PhaseEnd, p.arbNode, true, f.tag, f.try)
+			p.k.HoldEnd(p.arbNode, f.tag, f.try)
 			return
 		}
 	}
@@ -268,8 +268,8 @@ func (p *Protocol) onGrant(node int, m *msg.Msg) {
 	// senders still have in flight).
 	p.env.Cores[node].ResumeInvalidations()
 	n := p.env.Net.Nodes()
-	job.pendingAcks = n - 1
-	if job.pendingAcks == 0 {
+	job.inv.Expect(n - 1)
+	if job.inv.Done() {
 		p.complete(node, job)
 		return
 	}
@@ -298,12 +298,10 @@ func (p *Protocol) onInvAck(node int, m *msg.Msg) {
 	if job == nil || job.ck.Tag != m.Tag || job.try != m.TID || !job.granted {
 		return
 	}
-	if job.invAcked[m.Src] {
+	if !job.inv.Ack(m.Src) {
 		return // duplicate ack from the same responder
 	}
-	job.invAcked[m.Src] = true
-	job.pendingAcks--
-	if job.pendingAcks == 0 {
+	if job.inv.Done() {
 		p.complete(node, job)
 	}
 }
@@ -311,7 +309,7 @@ func (p *Protocol) onInvAck(node int, m *msg.Msg) {
 func (p *Protocol) complete(node int, job *commitJob) {
 	delete(p.jobs, node)
 	tag := job.ck.Tag
-	p.env.Trace.Instant(trace.KCommitDone, node, false, tag, int(job.try))
+	p.k.Done(node, false, tag, int(job.try))
 	p.env.Net.Send(&msg.Msg{Kind: msg.ArbDone, Src: node, Dst: p.arbNode, Tag: tag, TID: job.try})
 	p.env.Cores[node].CommitFinished(tag)
 }

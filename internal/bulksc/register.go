@@ -1,0 +1,29 @@
+package bulksc
+
+import (
+	"fmt"
+
+	"scalablebulk/internal/dir"
+	"scalablebulk/internal/protocol"
+)
+
+// Name is the registry key for the BulkSC engine.
+const Name = "BulkSC"
+
+func init() {
+	protocol.Register(protocol.Descriptor{
+		Name:           Name,
+		Doc:            "BulkSC: centralized arbiter serializes commits, conservative invalidation (§2.2)",
+		Rank:           3,
+		Evaluated:      true,
+		DefaultOptions: func() any { return DefaultConfig() },
+		New: func(env *dir.Env, opts any) (protocol.Engine, error) {
+			cfg, ok := opts.(Config)
+			if !ok {
+				return nil, fmt.Errorf("%s: options must be bulksc.Config, got %T", Name, opts)
+			}
+			return New(env, cfg), nil
+		},
+		Tuning: protocol.Tuning{ConservativeInv: true},
+	})
+}

@@ -1,0 +1,37 @@
+// Package cliutil holds small helpers shared by the cmd/ front-ends:
+// rendering the protocol registry for every CLI's -protocols list flag and
+// validating -protocol selections before a machine is built.
+package cliutil
+
+import (
+	"fmt"
+	"strings"
+
+	"scalablebulk/internal/protocol"
+)
+
+// ProtocolList renders the registry as the listing every CLI's -protocols
+// flag prints: one line per protocol — evaluated (Table 3) entries first,
+// variants after — with its one-line description.
+func ProtocolList() string {
+	var b strings.Builder
+	for _, d := range protocol.Descriptors() {
+		kind := "evaluated"
+		if !d.Evaluated {
+			kind = "variant"
+		}
+		fmt.Fprintf(&b, "%-22s %-10s %s\n", d.Name, kind, d.Doc)
+	}
+	return b.String()
+}
+
+// CheckProtocol validates one -protocol flag value against the registry, so
+// a typo fails at flag handling with the full list of registered names
+// instead of deep inside system.Run.
+func CheckProtocol(name string) error {
+	if _, ok := protocol.Lookup(name); !ok {
+		return fmt.Errorf("unknown protocol %q (registered: %s; -protocols describes them)",
+			name, strings.Join(protocol.Names(), ", "))
+	}
+	return nil
+}

@@ -32,6 +32,8 @@ import (
 	"scalablebulk/internal/dir"
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/msg"
+	"scalablebulk/internal/protocol"
+	"scalablebulk/internal/protocol/kernel"
 	"scalablebulk/internal/sig"
 	"scalablebulk/internal/trace"
 )
@@ -69,12 +71,10 @@ type cstEntry struct {
 	// merged with the vector carried by the incoming g message.
 	invalVec bitset.Set
 
-	// Leader-only bookkeeping.
-	leader      bool
-	pendingAcks int
-	// acked records which sharers already acknowledged, so a duplicated
-	// bulk_inv_ack (fault injection) cannot double-decrement pendingAcks.
-	acked   map[int]bool
+	// Leader-only bookkeeping. acks counts each sharer once, so a duplicated
+	// bulk_inv_ack (fault injection) cannot complete the commit early.
+	leader  bool
+	acks    kernel.AckSet[int]
 	recalls []*msg.RecallInfo
 }
 
@@ -114,15 +114,12 @@ type Config struct {
 	CommitDeadline event.Time
 }
 
-// DefaultCommitDeadline leaves ample headroom over the worst contended
-// fault-free formation latency (thousands of cycles at 64 cores) while still
-// detecting a wedged attempt long before the 2×10⁹-cycle MaxCycles guard.
-const DefaultCommitDeadline event.Time = 200_000
-
-// WatchdogDisabled, assigned to Config.CommitDeadline, disables the
-// group-formation watchdog (event.Time is unsigned, so a sentinel stands in
-// for -1).
-const WatchdogDisabled event.Time = ^event.Time(0)
+// DefaultCommitDeadline and WatchdogDisabled alias the machine-wide values in
+// internal/protocol, kept here so existing callers keep compiling.
+const (
+	DefaultCommitDeadline = protocol.DefaultCommitDeadline
+	WatchdogDisabled      = protocol.WatchdogDisabled
+)
 
 // DefaultConfig returns the configuration used in the paper's evaluation.
 func DefaultConfig() Config {
@@ -138,10 +135,11 @@ type FailStats struct {
 	Watchdog  uint64 // group formation stalled past CommitDeadline
 }
 
-// Protocol is the ScalableBulk engine. It implements dir.Protocol.
+// Protocol is the ScalableBulk engine. It implements protocol.Engine.
 type Protocol struct {
 	env  *dir.Env
 	cfg  Config
+	k    *kernel.Kernel
 	mods []*module
 
 	// watch tracks open commit attempts for the formation watchdog: the
@@ -164,17 +162,19 @@ type attemptKey struct {
 	try int
 }
 
-var _ dir.Protocol = (*Protocol)(nil)
+var (
+	_ protocol.Engine       = (*Protocol)(nil)
+	_ protocol.Debugger     = (*Protocol)(nil)
+	_ protocol.HoldObserver = (*Protocol)(nil)
+)
 
 // New builds a ScalableBulk engine over env.
 func New(env *dir.Env, cfg Config) *Protocol {
 	if cfg.MaxSquashes <= 0 {
 		cfg.MaxSquashes = 12
 	}
-	if cfg.CommitDeadline == 0 {
-		cfg.CommitDeadline = DefaultCommitDeadline
-	}
-	p := &Protocol{env: env, cfg: cfg, watch: make(map[attemptKey][]int)}
+	p := &Protocol{env: env, cfg: cfg, k: kernel.New(env, cfg.CommitDeadline),
+		watch: make(map[attemptKey][]int)}
 	n := env.Net.Nodes()
 	for i := 0; i < n; i++ {
 		p.mods = append(p.mods, &module{
@@ -188,7 +188,22 @@ func New(env *dir.Env, cfg Config) *Protocol {
 }
 
 // Name implements dir.Protocol.
-func (p *Protocol) Name() string { return "ScalableBulk" }
+func (p *Protocol) Name() string { return Name }
+
+// Stats implements protocol.Engine: group-formation failures by cause.
+func (p *Protocol) Stats() map[string]uint64 {
+	return map[string]uint64{
+		"fail_collision": p.Fails.Collision,
+		"fail_reserved":  p.Fails.Reserved,
+		"fail_recalled":  p.Fails.Recalled,
+		"fail_watchdog":  p.Fails.Watchdog,
+	}
+}
+
+// SetHoldHooks implements protocol.HoldObserver.
+func (p *Protocol) SetHoldHooks(held, released func(module int, tag msg.CTag, try int)) {
+	p.OnHeld, p.OnReleased = held, released
+}
 
 // rank returns a module's current priority rank (lower = higher priority).
 // With rotation disabled this is the module ID (baseline policy, §3.2.1).
@@ -219,14 +234,14 @@ func (p *Protocol) orderGVec(dirs []int) []int {
 // module (Figure 3(a)).
 func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
 	try := ck.Retries
-	p.env.Coll.CommitStarted(proc, ck.Tag.Seq, try, p.env.Eng.Now())
+	p.k.Started(proc, ck)
 
 	if len(ck.Dirs) == 0 {
 		// A chunk with no memory footprint commits trivially.
 		p.env.Eng.After(1, func() {
 			p.env.Net.Send(&msg.Msg{Kind: msg.CommitSuccess, Src: proc, Dst: proc, Tag: ck.Tag})
 		})
-		p.env.Coll.GroupFormed(proc, ck.Tag.Seq, try, p.env.Eng.Now())
+		p.k.Formed(proc, ck.Tag.Seq, try)
 		return
 	}
 
@@ -241,38 +256,33 @@ func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
 	}
 }
 
-// armWatchdog registers an attempt with the group-formation watchdog. If the
-// attempt is still open (no commit_success or commit_failure sent) when the
-// deadline passes, the watchdog fails it machine-wide: a g_failure multicast
-// unwinds whatever partial group exists and a commit_failure makes the
-// processor retry with backoff — a faulted run degrades into a retry instead
-// of hanging until MaxCycles. The watchdog draws no randomness and its
-// no-op firings touch no state, so an armed-but-quiet watchdog leaves a
-// fault-free run bit-identical.
+// armWatchdog registers an attempt with the kernel's commit-stall watchdog.
+// If the attempt is still open (no commit_success or commit_failure sent)
+// when the deadline passes, the watchdog fails it machine-wide: a g_failure
+// multicast unwinds whatever partial group exists and a commit_failure makes
+// the processor retry with backoff — a faulted run degrades into a retry
+// instead of hanging until MaxCycles.
 func (p *Protocol) armWatchdog(tag msg.CTag, try int, gvec []int) {
-	if p.cfg.CommitDeadline == WatchdogDisabled {
+	if !p.k.WD.Enabled() {
 		return
 	}
 	k := attemptKey{tag, try}
 	p.watch[k] = gvec
-	p.env.Eng.After(p.cfg.CommitDeadline, func() {
-		gv, open := p.watch[k]
-		if !open {
-			return
+	p.k.WD.Arm(gvec[0], true, tag, try, func() kernel.Disposition {
+		if _, open := p.watch[k]; !open {
+			return kernel.Closed
 		}
 		delete(p.watch, k)
+		return kernel.Stalled
+	}, func() {
 		p.Fails.Watchdog++
-		p.env.Trace.Emit(trace.Event{
-			Kind: trace.KWatchdog, Node: gv[0], Dir: true,
-			Tag: tag, Try: try, Cause: trace.CauseWatchdog,
-		})
 		// Synthesized failure from the leader: every module unwinds the
 		// attempt (no-op where it never arrived), and the processor is told
 		// directly in case the leader module never saw the attempt at all.
-		for _, d := range gv {
-			p.env.Net.Send(&msg.Msg{Kind: msg.GFailure, Src: gv[0], Dst: d, Tag: tag, TID: uint64(try)})
+		for _, d := range gvec {
+			p.env.Net.Send(&msg.Msg{Kind: msg.GFailure, Src: gvec[0], Dst: d, Tag: tag, TID: uint64(try)})
 		}
-		p.sendCommitFailure(gv[0], tag, try)
+		p.sendCommitFailure(gvec[0], tag, try)
 	})
 }
 
@@ -513,7 +523,7 @@ func (p *Protocol) tryAdvance(mod *module, e *cstEntry) {
 
 	// Win: h ← 1, push g onward, irrevocably choosing this group here.
 	e.state = stHeld
-	p.env.Trace.Span(trace.KHold, trace.PhaseBegin, mod.id, true, e.tag, e.try)
+	p.k.HoldBegin(mod.id, e.tag, e.try)
 	if p.OnHeld != nil {
 		p.OnHeld(mod.id, e.tag, e.try)
 	}
@@ -548,7 +558,7 @@ func (p *Protocol) confirmGroup(mod *module, e *cstEntry) {
 	e.state = stConfirmed
 	p.closeWatchdog(e.tag, e.try)
 	p.env.Trace.Instant(trace.KGroupFormed, mod.id, true, e.tag, e.try)
-	p.env.Coll.GroupFormed(e.tag.Proc, e.tag.Seq, e.try, p.env.Eng.Now())
+	p.k.Formed(e.tag.Proc, e.tag.Seq, e.try)
 
 	// g_success to all members (Figure 3(c)).
 	for _, d := range e.gvec[1:] {
@@ -560,14 +570,14 @@ func (p *Protocol) confirmGroup(mod *module, e *cstEntry) {
 	p.applyWrites(mod.id, e)
 
 	targets := e.invalVec.Members()
-	e.pendingAcks = len(targets)
+	e.acks.Expect(len(targets))
 	for _, t := range targets {
 		p.env.Net.Send(&msg.Msg{
 			Kind: msg.BulkInv, Src: mod.id, Dst: t, Tag: e.tag,
 			WSig: e.wsig, WriteLines: e.writeLines,
 		})
 	}
-	if e.pendingAcks == 0 {
+	if e.acks.Done() {
 		p.finishCommit(mod, e)
 	}
 }
@@ -592,26 +602,21 @@ func (p *Protocol) onGSuccess(mod *module, m *msg.Msg) {
 }
 
 // onBulkInvAck runs at the leader; acks may piggy-back commit_recalls.
-// Each sharer is counted once: under fault injection the network may
+// The AckSet counts each sharer once: under fault injection the network may
 // duplicate an ack, and a double-count would fire finishCommit before every
-// sharer actually invalidated (or underflow pendingAcks).
+// sharer actually invalidated.
 func (p *Protocol) onBulkInvAck(mod *module, m *msg.Msg) {
 	e := mod.find(m.Tag)
 	if e == nil || !e.leader {
 		return
 	}
-	if e.acked[m.Src] {
+	if !e.acks.Ack(m.Src) {
 		return // duplicate delivery, recall already captured
 	}
-	if e.acked == nil {
-		e.acked = make(map[int]bool)
-	}
-	e.acked[m.Src] = true
 	if m.Recall != nil {
 		e.recalls = append(e.recalls, m.Recall)
 	}
-	e.pendingAcks--
-	if e.pendingAcks == 0 {
+	if e.acks.Done() {
 		p.finishCommit(mod, e)
 	}
 }
@@ -620,7 +625,7 @@ func (p *Protocol) onBulkInvAck(mod *module, m *msg.Msg) {
 // multicast (carrying any commit_recalls), the group breaks down, and the
 // signatures are deallocated (Figure 3(e)).
 func (p *Protocol) finishCommit(mod *module, e *cstEntry) {
-	p.env.Trace.Instant(trace.KCommitDone, mod.id, true, e.tag, e.try)
+	p.k.Done(mod.id, true, e.tag, e.try)
 	for _, d := range e.gvec[1:] {
 		p.env.Net.Send(&msg.Msg{Kind: msg.CommitDone, Src: mod.id, Dst: d, Tag: e.tag,
 			Recall: firstRecall(e.recalls)})
@@ -802,7 +807,7 @@ func (p *Protocol) DebugModule(i int) string {
 	s := fmt.Sprintf("D%d reserved=%v lookout=%v:", mod.id, mod.reserved, mod.lookout)
 	for _, e := range mod.cst {
 		s += fmt.Sprintf(" [%s try=%d st=%d sigs=%v g=%v leader=%v acks=%d gvec=%v]",
-			e.tag, e.try, e.state, e.gotSigs, e.gotG, e.leader, e.pendingAcks, e.gvec)
+			e.tag, e.try, e.state, e.gotSigs, e.gotG, e.leader, e.acks.Outstanding(), e.gvec)
 	}
 	return s
 }
@@ -813,7 +818,7 @@ func (p *Protocol) DebugModule(i int) string {
 func (p *Protocol) deallocate(mod *module, e *cstEntry, success bool) {
 	mod.remove(e.tag)
 	if e.state != stPending {
-		p.env.Trace.Span(trace.KHold, trace.PhaseEnd, mod.id, true, e.tag, e.try)
+		p.k.HoldEnd(mod.id, e.tag, e.try)
 		if p.OnReleased != nil {
 			p.OnReleased(mod.id, e.tag, e.try)
 		}

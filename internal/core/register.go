@@ -1,0 +1,51 @@
+package core
+
+import (
+	"fmt"
+
+	"scalablebulk/internal/dir"
+	"scalablebulk/internal/protocol"
+)
+
+// Name and NameNoOCI are the registry keys for the ScalableBulk engine and
+// its Optimistic-Commit-Initiation-off ablation (Figure 4(c)).
+const (
+	Name      = "ScalableBulk"
+	NameNoOCI = "ScalableBulk-NoOCI"
+)
+
+// engineFor builds the engine with OCI forced to the variant's setting; the
+// rest of the option block (MAX threshold, rotation, deadline) is the
+// caller's.
+func engineFor(env *dir.Env, opts any, oci bool, variant string) (protocol.Engine, error) {
+	cfg, ok := opts.(Config)
+	if !ok {
+		return nil, fmt.Errorf("%s: options must be core.Config, got %T", variant, opts)
+	}
+	cfg.OCI = oci
+	return New(env, cfg), nil
+}
+
+func init() {
+	protocol.Register(protocol.Descriptor{
+		Name:           Name,
+		Doc:            "the paper's protocol: distributed group formation, overlapped commits, OCI (§3)",
+		Rank:           0,
+		Evaluated:      true,
+		DefaultOptions: func() any { return DefaultConfig() },
+		New: func(env *dir.Env, opts any) (protocol.Engine, error) {
+			return engineFor(env, opts, true, Name)
+		},
+		Tuning: protocol.Tuning{OCIRecall: true},
+	})
+	protocol.Register(protocol.Descriptor{
+		Name:           NameNoOCI,
+		Doc:            "ScalableBulk ablation: Optimistic Commit Initiation off, conservative invalidation (Figure 4(c))",
+		Rank:           100,
+		DefaultOptions: func() any { return DefaultConfig() },
+		New: func(env *dir.Env, opts any) (protocol.Engine, error) {
+			return engineFor(env, opts, false, NameNoOCI)
+		},
+		Tuning: protocol.Tuning{ConservativeInv: true},
+	})
+}

@@ -1,0 +1,14 @@
+// Package all links every in-tree commit protocol into the protocol
+// registry. The system layer blank-imports it so that any program reaching
+// the assembly code — the CLIs, the figure harness, tests — sees the full
+// protocol set without naming any engine package itself. A new protocol (or
+// variant) becomes runnable everywhere by registering itself and being
+// linked here; nothing in internal/system changes.
+package all
+
+import (
+	_ "scalablebulk/internal/bulksc" // BulkSC centralized arbiter
+	_ "scalablebulk/internal/core"   // ScalableBulk + ScalableBulk-NoOCI
+	_ "scalablebulk/internal/seqpro" // SEQ-PRO sequential occupation
+	_ "scalablebulk/internal/tcc"    // Scalable TCC
+)

@@ -1,0 +1,125 @@
+// Package kernel is the shared commit-engine kernel: the machinery every
+// commit protocol needs but none should re-implement — the commit-stall
+// watchdog (deadline scheduling with attempt-snapshot probing), duplicate-
+// safe ack accounting for retried attempts, and the structured lifecycle
+// emission (collector milestones + trace spans) that keeps all four
+// protocols' traces and statistics mutually comparable.
+//
+// A protocol engine embeds a *Kernel built over its dir.Env and calls the
+// lifecycle helpers at the same milestones the paper's protocols share:
+// Started at commit request, Formed when the commit is authorized
+// (group formed / TID held everywhere / occupation complete / arbiter
+// grant), HoldBegin/HoldEnd around directory-side holds, and Done at
+// completion. The helpers draw no randomness and touch no protocol state,
+// so they preserve bit-identical results by construction.
+package kernel
+
+import (
+	"scalablebulk/internal/chunk"
+	"scalablebulk/internal/dir"
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/msg"
+	"scalablebulk/internal/protocol"
+	"scalablebulk/internal/trace"
+)
+
+// Kernel bundles the shared services over one machine environment.
+type Kernel struct {
+	Env *dir.Env
+	WD  Watchdog
+}
+
+// New builds a kernel over env with the given commit-stall deadline (zero
+// selects protocol.DefaultCommitDeadline, protocol.WatchdogDisabled turns
+// the watchdog off).
+func New(env *dir.Env, deadline event.Time) *Kernel {
+	return &Kernel{Env: env, WD: Watchdog{env: env, Deadline: protocol.EffectiveDeadline(deadline)}}
+}
+
+// Started records a commit request (or re-request) milestone.
+func (k *Kernel) Started(proc int, ck *chunk.Chunk) {
+	k.Env.Coll.CommitStarted(proc, ck.Tag.Seq, ck.Retries, k.Env.Eng.Now())
+}
+
+// Formed records the commit-authorization milestone — the protocol's
+// equivalent of ScalableBulk's group formation (Figures 14–17 feed on it).
+func (k *Kernel) Formed(proc int, seq uint64, try int) {
+	k.Env.Coll.GroupFormed(proc, seq, try, k.Env.Eng.Now())
+}
+
+// HoldBegin emits the directory-side hold span opening: module node now
+// holds the attempt (signature held / pipeline head / occupancy / in-flight
+// table entry).
+func (k *Kernel) HoldBegin(node int, tag msg.CTag, try int) {
+	k.Env.Trace.Span(trace.KHold, trace.PhaseBegin, node, true, tag, try)
+}
+
+// HoldEnd emits the matching hold span close.
+func (k *Kernel) HoldEnd(node int, tag msg.CTag, try int) {
+	k.Env.Trace.Span(trace.KHold, trace.PhaseEnd, node, true, tag, try)
+}
+
+// Done emits the commit-completion instant at node (directory-side for
+// protocols that finish at a module, processor-side otherwise).
+func (k *Kernel) Done(node int, dirSide bool, tag msg.CTag, try int) {
+	k.Env.Trace.Instant(trace.KCommitDone, node, dirSide, tag, try)
+}
+
+// Disposition is a watchdog probe's verdict on an attempt whose deadline
+// expired.
+type Disposition int
+
+const (
+	// Closed: the attempt was decided (committed or failed); stand down.
+	Closed Disposition = iota
+	// Watching: the attempt is live but past its serialization point and
+	// cannot be aborted; re-arm and keep watching.
+	Watching
+	// Stalled: the attempt made no progress; count it, trace it, fail it.
+	Stalled
+)
+
+// Watchdog schedules commit-stall deadlines. Arming draws no randomness and
+// a quiet watchdog touches no state, so an armed-but-silent watchdog leaves
+// a fault-free run bit-identical — the property the golden-fingerprint tests
+// pin.
+type Watchdog struct {
+	env *dir.Env
+	// Deadline is the effective stall deadline (never zero; WatchdogDisabled
+	// disarms Arm entirely).
+	Deadline event.Time
+	// Fired counts attempts failed by the watchdog; exported through the
+	// engine's Stats().
+	Fired uint64
+}
+
+// Enabled reports whether Arm schedules anything.
+func (w *Watchdog) Enabled() bool { return w.Deadline != protocol.WatchdogDisabled }
+
+// Arm schedules the stall deadline for one commit attempt, identified by its
+// (tag, try) snapshot taken now — the probe must compare against the
+// snapshot, not live retry counters, because a squash can advance them under
+// a scheduled deadline. When the deadline expires the probe decides:
+// Closed does nothing, Watching re-arms the same probe one deadline later,
+// and Stalled counts the firing, emits the KWatchdog trace event at node,
+// and runs stalled (the protocol's abort + retry notification).
+func (w *Watchdog) Arm(node int, dirSide bool, tag msg.CTag, try int, probe func() Disposition, stalled func()) {
+	if !w.Enabled() {
+		return
+	}
+	w.env.Eng.After(w.Deadline, func() { w.fire(node, dirSide, tag, try, probe, stalled) })
+}
+
+func (w *Watchdog) fire(node int, dirSide bool, tag msg.CTag, try int, probe func() Disposition, stalled func()) {
+	switch probe() {
+	case Watching:
+		w.env.Eng.After(w.Deadline, func() { w.fire(node, dirSide, tag, try, probe, stalled) })
+	case Stalled:
+		w.Fired++
+		w.env.Trace.Emit(trace.Event{
+			Kind: trace.KWatchdog, Node: node, Dir: dirSide,
+			Tag: tag, Try: try, Cause: trace.CauseWatchdog,
+		})
+		stalled()
+	}
+}

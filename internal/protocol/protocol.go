@@ -1,0 +1,93 @@
+// Package protocol is the pluggable protocol layer: the Engine contract a
+// commit protocol implements, the self-registration registry that the system
+// assembly, figure harness and CLIs enumerate instead of hardcoding a
+// protocol switch, and the shared machinery every engine builds on (the
+// commit-deadline constants here, the watchdog/ack/trace kernel in the
+// kernel subpackage).
+//
+// A protocol package registers itself from an init function:
+//
+//	func init() {
+//		protocol.Register(protocol.Descriptor{
+//			Name:           "TCC",
+//			Doc:            "Scalable TCC: centralized TID vendor + probe/skip broadcast",
+//			Rank:           1,
+//			Evaluated:      true,
+//			DefaultOptions: func() any { return DefaultConfig() },
+//			New: func(env *dir.Env, opts any) (protocol.Engine, error) { ... },
+//		})
+//	}
+//
+// and becomes runnable by name everywhere — system.Run, the figure sweeps,
+// and every CLI's -protocol flag — with zero edits to the assembly code.
+// See DESIGN.md §12 for the full contract and a worked example.
+package protocol
+
+import (
+	"scalablebulk/internal/dir"
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/msg"
+)
+
+// DefaultCommitDeadline is the shared commit-stall watchdog deadline: an
+// attempt still undecided this many cycles after its commit request is
+// failed so the processor retries with backoff instead of hanging to the
+// MaxCycles guard. It leaves ample headroom over the worst contended
+// fault-free formation latency (thousands of cycles at 64 cores) while still
+// detecting a wedged attempt long before the 2×10⁹-cycle budget.
+const DefaultCommitDeadline event.Time = 200_000
+
+// WatchdogDisabled, assigned to a protocol's CommitDeadline option, disables
+// the stall watchdog (event.Time is unsigned, so a sentinel stands in
+// for -1).
+const WatchdogDisabled event.Time = ^event.Time(0)
+
+// EffectiveDeadline normalizes a CommitDeadline option: zero selects
+// DefaultCommitDeadline, WatchdogDisabled passes through.
+func EffectiveDeadline(d event.Time) event.Time {
+	if d == 0 {
+		return DefaultCommitDeadline
+	}
+	return d
+}
+
+// Engine is a chunk-commit protocol engine as the processor and system
+// layers consume it: the dir.Protocol message/commit entry points plus the
+// protocol-specific counter export the CLIs and diagnostics read. Engines
+// are built by a Descriptor's factory over a dir.Env.
+type Engine interface {
+	dir.Protocol
+	// Stats exports the engine's protocol-specific counters (watchdog
+	// firings, collision/reservation/recall tallies, ...) keyed by a short
+	// stable name. It is read after the run; keys with zero values may be
+	// omitted or included freely.
+	Stats() map[string]uint64
+}
+
+// Debugger is optionally implemented by engines that can render per-module
+// state for deadlock dumps (system.DeadlockError, crash bundles).
+type Debugger interface {
+	// DebugModule renders module i's protocol state, or "" if idle.
+	DebugModule(i int) string
+}
+
+// HoldObserver is optionally implemented by engines whose directory-side
+// hold/release transitions the online invariant checker audits (I4: at most
+// one confirmed group per module).
+type HoldObserver interface {
+	// SetHoldHooks installs the observation callbacks; either may be nil.
+	SetHoldHooks(held, released func(module int, tag msg.CTag, try int))
+}
+
+// Tuning is the processor-model configuration a protocol requires. The
+// system layer applies it to every core's proc.Config before the run.
+type Tuning struct {
+	// ConservativeInv buffers incoming invalidation signatures while a
+	// processor awaits its own commit decision (BulkSC's pre-OCI behavior,
+	// §3.3), acking only on consumption.
+	ConservativeInv bool
+	// OCIRecall piggy-backs commit_recall on bulk_inv_ack when an in-flight
+	// commit is squashed (ScalableBulk's Optimistic Commit Initiation,
+	// §3.3/§3.4). Protocols without OCI leave it off.
+	OCIRecall bool
+}

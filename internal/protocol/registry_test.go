@@ -1,0 +1,84 @@
+package protocol
+
+// The registry in this test binary starts empty: engine packages register
+// from their own inits and none is imported here, so these tests own every
+// name they assert on.
+
+import (
+	"reflect"
+	"testing"
+
+	"scalablebulk/internal/dir"
+	"scalablebulk/internal/event"
+)
+
+func testDesc(name string, rank int, eval bool) Descriptor {
+	return Descriptor{
+		Name: name, Doc: "test protocol " + name, Rank: rank, Evaluated: eval,
+		DefaultOptions: func() any { return struct{}{} },
+		New:            func(*dir.Env, any) (Engine, error) { return nil, nil },
+	}
+}
+
+func TestRegisterLookupOrdering(t *testing.T) {
+	Register(testDesc("zz-variant", 100, false))
+	Register(testDesc("bb", 1, true))
+	Register(testDesc("aa", 0, true))
+	Register(testDesc("aa-variant", 100, false))
+
+	// Descriptors order by (Rank, Name): evaluated ranks first, then
+	// variants alphabetically.
+	if got, want := Names(), []string{"aa", "bb", "aa-variant", "zz-variant"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Names() = %v, want %v", got, want)
+	}
+	if got, want := Evaluated(), []string{"aa", "bb"}; !reflect.DeepEqual(got, want) {
+		t.Fatalf("Evaluated() = %v, want %v", got, want)
+	}
+	d, ok := Lookup("aa")
+	if !ok || d.Rank != 0 || !d.Evaluated || d.Doc != "test protocol aa" {
+		t.Fatalf("Lookup(aa) = %+v, %t", d, ok)
+	}
+	if _, ok := Lookup("unregistered"); ok {
+		t.Fatal("Lookup found a protocol that never registered")
+	}
+}
+
+func TestRegisterRejectsDuplicate(t *testing.T) {
+	Register(testDesc("dup", 50, false))
+	defer func() {
+		if recover() == nil {
+			t.Fatal("duplicate registration did not panic")
+		}
+	}()
+	Register(testDesc("dup", 50, false))
+}
+
+func TestRegisterRejectsIncomplete(t *testing.T) {
+	incomplete := []Descriptor{
+		{}, // no name
+		{Name: "x1", DefaultOptions: func() any { return nil }},                    // no constructor
+		{Name: "x2", New: func(*dir.Env, any) (Engine, error) { return nil, nil }}, // no options
+	}
+	for i, d := range incomplete {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("incomplete descriptor %d accepted: %+v", i, d)
+				}
+			}()
+			Register(d)
+		}()
+	}
+}
+
+func TestEffectiveDeadline(t *testing.T) {
+	if got := EffectiveDeadline(0); got != DefaultCommitDeadline {
+		t.Errorf("EffectiveDeadline(0) = %d, want the default %d", got, DefaultCommitDeadline)
+	}
+	if got := EffectiveDeadline(123); got != event.Time(123) {
+		t.Errorf("EffectiveDeadline(123) = %d", got)
+	}
+	if got := EffectiveDeadline(WatchdogDisabled); got != WatchdogDisabled {
+		t.Errorf("EffectiveDeadline(WatchdogDisabled) = %d, want it passed through", got)
+	}
+}

@@ -1,0 +1,28 @@
+package seqpro
+
+import (
+	"fmt"
+
+	"scalablebulk/internal/dir"
+	"scalablebulk/internal/protocol"
+)
+
+// Name is the registry key for the SEQ-PRO engine.
+const Name = "SEQ"
+
+func init() {
+	protocol.Register(protocol.Descriptor{
+		Name:           Name,
+		Doc:            "SEQ-PRO: sequential directory occupation in ascending order, fully serialized commits (§2.2)",
+		Rank:           2,
+		Evaluated:      true,
+		DefaultOptions: func() any { return DefaultConfig() },
+		New: func(env *dir.Env, opts any) (protocol.Engine, error) {
+			cfg, ok := opts.(Config)
+			if !ok {
+				return nil, fmt.Errorf("%s: options must be seqpro.Config, got %T", Name, opts)
+			}
+			return New(env, cfg), nil
+		},
+	})
+}

@@ -14,8 +14,9 @@ import (
 	"scalablebulk/internal/dir"
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/msg"
+	"scalablebulk/internal/protocol"
+	"scalablebulk/internal/protocol/kernel"
 	"scalablebulk/internal/sig"
-	"scalablebulk/internal/trace"
 )
 
 // Config tunes the protocol.
@@ -27,11 +28,12 @@ type Config struct {
 	CommitDeadline event.Time
 }
 
-// DefaultCommitDeadline mirrors the ScalableBulk watchdog headroom.
-const DefaultCommitDeadline event.Time = 200_000
-
-// WatchdogDisabled, assigned to Config.CommitDeadline, disables the watchdog.
-const WatchdogDisabled event.Time = ^event.Time(0)
+// DefaultCommitDeadline and WatchdogDisabled alias the machine-wide values in
+// internal/protocol, kept here so existing callers keep compiling.
+const (
+	DefaultCommitDeadline = protocol.DefaultCommitDeadline
+	WatchdogDisabled      = protocol.WatchdogDisabled
+)
 
 // DefaultConfig returns the evaluation configuration.
 func DefaultConfig() Config { return Config{CommitDeadline: DefaultCommitDeadline} }
@@ -60,32 +62,31 @@ type occupancy struct {
 type job struct {
 	ck       *chunk.Chunk
 	try      uint64
-	nextIdx  int          // next directory in ck.Dirs to occupy
-	occupied []int        // modules granted so far
-	pending  int          // outstanding invalidation acks
-	invAcked map[int]bool // sharers whose ack was counted (dup guard)
-	aborted  bool
+	nextIdx  int   // next directory in ck.Dirs to occupy
+	occupied []int // modules granted so far
+	// inv counts each sharer's invalidation ack once (dup guard).
+	inv     kernel.AckSet[int]
+	aborted bool
 }
 
-// Protocol is the SEQ-PRO engine; it implements dir.Protocol.
+// Protocol is the SEQ-PRO engine; it implements protocol.Engine.
 type Protocol struct {
 	env  *dir.Env
 	cfg  Config
+	k    *kernel.Kernel
 	mods []*modState
 	jobs map[int]*job
-
-	// Watchdog counts commit attempts unwound by the stall deadline.
-	Watchdog uint64
 }
 
-var _ dir.Protocol = (*Protocol)(nil)
+var (
+	_ protocol.Engine   = (*Protocol)(nil)
+	_ protocol.Debugger = (*Protocol)(nil)
+)
 
 // New builds a SEQ-PRO engine over env.
 func New(env *dir.Env, cfg Config) *Protocol {
-	if cfg.CommitDeadline == 0 {
-		cfg.CommitDeadline = DefaultCommitDeadline
-	}
-	p := &Protocol{env: env, cfg: cfg, jobs: make(map[int]*job)}
+	p := &Protocol{env: env, cfg: cfg, k: kernel.New(env, cfg.CommitDeadline),
+		jobs: make(map[int]*job)}
 	for i := 0; i < env.Net.Nodes(); i++ {
 		p.mods = append(p.mods, &modState{})
 	}
@@ -93,12 +94,17 @@ func New(env *dir.Env, cfg Config) *Protocol {
 }
 
 // Name implements dir.Protocol.
-func (p *Protocol) Name() string { return "SEQ" }
+func (p *Protocol) Name() string { return Name }
+
+// Stats implements protocol.Engine.
+func (p *Protocol) Stats() map[string]uint64 {
+	return map[string]uint64{"fail_watchdog": p.k.WD.Fired}
+}
 
 // RequestCommit implements dir.Protocol: start the ascending occupation.
 func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
-	p.env.Coll.CommitStarted(proc, ck.Tag.Seq, ck.Retries, p.env.Eng.Now())
-	j := &job{ck: ck, try: uint64(ck.Retries), invAcked: make(map[int]bool)}
+	p.k.Started(proc, ck)
+	j := &job{ck: ck, try: uint64(ck.Retries)}
 	p.jobs[proc] = j
 	if len(ck.Dirs) == 0 {
 		p.formed(proc, j)
@@ -108,29 +114,22 @@ func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
 	p.armWatchdog(proc, ck)
 }
 
-// armWatchdog schedules the stall deadline for one commit attempt. A fired
-// watchdog unwinds an attempt still building its occupation chain; an
+// armWatchdog schedules the kernel stall deadline for one commit attempt. A
+// fired watchdog unwinds an attempt still building its occupation chain; an
 // attempt already formed applied its writes and is past its serialization
 // point, so the deadline re-arms and keeps watching the ack collection.
 func (p *Protocol) armWatchdog(proc int, ck *chunk.Chunk) {
-	if p.cfg.CommitDeadline == WatchdogDisabled {
-		return
-	}
 	try := uint64(ck.Retries)
-	p.env.Eng.After(p.cfg.CommitDeadline, func() {
+	p.k.WD.Arm(proc, false, ck.Tag, int(try), func() kernel.Disposition {
 		j := p.jobs[proc]
 		if j == nil || j.ck != ck || j.try != try || j.aborted {
-			return
+			return kernel.Closed
 		}
 		if j.nextIdx >= len(j.ck.Dirs) {
-			p.armWatchdog(proc, ck)
-			return
+			return kernel.Watching
 		}
-		p.Watchdog++
-		p.env.Trace.Emit(trace.Event{
-			Kind: trace.KWatchdog, Node: proc, Tag: ck.Tag, Try: int(try),
-			Cause: trace.CauseWatchdog,
-		})
+		return kernel.Stalled
+	}, func() {
 		p.Abort(proc, ck.Tag)
 		p.env.Cores[proc].CommitRefused(ck.Tag)
 	})
@@ -159,7 +158,7 @@ func (p *Protocol) HandleDir(node int, m *msg.Msg) {
 		}
 		if ms.occupant == nil {
 			ms.occupant = &occupancy{tag: m.Tag, try: m.TID, wsig: m.WSig}
-			p.env.Trace.Span(trace.KHold, trace.PhaseBegin, node, true, m.Tag, int(m.TID))
+			p.k.HoldBegin(node, m.Tag, int(m.TID))
 			p.env.Eng.After(p.env.DirLookup, func() {
 				p.env.Net.Send(&msg.Msg{Kind: msg.SeqGrant, Src: node, Dst: m.Tag.Proc, Tag: m.Tag, TID: m.TID})
 			})
@@ -179,13 +178,13 @@ func (p *Protocol) HandleDir(node int, m *msg.Msg) {
 			}
 			return
 		}
-		p.env.Trace.Span(trace.KHold, trace.PhaseEnd, node, true, m.Tag, int(m.TID))
+		p.k.HoldEnd(node, m.Tag, int(m.TID))
 		ms.occupant = nil
 		if len(ms.queue) > 0 {
 			next := ms.queue[0]
 			ms.queue = ms.queue[1:]
 			ms.occupant = &occupancy{tag: next.Tag, try: next.TID, wsig: next.WSig}
-			p.env.Trace.Span(trace.KHold, trace.PhaseBegin, node, true, next.Tag, int(next.TID))
+			p.k.HoldBegin(node, next.Tag, int(next.TID))
 			p.env.Eng.After(p.env.DirLookup, func() {
 				p.env.Net.Send(&msg.Msg{Kind: msg.SeqGrant, Src: node, Dst: next.Tag.Proc, Tag: next.Tag, TID: next.TID})
 			})
@@ -249,13 +248,13 @@ func (p *Protocol) onGrant(proc int, m *msg.Msg) {
 // signature to all sharers of the write set for invalidation and
 // disambiguation.
 func (p *Protocol) formed(proc int, j *job) {
-	p.env.Coll.GroupFormed(proc, j.ck.Tag.Seq, j.ck.Retries, p.env.Eng.Now())
+	p.k.Formed(proc, j.ck.Tag.Seq, j.ck.Retries)
 	p.env.Coll.SampleQueue(p.queuedChunks())
 
 	var sharers bitset.Set
 	p.env.State.SharersOfAll(j.ck.WriteLines, proc, &sharers)
 	targets := sharers.Members()
-	j.pending = len(targets)
+	j.inv.Expect(len(targets))
 	// The occupied modules serialized this commit against every conflicting
 	// one; once the invalidations are on the wire the directory state can
 	// be updated and the modules released, so queued chunks stop convoying
@@ -271,7 +270,7 @@ func (p *Protocol) formed(proc int, j *job) {
 		})
 	}
 	p.releaseAll(proc, j)
-	if j.pending == 0 {
+	if j.inv.Done() {
 		p.complete(proc, j)
 	}
 }
@@ -292,19 +291,17 @@ func (p *Protocol) onInvAck(proc int, m *msg.Msg) {
 	if j == nil || j.ck.Tag != m.Tag || j.aborted {
 		return
 	}
-	if j.invAcked[m.Src] {
+	if !j.inv.Ack(m.Src) {
 		return // duplicate ack from the same sharer
 	}
-	j.invAcked[m.Src] = true
-	j.pending--
-	if j.pending == 0 {
+	if j.inv.Done() {
 		p.complete(proc, j)
 	}
 }
 
 func (p *Protocol) complete(proc int, j *job) {
 	delete(p.jobs, proc)
-	p.env.Trace.Instant(trace.KCommitDone, proc, false, j.ck.Tag, int(j.try))
+	p.k.Done(proc, false, j.ck.Tag, int(j.try))
 	p.env.Cores[proc].CommitFinished(j.ck.Tag)
 }
 

@@ -1,8 +1,9 @@
 // Package system assembles and runs the full simulated machine of Table 2:
 // 32 or 64 tiles on a 2D torus, each with a 1-IPC core, private 32KB L1 and
-// 512KB L2, and a directory module, under one of the four commit protocols
-// of Table 3 (ScalableBulk, Scalable TCC, SEQ-PRO, BulkSC) plus the
-// ScalableBulk-NoOCI ablation.
+// 512KB L2, and a directory module, under any commit protocol registered in
+// internal/protocol (the four Table 3 protocols link in via
+// internal/protocol/all; variants register themselves without this package
+// changing).
 package system
 
 import (
@@ -13,10 +14,8 @@ import (
 	"strings"
 	"time"
 
-	"scalablebulk/internal/bulksc"
 	"scalablebulk/internal/cache"
 	"scalablebulk/internal/check"
-	"scalablebulk/internal/core"
 	"scalablebulk/internal/dir"
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/fault"
@@ -24,26 +23,26 @@ import (
 	"scalablebulk/internal/mesh"
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/proc"
-	"scalablebulk/internal/seqpro"
+	"scalablebulk/internal/protocol"
+	_ "scalablebulk/internal/protocol/all" // link every in-tree protocol
 	"scalablebulk/internal/sig"
 	"scalablebulk/internal/stats"
-	"scalablebulk/internal/tcc"
 	"scalablebulk/internal/trace"
 	"scalablebulk/internal/workload"
 )
 
-// Protocol names accepted by Config.Protocol (Table 3, plus the OCI
-// ablation).
+// Names of the four Table 3 protocols, as registered in internal/protocol.
+// Variants are addressed by their registry name (protocol.Names lists all).
 const (
 	ProtoScalableBulk = "ScalableBulk"
 	ProtoTCC          = "TCC"
 	ProtoSEQ          = "SEQ"
 	ProtoBulkSC       = "BulkSC"
-	ProtoNoOCI        = "ScalableBulk-NoOCI"
 )
 
-// Protocols lists the four evaluated protocols in the paper's order.
-var Protocols = []string{ProtoScalableBulk, ProtoTCC, ProtoSEQ, ProtoBulkSC}
+// Protocols lists the evaluated protocols in the paper's order, read from
+// the registry (imported-package inits run before this assignment).
+var Protocols = protocol.Evaluated()
 
 // Config describes one simulation (defaults are Table 2).
 type Config struct {
@@ -64,7 +63,10 @@ type Config struct {
 
 	L1, L2 cache.Config
 
-	SB core.Config // ScalableBulk knobs (OCI, MAX, rotation)
+	// ProtoOptions is the selected protocol's typed option block (e.g.
+	// core.Config for ScalableBulk). Nil selects the registry descriptor's
+	// DefaultOptions; a wrong concrete type is an error at Run.
+	ProtoOptions any
 
 	// MaxCycles aborts a run that exceeds this time (deadlock guard).
 	MaxCycles event.Time
@@ -76,7 +78,7 @@ type Config struct {
 
 	// OnAbort, when set, receives the machine state if the run aborts
 	// (deadlock or MaxCycles) — a debugging hook.
-	OnAbort func(procs []*proc.Proc, proto dir.Protocol)
+	OnAbort func(procs []*proc.Proc, proto protocol.Engine)
 
 	// Faults, when non-nil and enabled, interposes the seeded fault
 	// injector on every network delivery.
@@ -123,7 +125,6 @@ func DefaultConfig(cores int, protocol string) Config {
 		DirLookup:     2,
 		L1:            cache.Config{SizeBytes: 32 << 10, Assoc: 4},
 		L2:            cache.Config{SizeBytes: 512 << 10, Assoc: 8},
-		SB:            core.DefaultConfig(),
 		MaxCycles:     2_000_000_000,
 	}
 }
@@ -186,15 +187,15 @@ func truncateLines(s string, max int) string {
 }
 
 // dumpMachine renders the stuck processors and the protocol's per-module
-// state (any engine exposing DebugModule), truncated to MaxDumpLines.
-func dumpMachine(procs []*proc.Proc, proto dir.Protocol) string {
+// state (any engine exposing protocol.Debugger), truncated to MaxDumpLines.
+func dumpMachine(procs []*proc.Proc, proto protocol.Engine) string {
 	var b strings.Builder
 	for _, p := range procs {
 		if !p.Done() {
 			fmt.Fprintln(&b, p.DebugState())
 		}
 	}
-	if d, ok := proto.(interface{ DebugModule(int) string }); ok {
+	if d, ok := proto.(protocol.Debugger); ok {
 		for i := 0; i < len(procs); i++ {
 			if s := d.DebugModule(i); s != "" {
 				fmt.Fprintln(&b, s)
@@ -225,8 +226,8 @@ type Result struct {
 	Coll    *stats.Collector
 	Traffic mesh.Stats
 	// Proto exposes the protocol engine for protocol-specific diagnostics
-	// (e.g. ScalableBulk's failure-cause counters).
-	Proto dir.Protocol
+	// (e.g. the failure-cause counters behind Engine.Stats).
+	Proto protocol.Engine
 
 	// Faults holds the injector's counters when Config.Faults was enabled.
 	Faults *fault.Stats
@@ -284,7 +285,7 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result
 	}
 	eng := event.New()
 	var procs []*proc.Proc
-	var proto dir.Protocol
+	var proto protocol.Engine
 	var flight *trace.Ring
 	defer func() {
 		if r := recover(); r != nil {
@@ -362,34 +363,25 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result
 
 	pcfg := proc.DefaultConfig()
 	pcfg.Seed = cfg.Seed
-	switch cfg.Protocol {
-	case ProtoScalableBulk:
-		sb := cfg.SB
-		sb.OCI = true
-		proto = core.New(env, sb)
-	case ProtoNoOCI:
-		sb := cfg.SB
-		sb.OCI = false
-		proto = core.New(env, sb)
-		pcfg.ConservativeInv = true
-		pcfg.OCIRecall = false
-	case ProtoTCC:
-		proto = tcc.New(env, tcc.DefaultConfig())
-		pcfg.OCIRecall = false
-	case ProtoSEQ:
-		proto = seqpro.New(env, seqpro.DefaultConfig())
-		pcfg.OCIRecall = false
-	case ProtoBulkSC:
-		proto = bulksc.New(env, bulksc.DefaultConfig())
-		pcfg.ConservativeInv = true
-		pcfg.OCIRecall = false
-	default:
-		return nil, fmt.Errorf("system: unknown protocol %q", cfg.Protocol)
+	desc, ok := protocol.Lookup(cfg.Protocol)
+	if !ok {
+		return nil, fmt.Errorf("system: unknown protocol %q (registered: %s)",
+			cfg.Protocol, strings.Join(protocol.Names(), ", "))
 	}
+	opts := cfg.ProtoOptions
+	if opts == nil {
+		opts = desc.DefaultOptions()
+	}
+	eng2, err := desc.New(env, opts)
+	if err != nil {
+		return nil, fmt.Errorf("system: %w", err)
+	}
+	proto = eng2
+	pcfg.ConservativeInv = desc.Tuning.ConservativeInv
+	pcfg.OCIRecall = desc.Tuning.OCIRecall
 	if chk != nil {
-		if sb, ok := proto.(*core.Protocol); ok {
-			sb.OnHeld = chk.Held
-			sb.OnReleased = chk.Released
+		if ho, ok := proto.(protocol.HoldObserver); ok {
+			ho.SetHoldHooks(chk.Held, chk.Released)
 		}
 	}
 

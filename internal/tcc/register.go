@@ -1,0 +1,28 @@
+package tcc
+
+import (
+	"fmt"
+
+	"scalablebulk/internal/dir"
+	"scalablebulk/internal/protocol"
+)
+
+// Name is the registry key for the Scalable TCC engine.
+const Name = "TCC"
+
+func init() {
+	protocol.Register(protocol.Descriptor{
+		Name:           Name,
+		Doc:            "Scalable TCC: global TID order, per-directory probe/mark before write-set push (§2.2)",
+		Rank:           1,
+		Evaluated:      true,
+		DefaultOptions: func() any { return DefaultConfig() },
+		New: func(env *dir.Env, opts any) (protocol.Engine, error) {
+			cfg, ok := opts.(Config)
+			if !ok {
+				return nil, fmt.Errorf("%s: options must be tcc.Config, got %T", Name, opts)
+			}
+			return New(env, cfg), nil
+		},
+	})
+}

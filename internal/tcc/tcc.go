@@ -26,8 +26,9 @@ import (
 	"scalablebulk/internal/dir"
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/msg"
+	"scalablebulk/internal/protocol"
+	"scalablebulk/internal/protocol/kernel"
 	"scalablebulk/internal/sig"
-	"scalablebulk/internal/trace"
 )
 
 // Config tunes the protocol.
@@ -41,11 +42,12 @@ type Config struct {
 	CommitDeadline event.Time
 }
 
-// DefaultCommitDeadline mirrors the ScalableBulk watchdog headroom.
-const DefaultCommitDeadline event.Time = 200_000
-
-// WatchdogDisabled, assigned to Config.CommitDeadline, disables the watchdog.
-const WatchdogDisabled event.Time = ^event.Time(0)
+// DefaultCommitDeadline and WatchdogDisabled alias the machine-wide values in
+// internal/protocol, kept here so existing callers keep compiling.
+const (
+	DefaultCommitDeadline = protocol.DefaultCommitDeadline
+	WatchdogDisabled      = protocol.WatchdogDisabled
+)
 
 // DefaultConfig mirrors a fast centralized TID vendor.
 func DefaultConfig() Config {
@@ -64,12 +66,12 @@ type entry struct {
 	marks          []sig.Line
 	marksProcessed bool
 	invIssued      bool
-	pendingInv     int
-	invAcked       map[invalKey]bool // inval acks already counted (dup guard)
+	// inv counts each per-line invalidation ack once (dup guard).
+	inv kernel.AckSet[invalKey]
 }
 
 // invalKey identifies one per-line invalidation ack; duplicated deliveries
-// of the same ack must not double-decrement pendingInv.
+// of the same ack must not double-count.
 type invalKey struct {
 	src  int
 	line sig.Line
@@ -89,18 +91,19 @@ type tccMod struct {
 type job struct {
 	ck         *chunk.Chunk
 	tid        uint64
-	probeAcked map[int]bool
-	doneAcked  map[int]bool
+	probeAcked kernel.AckSet[int]
+	doneAcked  kernel.AckSet[int]
 	phase2     bool // commit/mark messages sent; past the serialization point
 	started    int
 	aborted    bool
 	marksPer   map[int][]sig.Line
 }
 
-// Protocol is the Scalable TCC engine; it implements dir.Protocol.
+// Protocol is the Scalable TCC engine; it implements protocol.Engine.
 type Protocol struct {
 	env *dir.Env
 	cfg Config
+	k   *kernel.Kernel
 
 	vendorNode int
 	vendorBusy event.Time
@@ -108,24 +111,22 @@ type Protocol struct {
 
 	mods []*tccMod
 	jobs map[int]*job
-
-	// Watchdog counts commit attempts aborted by the stall deadline.
-	Watchdog uint64
 }
 
-var _ dir.Protocol = (*Protocol)(nil)
+var (
+	_ protocol.Engine   = (*Protocol)(nil)
+	_ protocol.Debugger = (*Protocol)(nil)
+)
 
 // New builds a Scalable TCC engine over env.
 func New(env *dir.Env, cfg Config) *Protocol {
 	if cfg.VendorServiceTime == 0 {
 		cfg.VendorServiceTime = 4
 	}
-	if cfg.CommitDeadline == 0 {
-		cfg.CommitDeadline = DefaultCommitDeadline
-	}
 	p := &Protocol{
-		env: env, cfg: cfg, vendorNode: env.Net.Center(),
-		nextTID: 1, jobs: make(map[int]*job),
+		env: env, cfg: cfg, k: kernel.New(env, cfg.CommitDeadline),
+		vendorNode: env.Net.Center(),
+		nextTID:    1, jobs: make(map[int]*job),
 	}
 	for i := 0; i < env.Net.Nodes(); i++ {
 		p.mods = append(p.mods, &tccMod{id: i, next: 1, entries: make(map[uint64]*entry)})
@@ -134,7 +135,12 @@ func New(env *dir.Env, cfg Config) *Protocol {
 }
 
 // Name implements dir.Protocol.
-func (p *Protocol) Name() string { return "TCC" }
+func (p *Protocol) Name() string { return Name }
+
+// Stats implements protocol.Engine.
+func (p *Protocol) Stats() map[string]uint64 {
+	return map[string]uint64{"fail_watchdog": p.k.WD.Fired}
+}
 
 // VendorNode returns the tile hosting the TID vendor.
 func (p *Protocol) VendorNode() int { return p.vendorNode }
@@ -142,35 +148,28 @@ func (p *Protocol) VendorNode() int { return p.vendorNode }
 // RequestCommit implements dir.Protocol: first obtain a TID from the
 // centralized vendor (§2.1).
 func (p *Protocol) RequestCommit(proc int, ck *chunk.Chunk) {
-	p.env.Coll.CommitStarted(proc, ck.Tag.Seq, ck.Retries, p.env.Eng.Now())
-	p.jobs[proc] = &job{ck: ck, probeAcked: make(map[int]bool), doneAcked: make(map[int]bool)}
+	p.k.Started(proc, ck)
+	p.jobs[proc] = &job{ck: ck}
 	p.env.Net.Send(&msg.Msg{Kind: msg.TIDRequest, Src: proc, Dst: p.vendorNode, Tag: ck.Tag})
 	p.armWatchdog(proc, ck)
 }
 
-// armWatchdog schedules the stall deadline for one commit attempt. A fired
-// watchdog aborts a phase-1 attempt (probes resolve to skips, the processor
-// retries with backoff); an attempt already past its serialization point
-// cannot be aborted, so the deadline re-arms and keeps watching.
+// armWatchdog schedules the kernel stall deadline for one commit attempt. A
+// fired watchdog aborts a phase-1 attempt (probes resolve to skips, the
+// processor retries with backoff); an attempt already past its serialization
+// point cannot be aborted, so the deadline re-arms and keeps watching.
 func (p *Protocol) armWatchdog(proc int, ck *chunk.Chunk) {
-	if p.cfg.CommitDeadline == WatchdogDisabled {
-		return
-	}
 	try := ck.Retries
-	p.env.Eng.After(p.cfg.CommitDeadline, func() {
+	p.k.WD.Arm(proc, false, ck.Tag, try, func() kernel.Disposition {
 		j := p.jobs[proc]
 		if j == nil || j.ck != ck || ck.Retries != try || j.aborted {
-			return
+			return kernel.Closed
 		}
 		if j.phase2 {
-			p.armWatchdog(proc, ck)
-			return
+			return kernel.Watching
 		}
-		p.Watchdog++
-		p.env.Trace.Emit(trace.Event{
-			Kind: trace.KWatchdog, Node: proc, Tag: ck.Tag, Try: try,
-			Cause: trace.CauseWatchdog,
-		})
+		return kernel.Stalled
+	}, func() {
 		p.Abort(proc, ck.Tag)
 		p.env.Cores[proc].CommitRefused(ck.Tag)
 	})
@@ -216,15 +215,9 @@ func (p *Protocol) HandleDir(node int, m *msg.Msg) {
 		}
 		e.marks = append(e.marks, m.Line)
 	case msg.TCCInvalAck:
-		k := invalKey{src: m.Src, line: m.Line}
-		if e.invAcked[k] {
+		if !e.inv.Ack(invalKey{src: m.Src, line: m.Line}) {
 			return // duplicate ack
 		}
-		if e.invAcked == nil {
-			e.invAcked = make(map[invalKey]bool)
-		}
-		e.invAcked[k] = true
-		e.pendingInv--
 	default:
 		panic(fmt.Sprintf("tcc: unexpected directory message %s", m))
 	}
@@ -267,7 +260,7 @@ func (p *Protocol) drain(mod *tccMod) {
 		if e.skip {
 			if e.held {
 				// A held probe converted to a skip (abort): release the head.
-				p.env.Trace.Span(trace.KHold, trace.PhaseEnd, mod.id, true, e.tag, e.try)
+				p.k.HoldEnd(mod.id, e.tag, e.try)
 			}
 			delete(mod.entries, mod.next)
 			mod.next++
@@ -276,7 +269,7 @@ func (p *Protocol) drain(mod *tccMod) {
 		if !e.held {
 			// Probe reached the head: ack it and hold.
 			e.held = true
-			p.env.Trace.Span(trace.KHold, trace.PhaseBegin, mod.id, true, e.tag, e.try)
+			p.k.HoldBegin(mod.id, e.tag, e.try)
 			p.noteStarted(mod, e)
 			tid := mod.next
 			p.env.Eng.After(p.env.DirLookup, func() {
@@ -299,20 +292,20 @@ func (p *Protocol) drain(mod *tccMod) {
 			p.env.Eng.After(delay, func() { p.drain(mod) })
 			return
 		}
-		if e.pendingInv < 0 {
+		if e.inv.Outstanding() < 0 {
 			panic("tcc: inval ack underflow")
 		}
 		if !e.invalSent(p, mod) {
 			return // invalidations just issued; wait for acks
 		}
-		if e.pendingInv > 0 {
+		if e.inv.Outstanding() > 0 {
 			return
 		}
 		// Phase 2 complete at this module.
 		for _, l := range e.marks {
 			p.env.State.ApplyCommitWrite(l, e.tag.Proc)
 		}
-		p.env.Trace.Span(trace.KHold, trace.PhaseEnd, mod.id, true, e.tag, e.try)
+		p.k.HoldEnd(mod.id, e.tag, e.try)
 		p.env.Net.Send(&msg.Msg{Kind: msg.TCCAck, Src: mod.id, Dst: e.tag.Proc, Tag: e.tag, TID: mod.next})
 		delete(mod.entries, mod.next)
 		mod.next++
@@ -335,11 +328,11 @@ func (e *entry) invalSent(p *Protocol, mod *tccMod) bool {
 			if sh == e.tag.Proc {
 				return
 			}
-			e.pendingInv++
+			e.inv.Expect(1)
 			p.env.Net.Send(&msg.Msg{Kind: msg.TCCInval, Src: mod.id, Dst: sh, Tag: e.tag, TID: mod.next, Line: l})
 		})
 	}
-	return e.pendingInv == 0
+	return e.inv.Outstanding() == 0
 }
 
 // noteStarted feeds the Figures 14–17 statistics: when the last of a
@@ -351,7 +344,7 @@ func (p *Protocol) noteStarted(mod *tccMod, e *entry) {
 	}
 	j.started++
 	if j.started == len(j.ck.Dirs) {
-		p.env.Coll.GroupFormed(e.tag.Proc, e.tag.Seq, e.try, p.env.Eng.Now())
+		p.k.Formed(e.tag.Proc, e.tag.Seq, e.try)
 		p.env.Coll.SampleQueue(p.queuedChunks())
 	}
 }
@@ -437,11 +430,10 @@ func (p *Protocol) onProbeAck(proc int, m *msg.Msg) {
 	if j == nil || j.ck.Tag != m.Tag || j.aborted || j.tid != m.TID || j.phase2 {
 		return
 	}
-	if j.probeAcked[m.Src] {
+	if !j.probeAcked.Ack(m.Src) {
 		return // duplicate ack from the same directory
 	}
-	j.probeAcked[m.Src] = true
-	if len(j.probeAcked) < len(j.ck.Dirs) {
+	if j.probeAcked.Count() < len(j.ck.Dirs) {
 		return
 	}
 	j.phase2 = true
@@ -461,18 +453,17 @@ func (p *Protocol) onDoneAck(proc int, m *msg.Msg) {
 	if j == nil || j.ck.Tag != m.Tag || j.aborted || j.tid != m.TID {
 		return
 	}
-	if j.doneAcked[m.Src] {
+	if !j.doneAcked.Ack(m.Src) {
 		return // duplicate ack from the same directory
 	}
-	j.doneAcked[m.Src] = true
-	if len(j.doneAcked) == len(j.ck.Dirs) {
+	if j.doneAcked.Count() == len(j.ck.Dirs) {
 		p.complete(proc, j)
 	}
 }
 
 func (p *Protocol) complete(proc int, j *job) {
 	delete(p.jobs, proc)
-	p.env.Trace.Instant(trace.KCommitDone, proc, false, j.ck.Tag, j.ck.Retries)
+	p.k.Done(proc, false, j.ck.Tag, j.ck.Retries)
 	p.env.Cores[proc].CommitFinished(j.ck.Tag)
 }
 
@@ -534,7 +525,7 @@ func (p *Protocol) DebugModule(i int) string {
 	for _, tid := range tids {
 		e := mod.entries[tid]
 		s += fmt.Sprintf(" [tid=%d known=%v skip=%v tag=%s held=%v committing=%v marks=%d/%d pendingInv=%d]",
-			tid, e.known, e.skip, e.tag, e.held, e.committing, len(e.marks), e.marksExpected, e.pendingInv)
+			tid, e.known, e.skip, e.tag, e.held, e.committing, len(e.marks), e.marksExpected, e.inv.Outstanding())
 	}
 	return s
 }

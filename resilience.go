@@ -22,6 +22,7 @@ import (
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/fault"
 	"scalablebulk/internal/mesh"
+	"scalablebulk/internal/protocol"
 	"scalablebulk/internal/stats"
 	"scalablebulk/internal/system"
 )
@@ -39,12 +40,20 @@ func configSignature(cfg Config) string {
 	if cfg.Faults.Enabled() {
 		faults = cfg.Faults.Name
 	}
+	// Resolve nil ProtoOptions to the registry default so an explicit
+	// default-valued option block and an omitted one hash identically.
+	opts := cfg.ProtoOptions
+	if opts == nil {
+		if d, ok := protocol.Lookup(cfg.Protocol); ok {
+			opts = d.DefaultOptions()
+		}
+	}
 	return fmt.Sprintf(
-		"v1 cores=%d proto=%s chunks=%d warmup=%d seed=%d link=%d mem=%d dir=%d cont=%t l1=%d/%d l2=%d/%d sb=%+v faults=%s fseed=%d check=%t",
+		"v2 cores=%d proto=%s chunks=%d warmup=%d seed=%d link=%d mem=%d dir=%d cont=%t l1=%d/%d l2=%d/%d opts=%+v faults=%s fseed=%d check=%t",
 		cfg.Cores, cfg.Protocol, cfg.ChunksPerCore, cfg.WarmupChunks, cfg.Seed,
 		cfg.LinkLatency, cfg.MemLatency, cfg.DirLookup, cfg.Contention,
 		cfg.L1.SizeBytes, cfg.L1.Assoc, cfg.L2.SizeBytes, cfg.L2.Assoc,
-		cfg.SB, faults, cfg.FaultSeed, cfg.Check)
+		opts, faults, cfg.FaultSeed, cfg.Check)
 }
 
 // ConfigHash is the short hex digest of the config's canonical signature,
