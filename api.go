@@ -23,6 +23,7 @@ import (
 	"fmt"
 	"strings"
 
+	"scalablebulk/internal/check"
 	"scalablebulk/internal/core"
 	"scalablebulk/internal/protocol"
 	"scalablebulk/internal/stats"
@@ -108,6 +109,15 @@ func RunScaled(prof Profile, cfg Config, totalChunks int) (*Result, error) {
 }
 
 // --- Resilience layer (DESIGN.md §10) ---
+
+// ErrInvariantViolation marks a run failed by the I1–I5 invariant checker
+// (errors.Is); the concrete *InvariantViolationError carries the individual
+// violations, the machine dump, and the flight-recorder tail, and also
+// matches a bare invariant target (errors.Is(err, check.I2)).
+var ErrInvariantViolation = check.ErrViolation
+
+// InvariantViolationError is the structured invariant-failure report.
+type InvariantViolationError = check.ViolationError
 
 // ErrDeadlock marks a run that stopped making progress (errors.Is); the
 // concrete *DeadlockError carries the truncated machine dump.

@@ -25,6 +25,7 @@ import (
 	"fmt"
 	"os"
 	"os/signal"
+	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
@@ -34,6 +35,7 @@ import (
 	"scalablebulk"
 	"scalablebulk/internal/cliutil"
 	"scalablebulk/internal/event"
+	"scalablebulk/internal/explore"
 	"scalablebulk/internal/fault"
 	"scalablebulk/internal/metrics"
 )
@@ -215,6 +217,11 @@ func run() int {
 		for _, f := range out.Failures {
 			failures = append(failures, f.Err.Error())
 			fmt.Fprintf(os.Stderr, "FAIL %s/%s/%d: %v\n", f.Point.App, f.Point.Protocol, f.Point.Cores, f.Err)
+			if path, err := writeCheckSpec(*crashDir, f.Point, roundSeed, *chunks, profile.Enabled()); err != nil {
+				fmt.Fprintf(os.Stderr, "sbsoak: check spec: %v\n", err)
+			} else if path != "" {
+				fmt.Fprintf(os.Stderr, "  model-check this shape: sbcheck -spec %s\n", path)
+			}
 		}
 		fmt.Printf("round %d (seed %d, profile %s): points=%d completed=%d restored=%d failures=%d (%.1fs)\n",
 			r+1, roundSeed, *faults, rr.Points, rr.Completed, rr.Restored, rr.Failures,
@@ -252,6 +259,36 @@ func run() int {
 		return 3
 	}
 	return 0
+}
+
+// writeCheckSpec serializes a failed point as an sbcheck starting state: the
+// same protocol and seed on a checker-sized configuration (2–4 cores, ≤3
+// chunks) with the point's application profile. The checker cannot reproduce
+// a fault-injected run, but it can exhaust the interleavings of the failing
+// shape — with unordered mode standing in for the injector's delivery jitter,
+// which is why a faulted point's spec sets it.
+func writeCheckSpec(dir string, p scalablebulk.Point, seed int64, chunks int, faulted bool) (string, error) {
+	if dir == "" {
+		return "", nil
+	}
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return "", err
+	}
+	prof, ok := scalablebulk.AppByName(p.App)
+	if !ok {
+		return "", fmt.Errorf("unknown app %q", p.App)
+	}
+	spec := explore.DefaultSpec(p.Protocol)
+	spec.Cores = min(p.Cores, 4)
+	spec.Chunks = min(chunks, 3)
+	spec.Seed = seed
+	spec.Profile = prof
+	spec.Unordered = faulted
+	path := filepath.Join(dir, fmt.Sprintf("%s-%s-%d.sbcheck.json", p.App, p.Protocol, p.Cores))
+	if err := spec.Save(path); err != nil {
+		return "", err
+	}
+	return path, nil
 }
 
 func splitInts(s string) ([]int, error) {

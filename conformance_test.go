@@ -16,6 +16,8 @@ import (
 	"reflect"
 	"strings"
 	"testing"
+
+	"scalablebulk/internal/explore"
 )
 
 // conformanceNames enumerates every registered protocol, evaluated first.
@@ -131,6 +133,34 @@ func TestConformanceForcedConflict(t *testing.T) {
 			t.Errorf("%s committed-write multiset differs from %s: %s",
 				name, refProto, diffWrites(refWrites, writes))
 		}
+	}
+}
+
+// TestConformanceModelCheck: every registered protocol survives a bounded
+// systematic exploration of its 2-core × 2-chunk forced-conflict
+// interleavings with no invariant, serializability, liveness or quiescence
+// violation. The budget keeps this a smoke (a few hundred schedules per
+// protocol; "bounded" is an acceptable outcome) — cmd/sbcheck runs the same
+// exploration to exhaustion, and CI's check-smoke job does so for every
+// protocol on every push.
+func TestConformanceModelCheck(t *testing.T) {
+	for _, name := range conformanceNames() {
+		name := name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			opts := explore.DefaultOptions(name)
+			opts.MaxRuns = 500
+			opts.MaxStates = 5000
+			rep, err := explore.Explore(opts)
+			if err != nil {
+				t.Fatal(err)
+			}
+			t.Logf("%s", rep.Summary())
+			if !rep.Clean() {
+				t.Errorf("model checker found a violation: %s\ncounterexample choices: %v\n%s",
+					rep.Violation, rep.Schedule.Choices, rep.Dump)
+			}
+		})
 	}
 }
 

@@ -237,7 +237,7 @@ func (p *Protocol) HandleProc(node int, m *msg.Msg) {
 		if p.env.Cores[node].MaybeDefer(m) {
 			return
 		}
-		p.env.Cores[node].BulkInvalidate(&m.WSig, m.WriteLines, m.Tag.Proc)
+		p.env.Cores[node].BulkInvalidate(&m.WSig, m.WriteLines, m.Tag.Proc, nil)
 		p.env.Net.Send(&msg.Msg{Kind: msg.ArbInvAck, Src: node, Dst: m.Src, Tag: m.Tag, TID: m.TID})
 	case msg.ArbInvAck:
 		p.onInvAck(node, m)
@@ -337,3 +337,9 @@ func (p *Protocol) DebugModule(i int) string {
 // commit has been granted therefore can never be squashed by a buffered
 // invalidation: the arbiter checked it against everything still in flight.
 func (p *Protocol) ReadBlocked(node int, l sig.Line) bool { return false }
+
+// PendingAttempts implements protocol.AttemptEnumerator: live commit jobs
+// plus arbiter in-flight table entries.
+func (p *Protocol) PendingAttempts() int {
+	return len(p.jobs) + len(p.inflight)
+}

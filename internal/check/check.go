@@ -55,7 +55,7 @@ type invKey struct {
 // Checker accumulates invariant violations. It implements dir.Probe. All
 // methods are safe on the simulator's single event thread only.
 type Checker struct {
-	violations []string
+	violations []Violation
 	Dropped    int // violations past maxViolations
 
 	held      map[occKey]bool
@@ -84,13 +84,18 @@ func New(n int) *Checker {
 	}
 }
 
-func (c *Checker) violate(format string, args ...any) {
+func (c *Checker) violate(inv Invariant, format string, args ...any) {
 	if len(c.violations) >= maxViolations {
 		c.Dropped++
 		return
 	}
-	c.violations = append(c.violations, fmt.Sprintf(format, args...))
+	c.violations = append(c.violations, Violation{Inv: inv, Msg: fmt.Sprintf(format, args...)})
 }
+
+// Count returns the number of violations recorded so far (dropped included).
+// The model-checking explorer polls it after every delivery to stop a failing
+// schedule at the exact step the first invariant broke.
+func (c *Checker) Count() int { return len(c.violations) + c.Dropped }
 
 // CommitRequested implements dir.Probe.
 func (c *Checker) CommitRequested(proc int, ck *chunk.Chunk) {
@@ -102,17 +107,17 @@ func (c *Checker) CommitRequested(proc int, ck *chunk.Chunk) {
 func (c *Checker) ChunkCommitted(proc int, seq uint64, t event.Time) {
 	k := procSeq{proc, seq}
 	if c.committed[k] {
-		c.violate("P%d committed chunk %d twice (t=%d)", proc, seq, t)
+		c.violate(I2, "P%d committed chunk %d twice (t=%d)", proc, seq, t)
 	}
 	c.committed[k] = true
 	if !c.requested[k] {
-		c.violate("P%d committed chunk %d without a commit request", proc, seq)
+		c.violate(I2, "P%d committed chunk %d without a commit request", proc, seq)
 	}
 	if !c.formed[k] {
-		c.violate("P%d committed chunk %d without forming a group", proc, seq)
+		c.violate(I2, "P%d committed chunk %d without forming a group", proc, seq)
 	}
 	if c.hasLast[proc] && seq <= c.lastSeq[proc] {
-		c.violate("P%d committed chunk %d after chunk %d: program order broken",
+		c.violate(I2, "P%d committed chunk %d after chunk %d: program order broken",
 			proc, seq, c.lastSeq[proc])
 	}
 	c.lastSeq[proc] = seq
@@ -123,7 +128,7 @@ func (c *Checker) ChunkCommitted(proc int, seq uint64, t event.Time) {
 func (c *Checker) Held(module int, tag msg.CTag, try int) {
 	k := occKey{module, tag, try}
 	if c.held[k] {
-		c.violate("D%d held twice by %s try %d", module, tag, try)
+		c.violate(I1, "D%d held twice by %s try %d", module, tag, try)
 	}
 	c.held[k] = true
 }
@@ -132,7 +137,7 @@ func (c *Checker) Held(module int, tag msg.CTag, try int) {
 func (c *Checker) Released(module int, tag msg.CTag, try int) {
 	k := occKey{module, tag, try}
 	if !c.held[k] {
-		c.violate("D%d released by %s try %d without being held", module, tag, try)
+		c.violate(I1, "D%d released by %s try %d without being held", module, tag, try)
 	}
 	delete(c.held, k)
 }
@@ -148,14 +153,14 @@ func (c *Checker) Formed(proc int, seq uint64, try int, t event.Time) {
 // already committed would be a double serialization (I2).
 func (c *Checker) Ended(proc int, seq uint64, try int, t event.Time, success bool) {
 	if success && c.committed[procSeq{proc, seq}] {
-		c.violate("P%d chunk %d ended successfully twice", proc, seq)
+		c.violate(I2, "P%d chunk %d ended successfully twice", proc, seq)
 	}
 }
 
 // Apply observes a committed-write application to the directory state (I5).
 func (c *Checker) Apply(l sig.Line, writer int) {
 	if !c.everForm[writer] {
-		c.violate("line %d written by P%d which never formed a group", l, writer)
+		c.violate(I5, "line %d written by P%d which never formed a group", l, writer)
 	}
 }
 
@@ -196,7 +201,7 @@ func (c *Checker) Sent(m *msg.Msg) {
 func (c *Checker) Delivered(m *msg.Msg) {
 	if inv, ok := invalPair(m.Kind); ok {
 		if !c.sentInv[invKey{inv, m.Tag, m.Src}] {
-			c.violate("%s from P%d for %s answers no invalidation", m.Kind, m.Src, m.Tag)
+			c.violate(I3, "%s from P%d for %s answers no invalidation", m.Kind, m.Src, m.Tag)
 		}
 	}
 }
@@ -212,27 +217,25 @@ func (c *Checker) Finish(procs, perProc int) {
 			}
 		}
 		if n != perProc {
-			c.violate("P%d committed %d of %d chunks", p, n, perProc)
+			c.violate(I4, "P%d committed %d of %d chunks", p, n, perProc)
 		}
 	}
 	for k := range c.held {
-		c.violate("D%d still held by %s try %d at end of run", k.module, k.tag, k.try)
+		c.violate(I1, "D%d still held by %s try %d at end of run", k.module, k.tag, k.try)
 	}
 }
 
 // Violations returns the recorded violations (nil when clean).
-func (c *Checker) Violations() []string {
-	return append([]string(nil), c.violations...)
+func (c *Checker) Violations() []Violation {
+	return append([]Violation(nil), c.violations...)
 }
 
-// Err folds the violations into one error, nil when the run was clean.
+// Err folds the violations into one error, nil when the run was clean. The
+// concrete type is *ViolationError; errors.Is(err, ErrViolation) and
+// errors.Is(err, check.I2) both match.
 func (c *Checker) Err() error {
 	if len(c.violations) == 0 {
 		return nil
 	}
-	s := c.violations[0]
-	if n := len(c.violations) + c.Dropped; n > 1 {
-		s = fmt.Sprintf("%s (and %d more)", s, n-1)
-	}
-	return fmt.Errorf("check: %d invariant violations: %s", len(c.violations)+c.Dropped, s)
+	return &ViolationError{Violations: c.Violations(), Dropped: c.Dropped}
 }

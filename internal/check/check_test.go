@@ -1,6 +1,7 @@
 package check
 
 import (
+	"errors"
 	"strings"
 	"testing"
 
@@ -19,6 +20,41 @@ func commit(c *Checker, proc int, seq uint64) {
 	c.ChunkCommitted(proc, seq, 20)
 }
 
+// wantInvariant asserts that the checker's error identifies inv (and only
+// matches the invariants in invs), via the errors.Is contract — no string
+// matching on message text.
+func wantInvariant(t *testing.T, c *Checker, invs ...Invariant) *ViolationError {
+	t.Helper()
+	err := c.Err()
+	if err == nil {
+		t.Fatalf("violation not detected")
+	}
+	if !errors.Is(err, ErrViolation) {
+		t.Fatalf("error does not match ErrViolation: %v", err)
+	}
+	var ve *ViolationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("error is not a *ViolationError: %T", err)
+	}
+	for _, inv := range invs {
+		if !errors.Is(err, inv) {
+			t.Errorf("errors.Is(err, %v) = false, violations: %v", inv, ve.Violations)
+		}
+	}
+	for inv := I1; inv <= I5; inv++ {
+		want := false
+		for _, w := range invs {
+			if w == inv {
+				want = true
+			}
+		}
+		if !want && errors.Is(err, inv) {
+			t.Errorf("errors.Is(err, %v) = true for an invariant that did not break: %v", inv, ve.Violations)
+		}
+	}
+	return ve
+}
+
 func TestCleanRunHasNoViolations(t *testing.T) {
 	c := New(2)
 	for p := 0; p < 2; p++ {
@@ -30,36 +66,14 @@ func TestCleanRunHasNoViolations(t *testing.T) {
 	if err := c.Err(); err != nil {
 		t.Fatalf("clean run reported: %v", err)
 	}
-}
-
-func TestDoubleCommitDetected(t *testing.T) {
-	c := New(1)
-	commit(c, 0, 0)
-	c.ChunkCommitted(0, 0, 30)
-	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "twice") {
-		t.Fatalf("double commit not detected: %v", err)
+	if c.Count() != 0 {
+		t.Fatalf("Count = %d on a clean run", c.Count())
 	}
 }
 
-func TestProgramOrderDetected(t *testing.T) {
-	c := New(1)
-	commit(c, 0, 1)
-	commit(c, 0, 0)
-	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "program order") {
-		t.Fatalf("out-of-order commit not detected: %v", err)
-	}
-}
-
-func TestCommitWithoutRequestOrFormation(t *testing.T) {
-	c := New(1)
-	c.ChunkCommitted(0, 0, 5)
-	v := c.Violations()
-	if len(v) != 2 {
-		t.Fatalf("want request + formation violations, got %v", v)
-	}
-}
-
-func TestOccupancyAccounting(t *testing.T) {
+// TestInvariantI1Occupancy: double hold, orphan release, and an end-of-run
+// leak all report I1.
+func TestInvariantI1Occupancy(t *testing.T) {
 	c := New(4)
 	tag := msg.CTag{Proc: 1, Seq: 7}
 	c.Held(2, tag, 0)
@@ -68,16 +82,56 @@ func TestOccupancyAccounting(t *testing.T) {
 	c.Released(2, tag, 0) // orphan release
 	c.Held(3, tag, 1)     // leaked at finish
 	c.Finish(0, 0)
-	v := c.Violations()
-	if len(v) != 3 {
-		t.Fatalf("want double-hold + orphan-release + leak, got %v", v)
+	ve := wantInvariant(t, c, I1)
+	if len(ve.Violations) != 3 {
+		t.Fatalf("want double-hold + orphan-release + leak, got %v", ve.Violations)
 	}
-	if !strings.Contains(v[2], "end of run") {
-		t.Fatalf("leak not reported at finish: %v", v)
+	for _, v := range ve.Violations {
+		if v.Inv != I1 {
+			t.Errorf("violation %v attributed to %v, want I1", v.Msg, v.Inv)
+		}
 	}
 }
 
-func TestPhantomAckDetected(t *testing.T) {
+// TestInvariantI2DoubleCommit: committing the same chunk twice reports I2.
+func TestInvariantI2DoubleCommit(t *testing.T) {
+	c := New(1)
+	commit(c, 0, 0)
+	c.ChunkCommitted(0, 0, 30)
+	wantInvariant(t, c, I2)
+}
+
+// TestInvariantI2ProgramOrder: out-of-order commits report I2.
+func TestInvariantI2ProgramOrder(t *testing.T) {
+	c := New(1)
+	commit(c, 0, 1)
+	commit(c, 0, 0)
+	wantInvariant(t, c, I2)
+}
+
+// TestInvariantI2CommitWithoutRequestOrFormation: a commit with no request
+// and no formation reports both I2 breaks.
+func TestInvariantI2CommitWithoutRequestOrFormation(t *testing.T) {
+	c := New(1)
+	c.ChunkCommitted(0, 0, 5)
+	ve := wantInvariant(t, c, I2)
+	if len(ve.Violations) != 2 {
+		t.Fatalf("want request + formation violations, got %v", ve.Violations)
+	}
+}
+
+// TestInvariantI2DoubleSuccess: a successful attempt end after the chunk
+// already committed reports I2.
+func TestInvariantI2DoubleSuccess(t *testing.T) {
+	c := New(1)
+	commit(c, 0, 0)
+	c.Ended(0, 0, 1, 40, true)
+	wantInvariant(t, c, I2)
+}
+
+// TestInvariantI3PhantomAck: an ack answering no real invalidation reports
+// I3; duplicated legal acks do not.
+func TestInvariantI3PhantomAck(t *testing.T) {
 	c := New(4)
 	tag := msg.CTag{Proc: 0, Seq: 1}
 	c.Sent(&msg.Msg{Kind: msg.BulkInv, Src: 0, Dst: 2, Tag: tag})
@@ -90,24 +144,57 @@ func TestPhantomAckDetected(t *testing.T) {
 	}
 	// Phantom: node 3 was never sent the invalidation.
 	c.Delivered(&msg.Msg{Kind: msg.BulkInvAck, Src: 3, Dst: 0, Tag: tag})
-	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "answers no invalidation") {
-		t.Fatalf("phantom ack not detected: %v", err)
-	}
+	wantInvariant(t, c, I3)
 }
 
-func TestLivenessShortfallDetected(t *testing.T) {
+// TestInvariantI4LivenessShortfall: a processor short of its chunk target
+// reports I4.
+func TestInvariantI4LivenessShortfall(t *testing.T) {
 	c := New(1)
 	commit(c, 0, 0)
 	c.Finish(1, 2)
-	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "committed 1 of 2") {
-		t.Fatalf("shortfall not detected: %v", err)
+	wantInvariant(t, c, I4)
+}
+
+// TestInvariantI5ApplyWithoutFormation: a directory write from a processor
+// that never reached a serialization point reports I5.
+func TestInvariantI5ApplyWithoutFormation(t *testing.T) {
+	c := New(2)
+	c.Apply(42, 1)
+	wantInvariant(t, c, I5)
+}
+
+// TestViolationErrorCarriesDump: the system layer attaches the machine dump
+// to the folded error; the rendered error must include it so a violation
+// report is actionable without re-running.
+func TestViolationErrorCarriesDump(t *testing.T) {
+	c := New(1)
+	c.ChunkCommitted(0, 0, 5)
+	err := c.Err()
+	var ve *ViolationError
+	if !errors.As(err, &ve) {
+		t.Fatalf("not a *ViolationError: %T", err)
+	}
+	ve.Dump = "P0 stuck committing chunk 0"
+	if !strings.Contains(ve.Error(), "P0 stuck committing chunk 0") {
+		t.Fatalf("dump missing from rendered error:\n%s", ve.Error())
+	}
+	if !strings.Contains(ve.Render(), "I2:") {
+		t.Fatalf("Render does not name the invariant:\n%s", ve.Render())
 	}
 }
 
-func TestApplyWithoutFormationDetected(t *testing.T) {
-	c := New(2)
-	c.Apply(42, 1)
-	if err := c.Err(); err == nil || !strings.Contains(err.Error(), "never formed") {
-		t.Fatalf("unformed writer not detected: %v", err)
+// TestCountTracksDropped: Count includes violations past the recording cap.
+func TestCountTracksDropped(t *testing.T) {
+	c := New(1)
+	for i := 0; i < maxViolations+5; i++ {
+		c.Apply(1, 0)
+	}
+	if c.Count() != maxViolations+5 {
+		t.Fatalf("Count = %d, want %d", c.Count(), maxViolations+5)
+	}
+	var ve *ViolationError
+	if !errors.As(c.Err(), &ve) || ve.Dropped != 5 {
+		t.Fatalf("Dropped not folded into the error: %+v", ve)
 	}
 }

@@ -840,3 +840,14 @@ func (p *Protocol) deallocate(mod *module, e *cstEntry, success bool) {
 		}
 	}
 }
+
+// PendingAttempts implements protocol.AttemptEnumerator: open watchdog-
+// tracked attempts plus live CST entries — zero once every commit decided
+// and every module tore its entries down.
+func (p *Protocol) PendingAttempts() int {
+	n := len(p.watch)
+	for _, mod := range p.mods {
+		n += len(mod.cst)
+	}
+	return n
+}

@@ -126,12 +126,20 @@ type Core interface {
 	// set behind the signature (simulation-only; see DESIGN.md §2). It
 	// returns the tag of a chunk that was squashed while in commit flight —
 	// the Optimistic Commit Initiation case needing a commit_recall — or
-	// nil if no in-flight commit was hurt.
-	BulkInvalidate(w *sig.Sig, lines []sig.Line, committer int) *msg.CTag
+	// nil if no in-flight commit was hurt. immune, when non-nil, names a
+	// chunk past its serialization point (its commit is already applied and
+	// only acknowledgements are outstanding): its cached copies are still
+	// invalidated, but the chunk itself is not squashed — the invalidating
+	// writer serializes after it.
+	BulkInvalidate(w *sig.Sig, lines []sig.Line, committer int, immune *msg.CTag) *msg.CTag
 	// InvalidateLine is the per-line variant used by Scalable TCC, whose
 	// invalidations are individual cache-line messages (exact, no
-	// signature aliasing). Semantics otherwise match BulkInvalidate.
-	InvalidateLine(l sig.Line, committer int) *msg.CTag
+	// signature aliasing). immune, when non-nil, names a chunk past its
+	// serialization point (every probed directory acked): the cached copy
+	// is still invalidated, but that chunk is not squashed — the writer
+	// holds a younger TID, so its write does not invalidate the immune
+	// chunk's reads. Semantics otherwise match BulkInvalidate.
+	InvalidateLine(l sig.Line, committer int, immune *msg.CTag) *msg.CTag
 	// MaybeDefer lets a conservative core buffer an incoming invalidation
 	// while it awaits its commit decision (BulkSC's pre-OCI behavior,
 	// §3.3); it reports whether the message was deferred. Deferred

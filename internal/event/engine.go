@@ -319,6 +319,13 @@ func (e *Engine) peek() (Time, bool) {
 	return best, found
 }
 
+// NextAt returns the time of the earliest live pending event without firing
+// it (false when the queue is empty). The model-checking explorer uses it to
+// decide whether to keep stepping the engine or to open a scheduling choice
+// point; like peek it discards cancelled items it scans past, which never
+// changes firing order.
+func (e *Engine) NextAt() (Time, bool) { return e.peek() }
+
 // RunUntil fires events with time ≤ limit, leaving later events queued, and
 // advances the clock to limit. It returns the number of events fired.
 func (e *Engine) RunUntil(limit Time) uint64 {

@@ -1,0 +1,92 @@
+// Counterexample minimization: shrink a failing schedule to the shortest
+// failing prefix, then simplify the surviving choices — every trial is a
+// fresh deterministic re-execution, so the minimized schedule provably still
+// fails with the same violation class.
+package explore
+
+// minimizeBudget bounds re-executions spent shrinking one counterexample.
+const minimizeBudget = 300
+
+// minimize delta-debugs out's failing schedule. It returns the minimized
+// choices and that schedule's outcome, or (nil, nil) if minimization could
+// not reproduce the failure (the original is then reported as-is).
+func (e *explorer) minimize(out *outcome) ([]int, *outcome) {
+	orig := out.violation
+	trials := 0
+	fails := func(prefix []int) *outcome {
+		if trials >= minimizeBudget {
+			return nil
+		}
+		trials++
+		o, err := e.execute(prefix, false)
+		if err != nil {
+			return nil
+		}
+		if o.violation == nil && orig.Kind == KindDivergence {
+			// Divergence is detected against the reference multiset, which
+			// execute does not consult — recompute it for the trial.
+			o.violation = e.checkDivergence(o)
+		}
+		if o.violation == nil || !sameFailure(orig, o.violation) {
+			return nil
+		}
+		return o
+	}
+
+	best := trimZeros(out.choices)
+	bestOut := fails(best)
+	if bestOut == nil {
+		// The recorded choices should reproduce by determinism; if the
+		// budget or a non-reproducing trim got in the way, report the
+		// original run unminimized.
+		return nil, nil
+	}
+
+	// Shortest failing prefix: binary search on the truncation point. The
+	// property is monotone in practice (a longer prescribed prefix of the
+	// same failing schedule still fails); the final verification run keeps
+	// us honest if it is not.
+	lo, hi := 0, len(best)
+	var cut []int
+	var cutOut *outcome
+	for lo < hi {
+		mid := (lo + hi) / 2
+		if o := fails(best[:mid]); o != nil {
+			hi = mid
+			cut, cutOut = best[:mid], o
+		} else {
+			lo = mid + 1
+		}
+	}
+	if cutOut != nil {
+		best, bestOut = cut, cutOut
+	}
+
+	// Greedy simplification: try zeroing each nonzero choice (a zero is the
+	// default "oldest pending", the least surprising delivery).
+	for i := 0; i < len(best); i++ {
+		if best[i] == 0 {
+			continue
+		}
+		trial := append([]int(nil), best...)
+		trial[i] = 0
+		trial = trimZeros(trial)
+		if o := fails(trial); o != nil {
+			best, bestOut = trial, o
+			if i >= len(best) {
+				break
+			}
+		}
+	}
+	return best, bestOut
+}
+
+// trimZeros drops trailing zero choices: the default continuation re-derives
+// them, so they carry no information.
+func trimZeros(c []int) []int {
+	n := len(c)
+	for n > 0 && c[n-1] == 0 {
+		n--
+	}
+	return append([]int(nil), c[:n]...)
+}

@@ -1,0 +1,44 @@
+// Micro-workloads for model checking: the differential suite's conflict-free
+// and forced-conflict profiles scaled down until a 2-core run generates a
+// few dozen protocol messages per chunk round — small enough to enumerate
+// interleavings, rich enough to exercise occupation, invalidation, squash
+// and retry paths.
+package explore
+
+import "scalablebulk/internal/workload"
+
+// ConflictProfile makes every chunk write the single hot shared line, so
+// concurrent chunks always conflict and commits must serialize — the
+// maximum-contention micro-workload and the checking default.
+func ConflictProfile() workload.Profile {
+	return workload.Profile{
+		Name: "MCConflict", Suite: "CHECK",
+		ChunkInstr: 200, Accesses: 4, WriteFrac: 0.5,
+		SharedFrac: 0.5, ScatterFrac: 0, ConflictFrac: 1, ReadHotFrac: 0,
+		RunLen: 2, SharedPagesPerChunk: 1,
+		TotalPrivatePages: 8, SharedPages: 2,
+		PrivateSkew: 2, SharedSkew: 1, HotLines: 1,
+	}
+}
+
+// FreeProfile keeps every chunk's footprint private to its thread: no
+// shared pages, no hot lines. Commits may overlap freely; any squash or
+// serialization stall under it is protocol-induced.
+func FreeProfile() workload.Profile {
+	return workload.Profile{
+		Name: "MCFree", Suite: "CHECK",
+		ChunkInstr: 200, Accesses: 4, WriteFrac: 0.5,
+		SharedFrac: 0, ScatterFrac: 0, ConflictFrac: 0, ReadHotFrac: 0,
+		RunLen: 2, SharedPagesPerChunk: 1,
+		TotalPrivatePages: 8, SharedPages: 2,
+		PrivateSkew: 2, SharedSkew: 1, HotLines: 0,
+	}
+}
+
+// Profiles maps the checking profile names for CLI selection.
+func Profiles() map[string]workload.Profile {
+	return map[string]workload.Profile{
+		"conflict": ConflictProfile(),
+		"free":     FreeProfile(),
+	}
+}

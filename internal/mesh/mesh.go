@@ -46,6 +46,18 @@ type Interposer interface {
 	Plan(m *msg.Msg, now, at event.Time) []Delivery
 }
 
+// Scheduler intercepts planned deliveries after routing (and after any fault
+// interposer rewrote them): Hold returns true to capture the delivery instead
+// of scheduling it, taking ownership of the message. A captured delivery is
+// re-injected later through Release, which delivers it at the engine's
+// current time. This is the deterministic-replay hook the model-checking
+// explorer (internal/explore) uses to enumerate message interleavings: the
+// messages a run sends are fixed by the protocol, the scheduler only decides
+// their delivery order. Implementations must be deterministic.
+type Scheduler interface {
+	Hold(d Delivery) bool
+}
+
 // Stats aggregates traffic accounting.
 type Stats struct {
 	ByKind    [msg.NumKinds]uint64 // messages sent, per kind
@@ -75,6 +87,10 @@ type Network struct {
 	OnDeliver func(*msg.Msg)
 	// Fault, when non-nil, rewrites planned deliveries (fault injection).
 	Fault Interposer
+	// Sched, when non-nil, may capture planned deliveries for later
+	// re-injection via Release (model-checking schedule control). It runs
+	// after Fault, so fault plans are schedulable too.
+	Sched Scheduler
 	// Trace, when non-nil, records structured send/deliver events. Unlike
 	// OnSend/OnDeliver it copies only scalars and never retains the
 	// message, so it does not disable Transient recycling.
@@ -273,7 +289,21 @@ func (n *Network) scheduleDelivery(t event.Time, m *msg.Msg) {
 	if n.handlers[m.Dst] == nil {
 		panic(fmt.Sprintf("mesh: no handler at node %d for %s", m.Dst, m))
 	}
+	if n.Sched != nil && n.Sched.Hold(Delivery{At: t, M: m}) {
+		return
+	}
 	n.eng.AtArg(t, n.deliverFn, m)
+}
+
+// Release delivers a message previously captured by the Scheduler at the
+// engine's current time. The delivery runs as a normal engine event (same
+// handler path, same observer taps), so a released message is
+// indistinguishable from one that arrived now.
+func (n *Network) Release(m *msg.Msg) {
+	if n.handlers[m.Dst] == nil {
+		panic(fmt.Sprintf("mesh: no handler at node %d for %s", m.Dst, m))
+	}
+	n.eng.AtArg(n.eng.Now(), n.deliverFn, m)
 }
 
 // deliver is the delivery event: it runs the destination handler and, on the
@@ -288,7 +318,7 @@ func (n *Network) deliver(arg any) {
 	}
 	n.Trace.MsgDeliver(m)
 	n.handlers[m.Dst](m)
-	if m.Kind.Transient() && n.Fault == nil && n.OnSend == nil && n.OnDeliver == nil {
+	if m.Kind.Transient() && n.Fault == nil && n.Sched == nil && n.OnSend == nil && n.OnDeliver == nil {
 		*m = msg.Msg{}
 		n.freeMsgs = append(n.freeMsgs, m)
 	}

@@ -564,9 +564,11 @@ func (p *Proc) squashInFlight(trueConflict bool) *msg.RecallInfo {
 
 // BulkInvalidate implements dir.Core (§3.1, §3.3): invalidate the cached
 // lines of a committing chunk's write set and disambiguate against the
-// local chunks.
-func (p *Proc) BulkInvalidate(w *sig.Sig, lines []sig.Line, committer int) *msg.CTag {
-	r := p.bulkInvalidate(w, lines)
+// local chunks. A committing chunk named by immune is past its
+// serialization point and survives (its copies still die, its younger
+// siblings still squash).
+func (p *Proc) BulkInvalidate(w *sig.Sig, lines []sig.Line, committer int, immune *msg.CTag) *msg.CTag {
+	r := p.bulkInvalidate(w, lines, immune)
 	if r == nil {
 		return nil
 	}
@@ -576,11 +578,12 @@ func (p *Proc) BulkInvalidate(w *sig.Sig, lines []sig.Line, committer int) *msg.
 
 // bulkInvalidate is the full-information variant used by the ScalableBulk
 // message path, which needs the recall payload.
-func (p *Proc) bulkInvalidate(w *sig.Sig, lines []sig.Line) *msg.RecallInfo {
+func (p *Proc) bulkInvalidate(w *sig.Sig, lines []sig.Line, immune *msg.CTag) *msg.RecallInfo {
 	for _, l := range lines {
 		p.hier.Invalidate(l)
 	}
-	if p.committing != nil && p.committing.ConflictsWith(w) {
+	if p.committing != nil && p.committing.ConflictsWith(w) &&
+		!(immune != nil && p.committing.Tag == *immune) {
 		return p.squashInFlight(p.committing.TrulyConflictsWith(lines))
 	}
 	active := p.executing
@@ -594,11 +597,15 @@ func (p *Proc) bulkInvalidate(w *sig.Sig, lines []sig.Line) *msg.RecallInfo {
 }
 
 // InvalidateLine implements dir.Core: the per-line (Scalable TCC) variant.
-// Disambiguation is exact — no signature aliasing.
-func (p *Proc) InvalidateLine(l sig.Line, committer int) *msg.CTag {
+// Disambiguation is exact — no signature aliasing. A committing chunk named
+// by immune is past its serialization point and survives: the invalidating
+// writer serializes after it, so the conflict is not a violation of the
+// immune chunk's atomicity (its cached copy still dies, above).
+func (p *Proc) InvalidateLine(l sig.Line, committer int, immune *msg.CTag) *msg.CTag {
 	p.hier.Invalidate(l)
 	one := []sig.Line{l}
-	if p.committing != nil && p.committing.TrulyConflictsWith(one) {
+	if p.committing != nil && p.committing.TrulyConflictsWith(one) &&
+		!(immune != nil && p.committing.Tag == *immune) {
 		r := p.squashInFlight(true)
 		tag := r.Tag
 		return &tag
@@ -660,7 +667,7 @@ func (p *Proc) Handle(m *msg.Msg) {
 			return
 		}
 		p.invTag, p.invTagOK = m.Tag, true
-		recall := p.bulkInvalidate(&m.WSig, m.WriteLines)
+		recall := p.bulkInvalidate(&m.WSig, m.WriteLines, nil)
 		p.invTagOK = false
 		ack := &msg.Msg{Kind: msg.BulkInvAck, Src: p.ID, Dst: m.Src, Tag: m.Tag}
 		if recall != nil && p.cfg.OCIRecall {

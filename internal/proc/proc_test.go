@@ -148,7 +148,7 @@ func TestBulkInvalidateSquashesInFlightCommit(t *testing.T) {
 	var w sig.Sig
 	w.Insert(ck.WriteLines[0]) // true conflict with the committing chunk
 
-	recall := p.bulkInvalidate(&w, []sig.Line{ck.WriteLines[0]})
+	recall := p.bulkInvalidate(&w, []sig.Line{ck.WriteLines[0]}, nil)
 	if recall == nil {
 		t.Fatal("in-flight conflict did not produce a recall")
 	}
@@ -186,7 +186,7 @@ func TestBulkInvalidateSquashesExecutingChunk(t *testing.T) {
 	var w sig.Sig
 	w.Insert(victim.Accesses[0].Line)
 	squashesBefore := p.Squashes
-	p.bulkInvalidate(&w, []sig.Line{victim.Accesses[0].Line})
+	p.bulkInvalidate(&w, []sig.Line{victim.Accesses[0].Line}, nil)
 	if p.Squashes != squashesBefore+1 {
 		t.Fatal("executing/finished chunk not squashed")
 	}
@@ -201,10 +201,16 @@ func TestInvalidateLineExactness(t *testing.T) {
 	eng.RunFor(50_000)
 	ck := fp.requests[0]
 	// A line NOT in the chunk: no squash (per-line disambiguation is exact).
-	if got := p.InvalidateLine(999999, 2); got != nil {
+	if got := p.InvalidateLine(999999, 2, nil); got != nil {
 		t.Fatal("phantom per-line conflict")
 	}
-	if got := p.InvalidateLine(ck.WriteLines[0], 2); got == nil {
+	// The chunk is immune (past its serialization point): cached copy dies,
+	// but no squash.
+	tag := ck.Tag
+	if got := p.InvalidateLine(ck.WriteLines[0], 2, &tag); got != nil {
+		t.Fatal("immune committing chunk was squashed")
+	}
+	if got := p.InvalidateLine(ck.WriteLines[0], 2, nil); got == nil {
 		t.Fatal("true per-line conflict missed")
 	}
 }
@@ -247,7 +253,7 @@ func TestLateSuccessAbandonsReexecution(t *testing.T) {
 	ck := fp.requests[0]
 	var w sig.Sig
 	w.Insert(ck.WriteLines[0])
-	p.bulkInvalidate(&w, []sig.Line{ck.WriteLines[0]}) // squash in flight; re-executing now
+	p.bulkInvalidate(&w, []sig.Line{ck.WriteLines[0]}, nil) // squash in flight; re-executing now
 	if p.executing == nil || p.executing.Tag != ck.Tag {
 		t.Fatal("squashed chunk should be re-executing")
 	}
@@ -281,7 +287,7 @@ func TestDoneStopsAtTarget(t *testing.T) {
 	// Invalidations after done are still acknowledged harmlessly.
 	var w sig.Sig
 	w.Insert(1)
-	if r := p.bulkInvalidate(&w, []sig.Line{1}); r != nil {
+	if r := p.bulkInvalidate(&w, []sig.Line{1}, nil); r != nil {
 		t.Fatal("done proc produced a recall")
 	}
 }

@@ -91,6 +91,11 @@ type Watchdog struct {
 	// Fired counts attempts failed by the watchdog; exported through the
 	// engine's Stats().
 	Fired uint64
+	// Outstanding gauges deadline probes scheduled but not yet resolved
+	// (a Watching re-arm keeps the probe outstanding). The model-checking
+	// explorer folds it into its quiescence and state-digest computations:
+	// an armed watchdog is an enabled time-driven transition.
+	Outstanding int
 }
 
 // Enabled reports whether Arm schedules anything.
@@ -107,14 +112,18 @@ func (w *Watchdog) Arm(node int, dirSide bool, tag msg.CTag, try int, probe func
 	if !w.Enabled() {
 		return
 	}
+	w.Outstanding++
 	w.env.Eng.After(w.Deadline, func() { w.fire(node, dirSide, tag, try, probe, stalled) })
 }
 
 func (w *Watchdog) fire(node int, dirSide bool, tag msg.CTag, try int, probe func() Disposition, stalled func()) {
 	switch probe() {
+	case Closed:
+		w.Outstanding--
 	case Watching:
 		w.env.Eng.After(w.Deadline, func() { w.fire(node, dirSide, tag, try, probe, stalled) })
 	case Stalled:
+		w.Outstanding--
 		w.Fired++
 		w.env.Trace.Emit(trace.Event{
 			Kind: trace.KWatchdog, Node: node, Dir: dirSide,

@@ -71,6 +71,19 @@ type Debugger interface {
 	DebugModule(i int) string
 }
 
+// AttemptEnumerator is optionally implemented by engines that can report how
+// much protocol state is still live — open commit attempts plus any
+// directory-side residue (occupancies, pipeline entries, arbiter in-flight
+// slots). The model-checking explorer uses it as a quiescence oracle: a run
+// that finished every chunk must report zero, so leaked directory state that
+// no end-to-end invariant notices still fails the check. All in-tree engines
+// implement it.
+type AttemptEnumerator interface {
+	// PendingAttempts counts live commit attempts plus directory-side
+	// residue; zero means the engine is quiescent.
+	PendingAttempts() int
+}
+
 // HoldObserver is optionally implemented by engines whose directory-side
 // hold/release transitions the online invariant checker audits (I4: at most
 // one confirmed group per module).

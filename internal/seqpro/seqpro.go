@@ -201,7 +201,18 @@ func (p *Protocol) HandleProc(node int, m *msg.Msg) {
 	case msg.SeqGrant:
 		p.onGrant(node, m)
 	case msg.SeqInval:
-		squashed := p.env.Cores[node].BulkInvalidate(&m.WSig, m.WriteLines, m.Tag.Proc)
+		// A formed job is past its serialization point: its occupation
+		// chain serialized it against every conflicting commit, so the
+		// invalidating writer formed after it and this chunk's reads stay
+		// valid. Squashing it would re-run a commit whose writes are
+		// already applied — committing the chunk twice. The cached copies
+		// still die and younger chunks still squash.
+		var immune *msg.CTag
+		if j := p.jobs[node]; j != nil && !j.aborted && j.nextIdx >= len(j.ck.Dirs) {
+			t := j.ck.Tag
+			immune = &t
+		}
+		squashed := p.env.Cores[node].BulkInvalidate(&m.WSig, m.WriteLines, m.Tag.Proc, immune)
 		p.env.Net.Send(&msg.Msg{Kind: msg.SeqInvalAck, Src: node, Dst: m.Src, Tag: m.Tag})
 		if squashed != nil {
 			// The squashed chunk's occupation chain must unwind so other
@@ -360,4 +371,19 @@ func (p *Protocol) DebugModule(i int) string {
 func (p *Protocol) ReadBlocked(node int, l sig.Line) bool {
 	occ := p.mods[node].occupant
 	return occ != nil && occ.wsig.Member(l)
+}
+
+// PendingAttempts implements protocol.AttemptEnumerator: live occupation
+// chains plus directory-side residue. A ghost occupancy (held module with no
+// live job) or a stranded queue entry counts here even though every chunk
+// committed — exactly the leak class the PR 1 livelock fix closed.
+func (p *Protocol) PendingAttempts() int {
+	n := len(p.jobs)
+	for _, m := range p.mods {
+		if m.occupant != nil {
+			n++
+		}
+		n += len(m.queue)
+	}
+	return n
 }

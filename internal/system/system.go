@@ -274,53 +274,57 @@ func Run(prof workload.Profile, cfg Config) (*Result, error) {
 	return RunContext(context.Background(), prof, cfg)
 }
 
-// RunContext is Run with cancellation: the event loop polls ctx (and the
-// RunTimeout wall-clock deadline, if set) every ctxPollInterval events and
-// aborts with an *AbortError, leaving deadlocks to *DeadlockError. A panic
-// escaping the simulation is re-panicked wrapped in *RunPanic carrying the
-// machine state, for sweep workers to recover into crash bundles.
-func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result, error) {
+// Machine is one fully assembled simulated multicore, built by Build and not
+// yet started. RunContext drives it through the standard event loop; the
+// model-checking explorer (internal/explore) installs a mesh.Scheduler on
+// Net before Start and drives its own interleaved loop instead. The exported
+// fields are the assembly's top-level components.
+type Machine struct {
+	Eng   *event.Engine
+	Net   *mesh.Network
+	Env   *dir.Env
+	Procs []*proc.Proc
+	Proto protocol.Engine
+	// Check is the online invariant checker, nil unless Config.Check.
+	Check *check.Checker
+	// Flight is the flight-recorder ring, nil unless Config.FlightRecorder.
+	Flight *trace.Ring
+	// Inj is the fault injector, nil unless Config.Faults enabled.
+	Inj *fault.Injector
+
+	prof workload.Profile
+	cfg  Config
+}
+
+// Build assembles the machine for prof under cfg: network, directory
+// environment, tracer, fault injector, invariant checker, protocol engine,
+// workload and processors, then runs cache/directory warm-up. The machine is
+// returned stopped — no processor has issued its first chunk — so a caller
+// may install observers (e.g. a mesh.Scheduler) before Start.
+func Build(prof workload.Profile, cfg Config) (*Machine, error) {
 	if cfg.Cores <= 0 {
 		return nil, fmt.Errorf("system: need at least one core")
 	}
 	eng := event.New()
-	var procs []*proc.Proc
-	var proto protocol.Engine
-	var flight *trace.Ring
-	defer func() {
-		if r := recover(); r != nil {
-			if _, ok := r.(*RunPanic); ok {
-				panic(r)
-			}
-			rp := &RunPanic{
-				App: prof.Name, Protocol: cfg.Protocol, Cores: cfg.Cores,
-				Cycle: eng.Now(), Value: r, Stack: string(debug.Stack()),
-			}
-			if len(procs) > 0 && proto != nil {
-				rp.Dump = dumpMachine(procs, proto)
-			}
-			if flight != nil {
-				rp.Flight = flight.Dump()
-			}
-			panic(rp)
-		}
-	}()
+	m := &Machine{Eng: eng, prof: prof, cfg: cfg}
 	net := mesh.New(eng, mesh.Config{
 		Nodes: cfg.Cores, LinkLatency: cfg.LinkLatency, Contention: cfg.Contention,
 	})
+	m.Net = net
 	env := &dir.Env{
 		Eng: eng, Net: net, Map: mem.NewMapper(cfg.Cores), State: dir.NewState(),
 		Coll: stats.New(), DirLookup: cfg.DirLookup, MemLatency: cfg.MemLatency,
 	}
+	m.Env = env
 
 	// Assemble the tracer: the caller's sink, the flight recorder, or both.
 	sink := cfg.TraceSink
 	if cfg.FlightRecorder > 0 {
-		flight = trace.NewRing(cfg.FlightRecorder)
+		m.Flight = trace.NewRing(cfg.FlightRecorder)
 		if sink != nil {
-			sink = trace.Multi{sink, flight}
+			sink = trace.Multi{sink, m.Flight}
 		} else {
-			sink = flight
+			sink = m.Flight
 		}
 	}
 	if tr := trace.New(eng, sink); tr != nil {
@@ -330,19 +334,19 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result
 		net.Trace = tr
 	}
 
-	var inj *fault.Injector
 	if cfg.Faults.Enabled() {
 		seed := cfg.FaultSeed
 		if seed == 0 {
 			seed = cfg.Seed
 		}
-		inj = fault.New(*cfg.Faults, seed)
-		inj.Trace = env.Trace
-		net.Fault = inj
+		m.Inj = fault.New(*cfg.Faults, seed)
+		m.Inj.Trace = env.Trace
+		net.Fault = m.Inj
 	}
 	var chk *check.Checker
 	if cfg.Check {
 		chk = check.New(cfg.Cores)
+		m.Check = chk
 		env.Probe = chk
 		env.State.OnApply = chk.Apply
 		env.Coll.OnFormed = chk.Formed
@@ -352,9 +356,10 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result
 	}
 	if cfg.OnApplyWrite != nil {
 		if prev := env.State.OnApply; prev != nil {
+			onApply := cfg.OnApplyWrite
 			env.State.OnApply = func(l sig.Line, writer int) {
 				prev(l, writer)
-				cfg.OnApplyWrite(l, writer)
+				onApply(l, writer)
 			}
 		} else {
 			env.State.OnApply = cfg.OnApplyWrite
@@ -372,11 +377,11 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result
 	if opts == nil {
 		opts = desc.DefaultOptions()
 	}
-	eng2, err := desc.New(env, opts)
+	proto, err := desc.New(env, opts)
 	if err != nil {
 		return nil, fmt.Errorf("system: %w", err)
 	}
-	proto = eng2
+	m.Proto = proto
 	pcfg.ConservativeInv = desc.Tuning.ConservativeInv
 	pcfg.OCIRecall = desc.Tuning.OCIRecall
 	if chk != nil {
@@ -386,22 +391,23 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result
 	}
 
 	gen := workload.New(prof, cfg.Cores, cfg.Seed)
-	procs = make([]*proc.Proc, cfg.Cores)
+	procs := make([]*proc.Proc, cfg.Cores)
 	env.Cores = make([]dir.Core, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {
 		procs[i] = proc.New(env, proto, gen, i, cfg.ChunksPerCore, cfg.L1, cfg.L2, pcfg)
 		env.Cores[i] = procs[i]
 	}
+	m.Procs = procs
 	rp := &dir.ReadPath{Env: env, Proto: proto}
 	for i := 0; i < cfg.Cores; i++ {
 		node := i
-		net.Register(node, func(m *msg.Msg) {
-			if m.Kind.SideOf() == msg.SideDir {
-				if !rp.HandleDir(node, m) {
-					proto.HandleDir(node, m)
+		net.Register(node, func(mm *msg.Msg) {
+			if mm.Kind.SideOf() == msg.SideDir {
+				if !rp.HandleDir(node, mm) {
+					proto.HandleDir(node, mm)
 				}
 			} else {
-				procs[node].Handle(m)
+				procs[node].Handle(mm)
 			}
 		})
 	}
@@ -425,80 +431,99 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result
 			}
 		}
 	}
+	return m, nil
+}
 
-	for _, p := range procs {
+// Start issues every processor's first chunk. Observers installed on the
+// machine (network taps, a schedule controller) must be in place before it.
+func (m *Machine) Start() {
+	for _, p := range m.Procs {
 		p.Start()
 	}
+}
 
-	allDone := func() bool {
-		for _, p := range procs {
-			if !p.Done() {
-				return false
-			}
-		}
-		return true
-	}
-	abort := func(reason string, budget bool) error {
-		if cfg.OnAbort != nil {
-			cfg.OnAbort(procs, proto)
-		}
-		de := &DeadlockError{
-			App: prof.Name, Protocol: cfg.Protocol, Cores: cfg.Cores,
-			Cycle: eng.Now(), Reason: reason, Dump: dumpMachine(procs, proto),
-			BudgetExhausted: budget,
-		}
-		if flight != nil {
-			de.Flight = flight.Dump()
-		}
-		return de
-	}
-	abortCtx := func(cause error) error {
-		return &AbortError{
-			App: prof.Name, Protocol: cfg.Protocol, Cores: cfg.Cores,
-			Cycle: eng.Now(), Cause: cause,
+// AllDone reports whether every processor finished its chunk target.
+func (m *Machine) AllDone() bool {
+	for _, p := range m.Procs {
+		if !p.Done() {
+			return false
 		}
 	}
-	var deadline time.Time
-	if cfg.RunTimeout > 0 {
-		deadline = time.Now().Add(cfg.RunTimeout)
+	return true
+}
+
+// Dump renders the stuck processors and per-module protocol state, truncated
+// to MaxDumpLines.
+func (m *Machine) Dump() string { return dumpMachine(m.Procs, m.Proto) }
+
+// Deadlock builds the structured no-progress abort for the machine's current
+// state, running the Config.OnAbort hook first.
+func (m *Machine) Deadlock(reason string, budget bool) error {
+	if m.cfg.OnAbort != nil {
+		m.cfg.OnAbort(m.Procs, m.Proto)
 	}
-	steps := 0
-	for !allDone() {
-		if !eng.Step() {
-			return nil, abort("event queue empty", false)
-		}
-		if eng.Now() > cfg.MaxCycles {
-			return nil, abort(fmt.Sprintf("exceeded MaxCycles=%d", cfg.MaxCycles), true)
-		}
-		if steps++; steps%ctxPollInterval == 0 {
-			if err := ctx.Err(); err != nil {
-				return nil, abortCtx(err)
-			}
-			if !deadline.IsZero() && time.Now().After(deadline) {
-				return nil, abortCtx(context.DeadlineExceeded)
-			}
-		}
+	de := &DeadlockError{
+		App: m.prof.Name, Protocol: m.cfg.Protocol, Cores: m.cfg.Cores,
+		Cycle: m.Eng.Now(), Reason: reason, Dump: m.Dump(),
+		BudgetExhausted: budget,
 	}
+	if m.Flight != nil {
+		de.Flight = m.Flight.Dump()
+	}
+	return de
+}
+
+// Abort builds the structured cancellation/deadline abort.
+func (m *Machine) Abort(cause error) error {
+	return &AbortError{
+		App: m.prof.Name, Protocol: m.cfg.Protocol, Cores: m.cfg.Cores,
+		Cycle: m.Eng.Now(), Cause: cause,
+	}
+}
+
+// runPanic wraps a recovered panic value into a *RunPanic with the machine
+// state at the moment of failure.
+func (m *Machine) runPanic(v any, stack string) *RunPanic {
+	rp := &RunPanic{
+		App: m.prof.Name, Protocol: m.cfg.Protocol, Cores: m.cfg.Cores,
+		Cycle: m.Eng.Now(), Value: v, Stack: stack,
+	}
+	if len(m.Procs) > 0 && m.Proto != nil {
+		rp.Dump = m.Dump()
+	}
+	if m.Flight != nil {
+		rp.Flight = m.Flight.Dump()
+	}
+	return rp
+}
+
+// Finish runs the end-of-run sequence after every processor completed: with
+// the checker enabled it drains protocol stragglers (late acks, watchdog
+// no-ops) to a quiescent state and runs the end-of-run invariant checks,
+// then builds the Result. A checker violation returns the Result alongside a
+// *check.ViolationError carrying the machine dump and flight-recorder tail.
+func (m *Machine) Finish() (*Result, error) {
+	cfg, chk := m.cfg, m.Check
 	if chk != nil {
 		// Drain the stragglers (late acks, watchdog no-ops) so the
 		// end-of-run checks see quiescent protocol state. Watchdogs only
 		// re-arm for live attempts, so the queue empties; the step bound is
 		// a backstop.
-		for steps := 0; eng.Step() && steps < 10_000_000; steps++ {
+		for steps := 0; m.Eng.Step() && steps < 10_000_000; steps++ {
 		}
 		chk.Finish(cfg.Cores, cfg.ChunksPerCore)
 	}
 
 	res := &Result{
-		App: prof.Name, Protocol: cfg.Protocol, Cores: cfg.Cores,
-		Coll: env.Coll, Traffic: net.Stats(), Proto: proto,
+		App: m.prof.Name, Protocol: cfg.Protocol, Cores: cfg.Cores,
+		Coll: m.Env.Coll, Traffic: m.Net.Stats(), Proto: m.Proto,
 		Checked: chk != nil,
 	}
-	if inj != nil {
-		fs := inj.Stats()
+	if m.Inj != nil {
+		fs := m.Inj.Stats()
 		res.Faults = &fs
 	}
-	for _, p := range procs {
+	for _, p := range m.Procs {
 		res.PerCore = append(res.PerCore, p.Acct)
 		res.Breakdown.Add(p.Acct)
 		res.ChunksCommitted += uint64(p.Committed)
@@ -510,10 +535,68 @@ func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result
 	}
 	if chk != nil {
 		if err := chk.Err(); err != nil {
+			var ve *check.ViolationError
+			if errors.As(err, &ve) {
+				ve.Dump = m.Dump()
+				if m.Flight != nil {
+					ve.Flight = m.Flight.Dump()
+				}
+			}
 			return res, err
 		}
 	}
 	return res, nil
+}
+
+// RunContext is Run with cancellation: the event loop polls ctx (and the
+// RunTimeout wall-clock deadline, if set) every ctxPollInterval events and
+// aborts with an *AbortError, leaving deadlocks to *DeadlockError. A panic
+// escaping the simulation is re-panicked wrapped in *RunPanic carrying the
+// machine state, for sweep workers to recover into crash bundles.
+func RunContext(ctx context.Context, prof workload.Profile, cfg Config) (*Result, error) {
+	var m *Machine
+	defer func() {
+		if r := recover(); r != nil {
+			if _, ok := r.(*RunPanic); ok {
+				panic(r)
+			}
+			if m != nil {
+				panic(m.runPanic(r, string(debug.Stack())))
+			}
+			panic(&RunPanic{
+				App: prof.Name, Protocol: cfg.Protocol, Cores: cfg.Cores,
+				Value: r, Stack: string(debug.Stack()),
+			})
+		}
+	}()
+	m, err := Build(prof, cfg)
+	if err != nil {
+		return nil, err
+	}
+	m.Start()
+
+	var deadline time.Time
+	if cfg.RunTimeout > 0 {
+		deadline = time.Now().Add(cfg.RunTimeout)
+	}
+	steps := 0
+	for !m.AllDone() {
+		if !m.Eng.Step() {
+			return nil, m.Deadlock("event queue empty", false)
+		}
+		if m.Eng.Now() > cfg.MaxCycles {
+			return nil, m.Deadlock(fmt.Sprintf("exceeded MaxCycles=%d", cfg.MaxCycles), true)
+		}
+		if steps++; steps%ctxPollInterval == 0 {
+			if err := ctx.Err(); err != nil {
+				return nil, m.Abort(err)
+			}
+			if !deadline.IsZero() && time.Now().After(deadline) {
+				return nil, m.Abort(context.DeadlineExceeded)
+			}
+		}
+	}
+	return m.Finish()
 }
 
 // TotalWork is the whole-problem chunk count for a sweep: cores ×

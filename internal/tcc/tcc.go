@@ -357,7 +357,18 @@ func (p *Protocol) HandleProc(node int, m *msg.Msg) {
 	case msg.TCCProbeAck:
 		p.onProbeAck(node, m)
 	case msg.TCCInval:
-		squashed := p.env.Cores[node].InvalidateLine(m.Line, m.Tag.Proc)
+		// A job holding every probe ack is past its serialization point:
+		// the invalidating writer's TID is younger (it shares the line's
+		// home directory, which only advances past this job's TID once the
+		// job retires there), so this chunk's reads stay valid and it must
+		// not be squashed — squashing here would retry a chunk whose marks
+		// the directories are already applying, committing it twice.
+		var immune *msg.CTag
+		if j := p.jobs[node]; j != nil && j.phase2 && !j.aborted {
+			t := j.ck.Tag
+			immune = &t
+		}
+		squashed := p.env.Cores[node].InvalidateLine(m.Line, m.Tag.Proc, immune)
 		p.env.Net.Send(&msg.Msg{Kind: msg.TCCInvalAck, Src: node, Dst: m.Src, Tag: m.Tag, TID: m.TID, Line: m.Line})
 		if squashed != nil {
 			p.Abort(node, *squashed)
@@ -544,4 +555,14 @@ func (p *Protocol) ReadBlocked(node int, l sig.Line) bool {
 		}
 	}
 	return false
+}
+
+// PendingAttempts implements protocol.AttemptEnumerator: live commit jobs
+// plus directory pipeline entries not yet retired.
+func (p *Protocol) PendingAttempts() int {
+	n := len(p.jobs)
+	for _, m := range p.mods {
+		n += len(m.entries)
+	}
+	return n
 }

@@ -1,0 +1,48 @@
+package scalablebulk
+
+// Regression corpus replay: every schedule under testdata/schedules/ must
+// reproduce exactly what it records — clean runs stay clean (bit-identical
+// final digest), documented-dependence witnesses keep reproducing their
+// violation. Each file's note says which historic bug or dependence it pins;
+// a failure here means a protocol change altered behavior under that
+// interleaving.
+
+import (
+	"path/filepath"
+	"testing"
+
+	"scalablebulk/internal/explore"
+)
+
+func TestScheduleCorpus(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("testdata", "schedules", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) == 0 {
+		t.Fatal("no schedules under testdata/schedules — the corpus is part of the suite")
+	}
+	for _, path := range files {
+		path := path
+		t.Run(filepath.Base(path), func(t *testing.T) {
+			t.Parallel()
+			s, err := explore.LoadSchedule(path)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if s.Expect == nil {
+				t.Fatal("corpus schedules must carry an expectation")
+			}
+			if s.Note == "" {
+				t.Fatal("corpus schedules must explain themselves in a note")
+			}
+			rr, err := s.Replay()
+			if err != nil {
+				t.Errorf("did not reproduce: %v\nnote: %s", err, s.Note)
+				if rr != nil && rr.Dump != "" {
+					t.Logf("machine state:\n%s", rr.Dump)
+				}
+			}
+		})
+	}
+}
