@@ -178,6 +178,42 @@ func Apps() []Profile { return workload.All() }
 // AppByName finds an application model by name (e.g. "Radix").
 func AppByName(name string) (Profile, bool) { return workload.ByName(name) }
 
+// --- Workload sources (DESIGN.md §14) ---
+
+// WorkloadInfo describes one registered workload source.
+type WorkloadInfo struct {
+	// Name is the registry key accepted by Config.Workload and -workload.
+	Name string
+	// Doc is the source's one-line description.
+	Doc string
+	// Adversarial marks generators aimed at commit-protocol weak spots.
+	Adversarial bool
+}
+
+// RegisteredWorkloads enumerates every workload source linked into the
+// binary, the synthetic default first. The CLIs' -workloads listing and the
+// conformance/differential suites iterate it.
+func RegisteredWorkloads() []WorkloadInfo {
+	var out []WorkloadInfo
+	for _, d := range workload.Descriptors() {
+		out = append(out, WorkloadInfo{Name: d.Name, Doc: d.Doc, Adversarial: d.Adversarial})
+	}
+	return out
+}
+
+// IsWorkload reports whether spec is a valid Config.Workload value: a
+// registered source name or a "replay:PATH" spec (the file itself is only
+// read when a run is built).
+func IsWorkload(spec string) bool {
+	_, err := workload.Resolve(spec)
+	return err == nil
+}
+
+// WorkloadProfile returns the label Profile a named non-synthetic workload
+// source runs under (Result.App, golden names, journal keys). Sweep tools use
+// it to accept workload names wherever an application name is expected.
+func WorkloadProfile(name string) (Profile, bool) { return workload.SourceProfile(name) }
+
 // ResultFingerprint renders every deterministic measurement of a run as one
 // canonical string: execution time, the full per-core breakdowns, every
 // raw collector sample series (commit latencies, directory counts, queue

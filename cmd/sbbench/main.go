@@ -100,12 +100,22 @@ func run() int {
 		gobench   = flag.String("gobench", "", "also write benchstat-compatible text to this path")
 		telemetry = flag.String("telemetry", "", "serve live metrics on this address while benchmarking (e.g. :8090)")
 		protoList = flag.Bool("protocols", false, "list registered commit protocols and exit")
+		wl        = flag.String("workload", "", "workload source for the per-protocol runs (see -workloads); empty = synthetic Barnes")
+		wlList    = flag.Bool("workloads", false, "list registered workload sources and exit")
 	)
 	flag.Parse()
 
 	if *protoList {
 		fmt.Print(cliutil.ProtocolList())
 		return 0
+	}
+	if *wlList {
+		fmt.Print(cliutil.WorkloadList())
+		return 0
+	}
+	if err := cliutil.CheckWorkload(*wl); err != nil {
+		fmt.Fprintln(os.Stderr, "sbbench:", err)
+		return 1
 	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
@@ -164,9 +174,13 @@ func run() int {
 		return 1
 	}
 
-	fmt.Fprintln(os.Stderr, "== per-protocol runs (Barnes, 64 processors) ==")
+	benchApp := "Barnes"
+	if _, ok := scalablebulk.WorkloadProfile(*wl); ok {
+		benchApp = *wl
+	}
+	fmt.Fprintf(os.Stderr, "== per-protocol runs (%s, 64 processors) ==\n", benchApp)
 	for _, protocol := range scalablebulk.Protocols {
-		pr, err := protocolRun(ctx, protocol, *chunks, *seed, *timeout, reg)
+		pr, err := protocolRun(ctx, protocol, *wl, *chunks, *seed, *timeout, reg)
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "sbbench: %s: %v\n", protocol, err)
 			if errors.Is(err, scalablebulk.ErrAborted) {
@@ -338,12 +352,15 @@ func benchTraceNilSink(b *testing.B) {
 
 // protocolRun measures one full simulation: wall time, simulated
 // cycles/second of wall time, and heap allocations.
-func protocolRun(ctx context.Context, protocol string, chunks int, seed int64, timeout time.Duration, reg *metrics.Registry) (protocolResult, error) {
+func protocolRun(ctx context.Context, protocol, wl string, chunks int, seed int64, timeout time.Duration, reg *metrics.Registry) (protocolResult, error) {
 	prof, _ := scalablebulk.AppByName("Barnes")
 	cfg := scalablebulk.DefaultConfig(64, protocol)
 	cfg.ChunksPerCore = chunks
 	cfg.Seed = seed
 	cfg.RunTimeout = timeout
+	if lbl, ok := scalablebulk.WorkloadProfile(wl); ok {
+		prof, cfg.Workload = lbl, wl
+	}
 
 	runtime.GC()
 	var before, after runtime.MemStats
@@ -358,7 +375,7 @@ func protocolRun(ctx context.Context, protocol string, chunks int, seed int64, t
 	metrics.ObserveRun(reg, res.Coll, res.Traffic)
 	pr := protocolResult{
 		Protocol:     protocol,
-		App:          "Barnes",
+		App:          prof.Name,
 		Cores:        64,
 		WallMS:       float64(wall.Microseconds()) / 1000,
 		SimCycles:    uint64(res.Cycles),

@@ -37,17 +37,30 @@ func run() int {
 	par := flag.Int("j", 0, "parallel simulations during prefetch (0 = all CPUs)")
 	journal := flag.String("journal", "", "JSONL checkpoint journal for the prefetch; an interrupted run resumes from it")
 	protoList := flag.Bool("protocols", false, "list registered commit protocols and exit")
+	wl := flag.String("workload", "", "workload source override for every swept point (see -workloads); changes what the figures measure")
+	wlList := flag.Bool("workloads", false, "list registered workload sources and exit")
 	flag.Parse()
 
 	if *protoList {
 		fmt.Print(cliutil.ProtocolList())
 		return 0
 	}
+	if *wlList {
+		fmt.Print(cliutil.WorkloadList())
+		return 0
+	}
+	if err := cliutil.CheckWorkload(*wl); err != nil {
+		fmt.Fprintln(os.Stderr, "sbfig:", err)
+		return 1
+	}
 
 	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
 	defer stop()
 
 	s := scalablebulk.NewSession(*chunks, *seed, os.Stdout)
+	if *wl != "" {
+		s.Configure = func(cfg *scalablebulk.Config) { cfg.Workload = *wl }
+	}
 	if *journal != "" {
 		n, err := s.AttachJournal(*journal)
 		if err != nil {

@@ -5,8 +5,12 @@
 // Usage:
 //
 //	sbsim -app Radix -cores 64 -protocol ScalableBulk -chunks 32
+//	sbsim -workload zipf -cores 16          # adversarial workload source
+//	sbsim -record run.sbwt -cores 4         # record the workload trace
+//	sbsim -replay run.sbwt -protocol TCC    # replay it under any protocol
 //	sbsim -list        # application models
 //	sbsim -protocols   # registered commit protocols
+//	sbsim -workloads   # registered workload sources
 //
 // Exit codes: 0 success; 1 error (a panic writes a crash bundle when
 // -crashdir is set); 2 aborted by SIGINT/SIGTERM or the -timeout budget.
@@ -28,6 +32,8 @@ import (
 	"scalablebulk/internal/fault"
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/stats"
+	"scalablebulk/internal/tracefmt"
+	"scalablebulk/internal/workload"
 )
 
 func main() {
@@ -48,8 +54,12 @@ func run() int {
 	timeout := flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none); exceeding it aborts with exit code 2")
 	crashDir := flag.String("crashdir", "", "write a JSON crash bundle here if the run panics")
 	retry := flag.Bool("retry", false, "retry transient MaxCycles aborts under faults with escalated budgets")
+	wl := flag.String("workload", "", "workload source (see -workloads) or replay:PATH; empty = synthetic -app model")
+	record := flag.String("record", "", "record the run's chunk streams as a workload trace at FILE")
+	replay := flag.String("replay", "", "replay the workload trace at FILE, adopting its recorded machine shape")
 	list := flag.Bool("list", false, "list application models and exit")
 	protoList := flag.Bool("protocols", false, "list registered commit protocols and exit")
+	wlList := flag.Bool("workloads", false, "list registered workload sources and exit")
 	asJSON := flag.Bool("json", false, "emit machine-readable JSON instead of text")
 	flag.Parse()
 
@@ -63,19 +73,62 @@ func run() int {
 		fmt.Print(cliutil.ProtocolList())
 		return 0
 	}
-
-	prof, ok := scalablebulk.AppByName(*app)
-	if !ok {
-		fmt.Fprintf(os.Stderr, "unknown app %q; try -list\n", *app)
-		return 1
+	if *wlList {
+		fmt.Print(cliutil.WorkloadList())
+		return 0
 	}
+
 	if err := cliutil.CheckProtocol(*protocol); err != nil {
 		fmt.Fprintln(os.Stderr, "sbsim:", err)
 		return 1
 	}
+	if *replay != "" {
+		*wl = "replay:" + *replay
+	}
+	if err := cliutil.CheckWorkload(*wl); err != nil {
+		fmt.Fprintln(os.Stderr, "sbsim:", err)
+		return 1
+	}
+
 	cfg := scalablebulk.DefaultConfig(*cores, *protocol)
 	cfg.ChunksPerCore = *chunks
 	cfg.Seed = *seed
+	cfg.Workload = *wl
+
+	// Resolve the run's profile label: the -app model for the synthetic
+	// source, the source's own name for adversarial generators, the recorded
+	// header for a replayed trace (which also pins the machine shape, so the
+	// replay is bit-identical to the recording under any protocol).
+	var prof scalablebulk.Profile
+	if path, isReplay := strings.CutPrefix(*wl, "replay:"); isReplay {
+		tr, err := tracefmt.ReadFile(path)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbsim:", err)
+			return 1
+		}
+		h := tr.Header
+		prof = scalablebulk.Profile{Name: h.App, Suite: "TRACE"}
+		cfg.Cores, cfg.Seed = h.Threads, h.Seed
+		cfg.ChunksPerCore, cfg.WarmupChunks = h.ChunksPerCore, h.WarmupPerCore
+		cfg.WorkloadFactory = workload.Replay(tr)
+		fmt.Fprintf(os.Stderr, "sbsim: replaying %s: %s/%s, %d cores, %d chunks/core (recorded under %s)\n",
+			path, h.App, h.Source, h.Threads, h.ChunksPerCore, h.Protocol)
+	} else if lbl, ok := scalablebulk.WorkloadProfile(*wl); ok {
+		prof = lbl
+	} else if prof, ok = scalablebulk.AppByName(*app); !ok {
+		fmt.Fprintf(os.Stderr, "unknown app %q; try -list\n", *app)
+		return 1
+	}
+
+	var rec *workload.Recording
+	if *record != "" {
+		r, factory, err := workload.Record(*wl)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbsim:", err)
+			return 1
+		}
+		rec, cfg.WorkloadFactory = r, factory
+	}
 	prof2, err := fault.ByName(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
@@ -93,7 +146,7 @@ func run() int {
 	err = func() (err error) {
 		defer func() {
 			if rec := recover(); rec != nil {
-				pt := scalablebulk.Point{App: prof.Name, Protocol: *protocol, Cores: *cores}
+				pt := scalablebulk.Point{App: prof.Name, Protocol: *protocol, Cores: cfg.Cores}
 				cr := scalablebulk.NewCrashReport(pt, cfg, rec)
 				if *crashDir != "" {
 					if path, werr := scalablebulk.WriteCrashBundle(*crashDir, cr); werr == nil {
@@ -120,12 +173,24 @@ func run() int {
 		return 1
 	}
 
+	if rec != nil {
+		rec.SetRunMeta(*protocol, scalablebulk.FingerprintSHA(res))
+		tr := rec.Trace()
+		if err := tracefmt.WriteFile(*record, tr); err != nil {
+			fmt.Fprintln(os.Stderr, "sbsim: record:", err)
+			return 1
+		}
+		st := tracefmt.SectionStats(tr.Chunks)
+		fmt.Fprintf(os.Stderr, "sbsim: recorded %s: %d chunks, %d accesses (%d writes) over %d pages\n",
+			*record, st.Records, st.Accesses, st.Writes, st.Pages)
+	}
+
 	if *asJSON {
 		return emitJSON(res)
 	}
 
 	fmt.Printf("%s on %d processors under %s (%d chunks/core, seed %d)\n",
-		prof.Name, *cores, *protocol, *chunks, *seed)
+		prof.Name, cfg.Cores, *protocol, cfg.ChunksPerCore, cfg.Seed)
 	fmt.Printf("  execution time:        %d cycles\n", res.Cycles)
 	fmt.Printf("  chunks committed:      %d\n", res.ChunksCommitted)
 	tot := float64(res.Breakdown.Total())
@@ -146,6 +211,7 @@ func run() int {
 		names = append(names, fmt.Sprintf("%s=%d", msg.Class(c), cls[c]))
 	}
 	fmt.Printf("  network messages:      %d (%s)\n", res.Traffic.Messages, strings.Join(names, " "))
+	fmt.Printf("  result fingerprint:    sha256 %s\n", scalablebulk.FingerprintSHA(res))
 	if res.Faults != nil {
 		fmt.Printf("  faults injected:       %s\n", res.Faults)
 	}
@@ -188,6 +254,7 @@ func emitJSON(res *scalablebulk.Result) int {
 		"meanQueueLength":    res.Coll.MeanQueueLength(),
 		"messages":           res.Traffic.Messages,
 		"messageClasses":     classes,
+		"fingerprintSHA":     scalablebulk.FingerprintSHA(res),
 	}
 	if res.Faults != nil {
 		out["faults"] = map[string]uint64{

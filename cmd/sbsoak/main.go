@@ -76,9 +76,10 @@ func run() int {
 		faults      = flag.String("faults", "chaos",
 			"fault-injection profile: off | "+strings.Join(fault.Names(), " | "))
 		faultSeed = flag.Int64("faultseed", 0, "fault injector seed (0: reuse the run seed)")
-		apps      = flag.String("apps", "Radix,Barnes,FFT", "comma-separated application models")
+		apps      = flag.String("apps", "Radix,Barnes,FFT", "comma-separated application models and/or workload source names")
 		protos    = flag.String("proto", strings.Join(scalablebulk.Protocols, ","), "comma-separated protocols to soak")
 		protoList = flag.Bool("protocols", false, "list registered commit protocols and exit")
+		wlList    = flag.Bool("workloads", false, "list registered workload sources and exit")
 		coresList = flag.String("cores", "8,16", "comma-separated core counts")
 		par       = flag.Int("j", 0, "sweep parallelism (0 = GOMAXPROCS)")
 		timeout   = flag.Duration("timeout", 0, "per-run wall-clock budget (0 = none)")
@@ -93,6 +94,10 @@ func run() int {
 
 	if *protoList {
 		fmt.Print(cliutil.ProtocolList())
+		return 0
+	}
+	if *wlList {
+		fmt.Print(cliutil.WorkloadList())
 		return 0
 	}
 	if *quick {
@@ -111,8 +116,10 @@ func run() int {
 	}
 	for _, app := range strings.Split(*apps, ",") {
 		if _, ok := scalablebulk.AppByName(app); !ok {
-			fmt.Fprintf(os.Stderr, "sbsoak: unknown app %q\n", app)
-			return 1
+			if _, ok := scalablebulk.WorkloadProfile(app); !ok {
+				fmt.Fprintf(os.Stderr, "sbsoak: unknown app or workload %q (-workloads lists sources)\n", app)
+				return 1
+			}
 		}
 		for _, protocol := range strings.Split(*protos, ",") {
 			if err := cliutil.CheckProtocol(protocol); err != nil {
@@ -276,6 +283,11 @@ func writeCheckSpec(dir string, p scalablebulk.Point, seed int64, chunks int, fa
 	}
 	prof, ok := scalablebulk.AppByName(p.App)
 	if !ok {
+		// Workload-source points have no synthetic profile the checker could
+		// re-run; skip the spec rather than write an unreproducible one.
+		if _, isWL := scalablebulk.WorkloadProfile(p.App); isWL {
+			return "", nil
+		}
 		return "", fmt.Errorf("unknown app %q", p.App)
 	}
 	spec := explore.DefaultSpec(p.Protocol)

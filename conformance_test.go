@@ -136,6 +136,103 @@ func TestConformanceForcedConflict(t *testing.T) {
 	}
 }
 
+// TestWorkloadRegistryContents pins what the workload registry links in: the
+// synthetic default first, at least four adversarial generators, and a doc
+// line on every entry.
+func TestWorkloadRegistryContents(t *testing.T) {
+	infos := RegisteredWorkloads()
+	if len(infos) == 0 || infos[0].Name != "synthetic" {
+		t.Fatalf("workload registry must list the synthetic default first, got %+v", infos)
+	}
+	if infos[0].Adversarial {
+		t.Error("the synthetic default must not be marked adversarial")
+	}
+	adversarial := 0
+	for _, w := range infos {
+		if w.Doc == "" {
+			t.Errorf("%s registered without a doc line", w.Name)
+		}
+		if w.Adversarial {
+			adversarial++
+		}
+		if w.Name != "synthetic" {
+			if _, ok := WorkloadProfile(w.Name); !ok {
+				t.Errorf("%s has no label profile; sweeps cannot address it", w.Name)
+			}
+		}
+	}
+	if adversarial < 4 {
+		t.Errorf("registry has %d adversarial generators, want ≥4", adversarial)
+	}
+	for _, name := range []string{"zipf", "pipeline", "convoy", "stormdir", "kvstore"} {
+		if !IsWorkload(name) {
+			t.Errorf("adversarial generator %q not registered", name)
+		}
+	}
+	if IsWorkload("no-such-source") {
+		t.Error("IsWorkload accepted an unknown name")
+	}
+	if !IsWorkload("") || !IsWorkload("replay:whatever.sbwt") {
+		t.Error("IsWorkload must accept the empty (synthetic) and replay specs without touching the file")
+	}
+}
+
+// TestConformanceWorkloadMatrix runs every registered protocol — variants
+// included — against every registered workload source, requiring all chunks
+// committed in per-core program order and cross-protocol agreement on the
+// committed-write multiset. The differential matrix covers the evaluated
+// four; this is the same contract extended to whatever else registered.
+func TestConformanceWorkloadMatrix(t *testing.T) {
+	const cores, chunks = 8, 2
+	for _, w := range matrixWorkloads(t) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			var refWrites map[writeKey]int
+			var refProto string
+			for _, name := range conformanceNames() {
+				r, writes, order := runWorkloadWithWrites(t, w.Name, w.Prof, name, cores, chunks)
+				if got, want := r.ChunksCommitted, uint64(cores*chunks); got != want {
+					t.Errorf("%s/%s: committed %d chunks, want %d", w.Name, name, got, want)
+				}
+				checkCommitOrder(t, w.Name, name, order, chunks)
+				if refWrites == nil {
+					refWrites, refProto = writes, name
+					continue
+				}
+				if !reflect.DeepEqual(writes, refWrites) {
+					t.Errorf("%s: %s committed-write multiset differs from %s: %s",
+						w.Name, name, refProto, diffWrites(refWrites, writes))
+				}
+			}
+		})
+	}
+}
+
+// TestConformanceWorkloadDeterminism: every registered workload source is
+// bit-identical per seed (two serial runs agree) and actually seeded (a
+// different seed moves the fingerprint).
+func TestConformanceWorkloadDeterminism(t *testing.T) {
+	for _, w := range RegisteredWorkloads() {
+		if !w.Adversarial {
+			continue // the synthetic source is covered by TestConformanceDeterminism
+		}
+		name := w.Name
+		t.Run(name, func(t *testing.T) {
+			t.Parallel()
+			first := serialFingerprint(t, name, ProtoScalableBulk, 16, 7)
+			again := serialFingerprint(t, name, ProtoScalableBulk, 16, 7)
+			if first != again {
+				t.Errorf("two serial runs differ:\n--- run 1\n%s--- run 2\n%s", first, again)
+			}
+			other := serialFingerprint(t, name, ProtoScalableBulk, 16, 8)
+			if other == first {
+				t.Errorf("seed 7 and seed 8 produced identical fingerprints; the source ignores its seed")
+			}
+		})
+	}
+}
+
 // TestConformanceModelCheck: every registered protocol survives a bounded
 // systematic exploration of its 2-core × 2-chunk forced-conflict
 // interleavings with no invariant, serializability, liveness or quiescence

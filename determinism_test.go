@@ -20,12 +20,17 @@ const detChunks = 1
 // fingerprints it.
 func serialFingerprint(t *testing.T, app, protocol string, cores int, seed int64) string {
 	t.Helper()
-	prof, ok := AppByName(app)
-	if !ok {
-		t.Fatalf("unknown app %q", app)
-	}
 	cfg := DefaultConfig(cores, protocol)
 	cfg.Seed = seed
+	prof, ok := AppByName(app)
+	if !ok {
+		// Registered workload sources (the adversarial family) fingerprint
+		// under their own name, exactly as Session.run resolves them.
+		if prof, ok = WorkloadProfile(app); !ok {
+			t.Fatalf("unknown app or workload %q", app)
+		}
+		cfg.Workload = app
+	}
 	r, err := RunScaled(prof, cfg, 64*detChunks)
 	if err != nil {
 		t.Fatalf("%s/%s/%d: %v", app, protocol, cores, err)

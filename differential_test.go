@@ -144,6 +144,111 @@ func TestDifferentialForcedConflict(t *testing.T) {
 	}
 }
 
+// runWorkloadWithWrites runs one registered workload source under one
+// protocol, collecting the committed-write multiset and each core's commit
+// order. prof carries the synthetic profile for the "synthetic" source and
+// the label profile for adversarial sources.
+func runWorkloadWithWrites(t *testing.T, wl string, prof Profile, protocol string, cores, chunksPerCore int) (*Result, map[writeKey]int, [][]uint64) {
+	t.Helper()
+	writes := map[writeKey]int{}
+	order := make([][]uint64, cores)
+	cfg := DefaultConfig(cores, protocol)
+	cfg.ChunksPerCore = chunksPerCore
+	cfg.Seed = 11
+	cfg.Workload = wl
+	cfg.Check = true
+	cfg.OnApplyWrite = func(l sig.Line, writer int) { writes[writeKey{l, writer}]++ }
+	cfg.OnCommit = func(core int, seq uint64) { order[core] = append(order[core], seq) }
+	r, err := Run(prof, cfg)
+	if err != nil {
+		t.Fatalf("%s/%s: %v", wl, protocol, err)
+	}
+	return r, writes, order
+}
+
+// matrixWorkloads enumerates every registered workload source with the
+// profile it runs under: a small synthetic application model for the default
+// source, the source's own label for the adversarial family.
+func matrixWorkloads(t *testing.T) []struct {
+	Name string
+	Prof Profile
+} {
+	t.Helper()
+	var out []struct {
+		Name string
+		Prof Profile
+	}
+	for _, w := range RegisteredWorkloads() {
+		prof, ok := WorkloadProfile(w.Name)
+		if !ok {
+			prof = forcedConflictProfile() // the synthetic default, under contention
+		}
+		out = append(out, struct {
+			Name string
+			Prof Profile
+		}{w.Name, prof})
+	}
+	if len(out) < 5 {
+		t.Fatalf("workload registry has %d sources, want the synthetic default plus ≥4 adversarial", len(out))
+	}
+	return out
+}
+
+// checkCommitOrder asserts each core committed exactly chunks chunks in
+// program order — the per-core serialization every protocol must preserve.
+func checkCommitOrder(t *testing.T, wl, protocol string, order [][]uint64, chunks int) {
+	t.Helper()
+	for core, seqs := range order {
+		if len(seqs) != chunks {
+			t.Errorf("%s/%s: core %d committed %d chunks, want %d", wl, protocol, core, len(seqs), chunks)
+			continue
+		}
+		for i, seq := range seqs {
+			if seq != uint64(i) {
+				t.Errorf("%s/%s: core %d commit %d has seq %d, want %d (program order)",
+					wl, protocol, core, i, seq, i)
+				break
+			}
+		}
+	}
+}
+
+// TestDifferentialWorkloadMatrix runs every evaluated protocol against every
+// registered workload source — synthetic plus the adversarial family — and
+// requires, per workload: all chunks committed, identical committed-write
+// multisets across protocols, and each core's commits in program order. This
+// is the cross product the workload registry exists to buy: a new source
+// registered anywhere is confronted with every protocol here for free.
+func TestDifferentialWorkloadMatrix(t *testing.T) {
+	const cores, chunks = 8, 3
+	for _, w := range matrixWorkloads(t) {
+		w := w
+		t.Run(w.Name, func(t *testing.T) {
+			t.Parallel()
+			var refWrites map[writeKey]int
+			var refProto string
+			for _, protocol := range Protocols {
+				r, writes, order := runWorkloadWithWrites(t, w.Name, w.Prof, protocol, cores, chunks)
+				if got, want := r.ChunksCommitted, uint64(cores*chunks); got != want {
+					t.Errorf("%s/%s: committed %d chunks, want %d", w.Name, protocol, got, want)
+				}
+				checkCommitOrder(t, w.Name, protocol, order, chunks)
+				if refWrites == nil {
+					refWrites, refProto = writes, protocol
+					if len(writes) == 0 {
+						t.Fatalf("%s/%s: no committed writes observed", w.Name, protocol)
+					}
+					continue
+				}
+				if !reflect.DeepEqual(writes, refWrites) {
+					t.Errorf("%s: %s committed-write multiset differs from %s: %s",
+						w.Name, protocol, refProto, diffWrites(refWrites, writes))
+				}
+			}
+		})
+	}
+}
+
 // diffWrites summarizes the first few differences between two multisets.
 func diffWrites(a, b map[writeKey]int) string {
 	var out string

@@ -218,10 +218,17 @@ func (s *Session) pointConfig(k runKey) Config {
 func (s *Session) run(ctx context.Context, k runKey) (res *Result, err error) {
 	p := Point{k.app, k.protocol, k.cores}
 	prof, ok := workload.ByName(k.app)
-	if !ok {
-		return nil, fmt.Errorf("unknown application %q", k.app)
-	}
 	cfg := s.pointConfig(k)
+	if !ok {
+		// Not an application model: registered workload sources (the
+		// adversarial family) sweep under their own name as the app label.
+		if prof, ok = workload.SourceProfile(k.app); ok && cfg.Workload == "" {
+			cfg.Workload = k.app
+		}
+	}
+	if !ok {
+		return nil, fmt.Errorf("unknown application or workload %q", k.app)
+	}
 	hash := ConfigHash(cfg)
 	if j := s.Journal(); j != nil {
 		if r, attempts, ok := j.Lookup(p, hash); ok {

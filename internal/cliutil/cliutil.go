@@ -8,6 +8,7 @@ import (
 	"strings"
 
 	"scalablebulk/internal/protocol"
+	"scalablebulk/internal/workload"
 )
 
 // ProtocolList renders the registry as the listing every CLI's -protocols
@@ -34,4 +35,28 @@ func CheckProtocol(name string) error {
 			name, strings.Join(protocol.Names(), ", "))
 	}
 	return nil
+}
+
+// WorkloadList renders the workload-source registry for every CLI's
+// -workloads list flag: the synthetic default first, then the adversarial
+// family, plus the replay spec syntax.
+func WorkloadList() string {
+	var b strings.Builder
+	for _, d := range workload.Descriptors() {
+		kind := "default"
+		if d.Adversarial {
+			kind = "adversarial"
+		}
+		fmt.Fprintf(&b, "%-14s %-12s %s\n", d.Name, kind, d.Doc)
+	}
+	fmt.Fprintf(&b, "%-14s %-12s %s\n", "replay:PATH", "trace",
+		"replay the recorded workload trace at PATH bit-identically")
+	return b.String()
+}
+
+// CheckWorkload validates one -workload flag value ("" selects the synthetic
+// default), so a typo fails at flag handling with the registered names.
+func CheckWorkload(spec string) error {
+	_, err := workload.Resolve(spec)
+	return err
 }

@@ -49,6 +49,10 @@ type Config struct {
 	OCIRecall bool
 	// Seed randomizes backoff jitter deterministically.
 	Seed int64
+	// OnCommit, when non-nil, observes each chunk retirement in commit
+	// order: (core, chunk sequence). A pure observer — it must not touch
+	// simulator state.
+	OnCommit func(core int, seq uint64)
 }
 
 // DefaultConfig returns the ScalableBulk processor configuration.
@@ -433,6 +437,9 @@ func (p *Proc) countCommit(ck *chunk.Chunk) {
 	p.hier.Commit(ck.WriteLines)
 	p.Acct.Useful += ck.ExecUseful
 	p.Acct.CacheMiss += ck.ExecMiss
+	if p.cfg.OnCommit != nil {
+		p.cfg.OnCommit(p.ID, ck.Tag.Seq)
+	}
 	p.Committed++
 	if p.Committed >= p.target && !p.done {
 		p.done = true

@@ -56,6 +56,17 @@ type Config struct {
 	WarmupChunks int
 	Seed         int64
 
+	// Workload selects the chunk-stream source by registry spec: "" or
+	// "synthetic" for the default application models, an adversarial
+	// generator's name, or "replay:PATH" for a recorded trace. The spec is
+	// part of the run's identity (journal config hashes cover it).
+	Workload string
+	// WorkloadFactory, when non-nil, overrides Workload with a directly
+	// injected source factory — how the trace recorder interposes on a run
+	// and how tests feed hand-built sources. Not covered by config hashes;
+	// journaled runs should use Workload specs.
+	WorkloadFactory workload.Factory
+
 	LinkLatency event.Time // torus link (7)
 	MemLatency  event.Time // memory round trip (300)
 	DirLookup   event.Time // directory/signature processing (2)
@@ -95,6 +106,12 @@ type Config struct {
 	// Check hook. The differential cross-protocol tests use it to collect
 	// each protocol's final committed-write multiset.
 	OnApplyWrite func(l sig.Line, writer int)
+
+	// OnCommit, when non-nil, observes every chunk commit in commit order:
+	// the committing core and the chunk's sequence number. The conformance
+	// suite uses it to assert each core's chunks commit in program order
+	// (serializability of the per-core commit stream).
+	OnCommit func(core int, seq uint64)
 
 	// TraceSink, when non-nil, receives every structured lifecycle, NoC and
 	// fault event of the run (package trace). The sink is closed by the
@@ -368,6 +385,7 @@ func Build(prof workload.Profile, cfg Config) (*Machine, error) {
 
 	pcfg := proc.DefaultConfig()
 	pcfg.Seed = cfg.Seed
+	pcfg.OnCommit = cfg.OnCommit
 	desc, ok := protocol.Lookup(cfg.Protocol)
 	if !ok {
 		return nil, fmt.Errorf("system: unknown protocol %q (registered: %s)",
@@ -390,7 +408,22 @@ func Build(prof workload.Profile, cfg Config) (*Machine, error) {
 		}
 	}
 
-	gen := workload.New(prof, cfg.Cores, cfg.Seed)
+	factory := cfg.WorkloadFactory
+	if factory == nil {
+		factory, err = workload.Resolve(cfg.Workload)
+		if err != nil {
+			return nil, fmt.Errorf("system: %w", err)
+		}
+	}
+	gen, err := factory(prof, cfg.Cores, cfg.Seed)
+	if err != nil {
+		return nil, fmt.Errorf("system: %w", err)
+	}
+	if v, ok := gen.(workload.Validator); ok {
+		if err := v.Validate(cfg.Cores, cfg.ChunksPerCore, cfg.WarmupChunks); err != nil {
+			return nil, fmt.Errorf("system: %w", err)
+		}
+	}
 	procs := make([]*proc.Proc, cfg.Cores)
 	env.Cores = make([]dir.Core, cfg.Cores)
 	for i := 0; i < cfg.Cores; i++ {

@@ -1,0 +1,36 @@
+package tracefmt
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzTraceDecode pins the decoder's two safety contracts: arbitrary bytes
+// never panic (every failure is a typed error), and any input that decodes
+// re-encodes to the identical byte sequence (decode∘encode identity — the
+// canonical-format property record/replay relies on). The seed corpus under
+// testdata/fuzz covers the valid encodings; CI's fuzz-smoke step runs this a
+// few seconds per push, and `go test -fuzz=FuzzTraceDecode ./internal/tracefmt`
+// runs it indefinitely.
+func FuzzTraceDecode(f *testing.F) {
+	f.Add([]byte{})
+	f.Add([]byte("SBWT"))
+	f.Add(Encode(&Trace{}))
+	f.Add(Encode(sampleTrace()))
+	// A resealed structural mutation (valid checksum, corrupt body) steers
+	// the fuzzer past the CRC gate.
+	bad := Encode(sampleTrace())
+	bad = append(bad[:len(bad)-4], 1, 2, 3)
+	f.Add(append(bad, sum32(bad)...))
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		tr, err := Decode(data) // must not panic
+		if err != nil {
+			return
+		}
+		out := Encode(tr)
+		if !bytes.Equal(out, data) {
+			t.Errorf("decode∘encode not identity:\n in  %x\n out %x", data, out)
+		}
+	})
+}

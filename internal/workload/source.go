@@ -1,0 +1,164 @@
+package workload
+
+// The pluggable workload-source layer (DESIGN.md §14): the synthetic
+// SPLASH-2/PARSEC generator, the adversarial family, and trace replay all
+// implement one Source contract behind a named registry (mirroring the
+// protocol registry of §12), so internal/system builds chunk streams without
+// naming any concrete generator and every registered source is iterated by
+// the conformance and differential suites for free.
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"scalablebulk/internal/chunk"
+)
+
+// Source produces the chunk streams of one simulated run. Implementations
+// must be deterministic: NextChunk(proc, seq) is a pure function of the
+// source's construction parameters, so a squashed chunk re-executes
+// identically and two runs of one configuration are bit-identical.
+type Source interface {
+	// NextChunk returns the seq-th measured chunk of core proc.
+	NextChunk(proc int, seq uint64) *chunk.Chunk
+	// WarmupChunk returns the i-th cache/page-table warm-up footprint of
+	// core proc; warm-up assigns first-touch directory homes.
+	WarmupChunk(proc int, i int) *chunk.Chunk
+	// PagesPerThread is each thread's private working set in pages.
+	PagesPerThread() int
+}
+
+// Validator is implemented by sources that can only serve specific machine
+// shapes (trace replay). internal/system calls it after construction and
+// fails the run with the returned error instead of panicking mid-stream.
+type Validator interface {
+	Validate(cores, chunksPerCore, warmupChunks int) error
+}
+
+// Factory builds a Source for one run. prof parameterizes the synthetic
+// generator; adversarial generators and replay ignore everything but its
+// name. threads and seed come from the run's Config.
+type Factory func(prof Profile, threads int, seed int64) (Source, error)
+
+// SourceName is the registry key of the default synthetic generator.
+const SourceName = "synthetic"
+
+// replayPrefix introduces a trace-replay spec: "replay:PATH".
+const replayPrefix = "replay:"
+
+// Descriptor declares one registered workload source.
+type Descriptor struct {
+	// Name is the registry key, matched exactly against Config.Workload and
+	// the CLIs' -workload flags.
+	Name string
+	// Doc is the one-line description printed by the CLIs' -workloads list.
+	Doc string
+	// Adversarial marks generators aimed at commit-protocol weak spots;
+	// they ignore the application profile (except as a label) and are
+	// addressable as run labels through SourceProfile.
+	Adversarial bool
+	// New builds the source.
+	New Factory
+}
+
+var (
+	regMu    sync.RWMutex
+	registry = map[string]Descriptor{}
+)
+
+// Register adds a workload source to the registry; source families call it
+// from init. It panics on duplicates or incomplete descriptors — programming
+// errors caught on first use, exactly like the protocol registry.
+func Register(d Descriptor) {
+	if d.Name == "" || d.New == nil {
+		panic(fmt.Sprintf("workload: incomplete descriptor %+v", d))
+	}
+	if strings.HasPrefix(d.Name, replayPrefix) {
+		panic(fmt.Sprintf("workload: %q collides with the replay spec syntax", d.Name))
+	}
+	regMu.Lock()
+	defer regMu.Unlock()
+	if _, dup := registry[d.Name]; dup {
+		panic(fmt.Sprintf("workload: duplicate registration of %q", d.Name))
+	}
+	registry[d.Name] = d
+}
+
+// Lookup returns the descriptor registered under name.
+func Lookup(name string) (Descriptor, bool) {
+	regMu.RLock()
+	defer regMu.RUnlock()
+	d, ok := registry[name]
+	return d, ok
+}
+
+// Descriptors returns every registered source, the synthetic default first,
+// the rest by name.
+func Descriptors() []Descriptor {
+	regMu.RLock()
+	out := make([]Descriptor, 0, len(registry))
+	for _, d := range registry {
+		out = append(out, d)
+	}
+	regMu.RUnlock()
+	sort.Slice(out, func(i, j int) bool {
+		if a, b := out[i].Name == SourceName, out[j].Name == SourceName; a != b {
+			return a
+		}
+		return out[i].Name < out[j].Name
+	})
+	return out
+}
+
+// Names returns every registered source name in Descriptors order.
+func Names() []string {
+	ds := Descriptors()
+	out := make([]string, len(ds))
+	for i, d := range ds {
+		out[i] = d.Name
+	}
+	return out
+}
+
+// Resolve maps a -workload / Config.Workload spec to a factory: "" and
+// "synthetic" select the default generator, "replay:PATH" replays the trace
+// at PATH, anything else is a registry lookup.
+func Resolve(spec string) (Factory, error) {
+	if spec == "" {
+		spec = SourceName
+	}
+	if path, ok := strings.CutPrefix(spec, replayPrefix); ok {
+		return ReplayFile(path), nil
+	}
+	d, ok := Lookup(spec)
+	if !ok {
+		return nil, fmt.Errorf("workload: unknown source %q (registered: %s)",
+			spec, strings.Join(Names(), ", "))
+	}
+	return d.New, nil
+}
+
+// SourceProfile returns the label Profile under which a non-synthetic
+// registered source runs (Result.App, journal keys, golden names): the
+// source's own name. The synthetic generator has no label of its own — it
+// models whatever application profile it is given — so it reports ok=false,
+// as does an unknown name.
+func SourceProfile(name string) (Profile, bool) {
+	d, ok := Lookup(name)
+	if !ok || d.Name == SourceName {
+		return Profile{}, false
+	}
+	return Profile{Name: d.Name, Suite: "WORKLOAD"}, true
+}
+
+func init() {
+	Register(Descriptor{
+		Name: SourceName,
+		Doc:  "synthetic SPLASH-2/PARSEC application models (§5, the default)",
+		New: func(prof Profile, threads int, seed int64) (Source, error) {
+			return New(prof, threads, seed), nil
+		},
+	})
+}

@@ -257,10 +257,3 @@ func (w *Workload) gen(proc int, seq uint64, warmup bool) *chunk.Chunk {
 	}
 	return ck
 }
-
-func max(a, b int) int {
-	if a > b {
-		return a
-	}
-	return b
-}

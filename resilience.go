@@ -25,6 +25,7 @@ import (
 	"scalablebulk/internal/protocol"
 	"scalablebulk/internal/stats"
 	"scalablebulk/internal/system"
+	"scalablebulk/internal/workload"
 )
 
 // configSignature canonicalizes every result-determining Config field. The
@@ -48,9 +49,14 @@ func configSignature(cfg Config) string {
 			opts = d.DefaultOptions()
 		}
 	}
+	// "" and "synthetic" are the same source; hash them identically.
+	wl := cfg.Workload
+	if wl == "" {
+		wl = workload.SourceName
+	}
 	return fmt.Sprintf(
-		"v2 cores=%d proto=%s chunks=%d warmup=%d seed=%d link=%d mem=%d dir=%d cont=%t l1=%d/%d l2=%d/%d opts=%+v faults=%s fseed=%d check=%t",
-		cfg.Cores, cfg.Protocol, cfg.ChunksPerCore, cfg.WarmupChunks, cfg.Seed,
+		"v3 cores=%d proto=%s wl=%s chunks=%d warmup=%d seed=%d link=%d mem=%d dir=%d cont=%t l1=%d/%d l2=%d/%d opts=%+v faults=%s fseed=%d check=%t",
+		cfg.Cores, cfg.Protocol, wl, cfg.ChunksPerCore, cfg.WarmupChunks, cfg.Seed,
 		cfg.LinkLatency, cfg.MemLatency, cfg.DirLookup, cfg.Contention,
 		cfg.L1.SizeBytes, cfg.L1.Assoc, cfg.L2.SizeBytes, cfg.L2.Assoc,
 		opts, faults, cfg.FaultSeed, cfg.Check)
@@ -67,6 +73,12 @@ func fingerprintHash(fp string) string {
 	h := sha256.Sum256([]byte(fp))
 	return hex.EncodeToString(h[:])
 }
+
+// FingerprintSHA is the SHA-256 hex digest of a run's ResultFingerprint —
+// the form journals store and recorded workload traces embed, so a replayed
+// run can be verified against the recording without keeping the full
+// fingerprint text.
+func FingerprintSHA(r *Result) string { return fingerprintHash(ResultFingerprint(r)) }
 
 // CrashReport is the crash-bundle schema: everything needed to reproduce and
 // diagnose one panicking sweep point. Written as JSON under the crash
