@@ -28,15 +28,14 @@ import (
 	"fmt"
 	"io"
 	"os"
-	"os/signal"
 	"runtime"
-	"syscall"
 	"testing"
 	"time"
 
 	scalablebulk "scalablebulk"
 	"scalablebulk/internal/cliutil"
 	"scalablebulk/internal/event"
+	"scalablebulk/internal/farm"
 	"scalablebulk/internal/metrics"
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/sig"
@@ -99,6 +98,7 @@ func run() int {
 		outPath   = flag.String("o", "BENCH_PR2.json", "JSON report path (- for stdout)")
 		gobench   = flag.String("gobench", "", "also write benchstat-compatible text to this path")
 		telemetry = flag.String("telemetry", "", "serve live metrics on this address while benchmarking (e.g. :8090)")
+		server    = flag.String("server", "", "run the figure sweep on a sweep-farm server at this base URL (skips the serial comparison)")
 		protoList = flag.Bool("protocols", false, "list registered commit protocols and exit")
 		wl        = flag.String("workload", "", "workload source for the per-protocol runs (see -workloads); empty = synthetic Barnes")
 		wlList    = flag.Bool("workloads", false, "list registered workload sources and exit")
@@ -118,7 +118,7 @@ func run() int {
 		return 1
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 
 	var reg *metrics.Registry
@@ -192,7 +192,7 @@ func run() int {
 	}
 
 	fmt.Fprintln(os.Stderr, "== figure sweep ==")
-	sw, figs, code := sweep(ctx, *chunks, *seed, parallelism, !*quick, *timeout, *crashDir, reg)
+	sw, figs, code := sweep(ctx, *chunks, *seed, parallelism, !*quick && *server == "", *timeout, *crashDir, *server, reg)
 	rep.Sweep, rep.Figures = sw, figs
 	if code != 0 && code != 3 {
 		return code
@@ -392,15 +392,35 @@ func protocolRun(ctx context.Context, protocol, wl string, chunks int, seed int6
 // is set, serially on a fresh session for the measured speedup. Figure
 // renders are timed afterward from the populated cache. The int is the
 // process exit code: 0 clean, 2 aborted, 3 point failures (figures skipped).
-func sweep(ctx context.Context, chunks int, seed int64, parallelism int, serial bool, timeout time.Duration, crashDir string, reg *metrics.Registry) (sweepResult, []figureResult, int) {
+func sweep(ctx context.Context, chunks int, seed int64, parallelism int, serial bool, timeout time.Duration, crashDir, server string, reg *metrics.Registry) (sweepResult, []figureResult, int) {
 	configure := func(cfg *scalablebulk.Config) { cfg.RunTimeout = timeout }
 	s := scalablebulk.NewSession(chunks, seed, nil)
 	s.Configure = configure
 	s.CrashDir = crashDir
 	s.Metrics = reg
 	points := s.SweepPoints()
+
+	var out *scalablebulk.SweepOutcome
 	start := time.Now()
-	out := s.SweepContext(ctx, points, parallelism)
+	if server != "" {
+		// Farm mode: the points run on sbworkers; results are injected into
+		// the session cache so figure rendering below is identical.
+		spec := &farm.SweepSpec{
+			ChunksPerCore: chunks, Seed: seed,
+			RunTimeoutMS: timeout.Milliseconds(), Points: points,
+		}
+		client := &farm.Client{Base: server}
+		var err error
+		out, err = client.RunSweep(ctx, spec, func(p farm.Point, res *scalablebulk.Result, _ bool) {
+			s.Inject(p, res)
+		})
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "sbbench:", err)
+			return sweepResult{Points: len(points)}, nil, cliutil.ExitError
+		}
+	} else {
+		out = s.SweepContext(ctx, points, parallelism)
+	}
 	parWall := time.Since(start)
 	sw := sweepResult{
 		Points:         len(points),
@@ -409,7 +429,7 @@ func sweep(ctx context.Context, chunks int, seed int64, parallelism int, serial 
 	}
 	fmt.Fprintf(os.Stderr, "  parallel sweep (%d points, j=%d): %.1f ms\n",
 		len(points), parallelism, sw.ParallelWallMS)
-	if code := sweepCode(out); code != 0 {
+	if code := cliutil.SweepExitCode(os.Stderr, "sbbench", out); code != 0 {
 		return sw, nil, code
 	}
 
@@ -420,7 +440,7 @@ func sweep(ctx context.Context, chunks int, seed int64, parallelism int, serial 
 		start = time.Now()
 		out2 := s2.SweepContext(ctx, points, 1)
 		serWall := time.Since(start)
-		if code := sweepCode(out2); code != 0 {
+		if code := cliutil.SweepExitCode(os.Stderr, "sbbench", out2); code != 0 {
 			return sw, nil, code
 		}
 		sw.SerialWallMS = float64(serWall.Microseconds()) / 1000
@@ -442,22 +462,6 @@ func sweep(ctx context.Context, chunks int, seed int64, parallelism int, serial 
 		})
 	}
 	return sw, figs, 0
-}
-
-// sweepCode maps a sweep outcome to the process exit code: failures beat
-// aborts so a crashed point isn't mistaken for a clean Ctrl-C.
-func sweepCode(out *scalablebulk.SweepOutcome) int {
-	for _, f := range out.Failures {
-		fmt.Fprintf(os.Stderr, "sbbench: FAIL %s/%s/%d: %v\n",
-			f.Point.App, f.Point.Protocol, f.Point.Cores, f.Err)
-	}
-	switch {
-	case len(out.Failures) > 0:
-		return 3
-	case out.Aborted:
-		return 2
-	}
-	return 0
 }
 
 func writeJSON(path string, rep *report) error {

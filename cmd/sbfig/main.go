@@ -13,16 +13,14 @@
 package main
 
 import (
-	"context"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
-	"syscall"
 	"time"
 
 	"scalablebulk"
 	"scalablebulk/internal/cliutil"
+	"scalablebulk/internal/farm"
 )
 
 func main() {
@@ -36,6 +34,7 @@ func run() int {
 	squash := flag.Bool("squash", false, "also print the §6.1 squash classification")
 	par := flag.Int("j", 0, "parallel simulations during prefetch (0 = all CPUs)")
 	journal := flag.String("journal", "", "JSONL checkpoint journal for the prefetch; an interrupted run resumes from it")
+	server := flag.String("server", "", "prefetch the sweep on a sweep-farm server at this base URL instead of in-process")
 	protoList := flag.Bool("protocols", false, "list registered commit protocols and exit")
 	wl := flag.String("workload", "", "workload source override for every swept point (see -workloads); changes what the figures measure")
 	wlList := flag.Bool("workloads", false, "list registered workload sources and exit")
@@ -51,42 +50,57 @@ func run() int {
 	}
 	if err := cliutil.CheckWorkload(*wl); err != nil {
 		fmt.Fprintln(os.Stderr, "sbfig:", err)
-		return 1
+		return cliutil.ExitError
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 
 	s := scalablebulk.NewSession(*chunks, *seed, os.Stdout)
 	if *wl != "" {
 		s.Configure = func(cfg *scalablebulk.Config) { cfg.Workload = *wl }
 	}
-	if *journal != "" {
+	if *journal != "" && *server == "" {
 		n, err := s.AttachJournal(*journal)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return cliutil.ExitError
 		}
 		defer s.Journal().Close()
 		fmt.Fprintf(os.Stderr, "journal %s: %d checkpointed point(s)\n", *journal, n)
 	}
-	if *fig == 0 {
-		// Regenerating everything: run the simulations in parallel first.
-		fmt.Fprintln(os.Stderr, "prefetching simulations...")
-		out := s.SweepContext(ctx, s.SweepPoints(), *par)
-		for _, f := range out.Failures {
-			fmt.Fprintf(os.Stderr, "sbfig: FAIL %s/%s/%d: %v\n",
-				f.Point.App, f.Point.Protocol, f.Point.Cores, f.Err)
+	if *fig == 0 || *server != "" {
+		// Regenerating everything: run the simulations in parallel first —
+		// locally, or on the farm with results injected into the session's
+		// cache so the figure renderers below never notice the difference.
+		var out *scalablebulk.SweepOutcome
+		if *server != "" {
+			fmt.Fprintln(os.Stderr, "prefetching simulations via", *server, "...")
+			spec := &farm.SweepSpec{
+				ChunksPerCore: *chunks, Seed: *seed, Workload: *wl,
+				Points: s.SweepPoints(),
+			}
+			client := &farm.Client{Base: *server}
+			var err error
+			out, err = client.RunSweep(ctx, spec, func(p farm.Point, res *scalablebulk.Result, _ bool) {
+				s.Inject(p, res)
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, "sbfig:", err)
+				return cliutil.ExitError
+			}
+		} else {
+			fmt.Fprintln(os.Stderr, "prefetching simulations...")
+			out = s.SweepContext(ctx, s.SweepPoints(), *par)
 		}
 		if out.Restored > 0 {
 			fmt.Fprintf(os.Stderr, "restored %d point(s) from the journal\n", out.Restored)
 		}
-		switch {
-		case len(out.Failures) > 0:
-			return 3
-		case out.Aborted:
-			fmt.Fprintln(os.Stderr, "sbfig: aborted")
-			return 2
+		if code := cliutil.SweepExitCode(os.Stderr, "sbfig", out); code != cliutil.ExitOK {
+			if out.Aborted && len(out.Failures) == 0 {
+				fmt.Fprintln(os.Stderr, "sbfig: aborted")
+			}
+			return code
 		}
 	}
 	ids := scalablebulk.FigureIDs()
@@ -98,16 +112,16 @@ func run() int {
 		fmt.Printf("\n================ Figure %d ================\n", id)
 		if err := s.Figure(id); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return cliutil.ExitError
 		}
 	}
 	if *squash || *fig == 0 {
 		fmt.Printf("\n================ §6.1 squashes ================\n")
 		if err := s.SquashSummary(); err != nil {
 			fmt.Fprintln(os.Stderr, err)
-			return 1
+			return cliutil.ExitError
 		}
 	}
 	fmt.Printf("\nregenerated in %v\n", time.Since(start).Round(time.Second))
-	return 0
+	return cliutil.ExitOK
 }

@@ -17,18 +17,16 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"errors"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"strings"
-	"syscall"
 
 	"scalablebulk"
 	"scalablebulk/internal/cliutil"
+	"scalablebulk/internal/farm"
 	"scalablebulk/internal/fault"
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/stats"
@@ -57,6 +55,7 @@ func run() int {
 	wl := flag.String("workload", "", "workload source (see -workloads) or replay:PATH; empty = synthetic -app model")
 	record := flag.String("record", "", "record the run's chunk streams as a workload trace at FILE")
 	replay := flag.String("replay", "", "replay the workload trace at FILE, adopting its recorded machine shape")
+	server := flag.String("server", "", "run the point on a sweep-farm server at this base URL instead of in-process")
 	list := flag.Bool("list", false, "list application models and exit")
 	protoList := flag.Bool("protocols", false, "list registered commit protocols and exit")
 	wlList := flag.Bool("workloads", false, "list registered workload sources and exit")
@@ -80,14 +79,20 @@ func run() int {
 
 	if err := cliutil.CheckProtocol(*protocol); err != nil {
 		fmt.Fprintln(os.Stderr, "sbsim:", err)
-		return 1
+		return cliutil.ExitError
 	}
 	if *replay != "" {
 		*wl = "replay:" + *replay
 	}
 	if err := cliutil.CheckWorkload(*wl); err != nil {
 		fmt.Fprintln(os.Stderr, "sbsim:", err)
-		return 1
+		return cliutil.ExitError
+	}
+
+	if *server != "" {
+		return runOnFarm(*server, *app, *protocol, *cores, *chunks, *seed,
+			*faults, *faultSeed, *checkInv, *retry, *wl, *record, *replay,
+			timeout.Milliseconds(), *asJSON)
 	}
 
 	cfg := scalablebulk.DefaultConfig(*cores, *protocol)
@@ -117,7 +122,7 @@ func run() int {
 		prof = lbl
 	} else if prof, ok = scalablebulk.AppByName(*app); !ok {
 		fmt.Fprintf(os.Stderr, "unknown app %q; try -list\n", *app)
-		return 1
+		return cliutil.ExitError
 	}
 
 	var rec *workload.Recording
@@ -132,14 +137,14 @@ func run() int {
 	prof2, err := fault.ByName(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		return 1
+		return cliutil.ExitError
 	}
 	cfg.Faults = prof2
 	cfg.FaultSeed = *faultSeed
 	cfg.Check = *checkInv
 	cfg.RunTimeout = *timeout
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 
 	var res *scalablebulk.Result
@@ -168,9 +173,9 @@ func run() int {
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		if errors.Is(err, scalablebulk.ErrAborted) {
-			return 2
+			return cliutil.ExitAborted
 		}
-		return 1
+		return cliutil.ExitError
 	}
 
 	if rec != nil {
@@ -178,7 +183,7 @@ func run() int {
 		tr := rec.Trace()
 		if err := tracefmt.WriteFile(*record, tr); err != nil {
 			fmt.Fprintln(os.Stderr, "sbsim: record:", err)
-			return 1
+			return cliutil.ExitError
 		}
 		st := tracefmt.SectionStats(tr.Chunks)
 		fmt.Fprintf(os.Stderr, "sbsim: recorded %s: %d chunks, %d accesses (%d writes) over %d pages\n",
@@ -188,9 +193,72 @@ func run() int {
 	if *asJSON {
 		return emitJSON(res)
 	}
+	printResult(prof.Name, *protocol, cfg, res)
+	return cliutil.ExitOK
+}
 
+// runOnFarm is sbsim's thin-client mode: the point runs on a sweep-farm
+// server (possibly restored straight from its journal) and prints here
+// exactly as a local run would. Trace record/replay stay local-only — they
+// read and write files on this machine.
+func runOnFarm(server, app, protocol string, cores, chunks int, seed int64,
+	faults string, faultSeed int64, check, retry bool, wl, record, replay string,
+	timeoutMS int64, asJSON bool) int {
+	if record != "" || replay != "" {
+		fmt.Fprintln(os.Stderr, "sbsim: -record/-replay are local-only and cannot combine with -server")
+		return cliutil.ExitError
+	}
+	appLabel := app
+	if _, ok := scalablebulk.WorkloadProfile(wl); ok {
+		appLabel = wl
+	}
+	retries := 1 // a single attempt, like the local non-retry path
+	if retry {
+		retries = 0 // the default escalating policy
+	}
+	spec := &farm.SweepSpec{
+		ChunksPerCore: chunks,
+		Scaling:       farm.ScalingFixed,
+		Seed:          seed,
+		Workload:      wl,
+		Faults:        faults,
+		FaultSeed:     faultSeed,
+		RunTimeoutMS:  timeoutMS,
+		Retries:       retries,
+		Check:         check,
+		Points:        []farm.Point{{App: appLabel, Protocol: protocol, Cores: cores}},
+	}
+
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+	client := &farm.Client{Base: server}
+	var res *scalablebulk.Result
+	out, err := client.RunSweep(ctx, spec, func(_ farm.Point, r *scalablebulk.Result, _ bool) {
+		res = r
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "sbsim:", err)
+		return cliutil.ExitError
+	}
+	if code := cliutil.SweepExitCode(os.Stderr, "sbsim", out); code != cliutil.ExitOK {
+		return code
+	}
+	if res == nil {
+		fmt.Fprintln(os.Stderr, "sbsim: farm sweep finished without a result")
+		return cliutil.ExitError
+	}
+	if asJSON {
+		return emitJSON(res)
+	}
+	printResult(appLabel, protocol, spec.Config(spec.Points[0]), res)
+	return cliutil.ExitOK
+}
+
+// printResult renders the human-readable measurement block shared by the
+// local and -server paths.
+func printResult(app, protocol string, cfg scalablebulk.Config, res *scalablebulk.Result) {
 	fmt.Printf("%s on %d processors under %s (%d chunks/core, seed %d)\n",
-		prof.Name, cfg.Cores, *protocol, cfg.ChunksPerCore, cfg.Seed)
+		app, cfg.Cores, protocol, cfg.ChunksPerCore, cfg.Seed)
 	fmt.Printf("  execution time:        %d cycles\n", res.Cycles)
 	fmt.Printf("  chunks committed:      %d\n", res.ChunksCommitted)
 	tot := float64(res.Breakdown.Total())
@@ -222,7 +290,6 @@ func run() int {
 		fmt.Printf("  retry attempts:        %d (final budget %d cycles)\n",
 			len(res.Attempts), res.Attempts[len(res.Attempts)-1].MaxCycles)
 	}
-	return 0
 }
 
 // emitJSON prints the run's headline measurements as one JSON object, for
@@ -273,7 +340,7 @@ func emitJSON(res *scalablebulk.Result) int {
 	enc.SetIndent("", "  ")
 	if err := enc.Encode(out); err != nil {
 		fmt.Fprintln(os.Stderr, err)
-		return 1
+		return cliutil.ExitError
 	}
 	return 0
 }

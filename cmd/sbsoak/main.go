@@ -19,23 +19,21 @@
 package main
 
 import (
-	"context"
 	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
-	"os/signal"
 	"path/filepath"
 	"runtime"
 	"strconv"
 	"strings"
-	"syscall"
 	"time"
 
 	"scalablebulk"
 	"scalablebulk/internal/cliutil"
 	"scalablebulk/internal/event"
 	"scalablebulk/internal/explore"
+	"scalablebulk/internal/farm"
 	"scalablebulk/internal/fault"
 	"scalablebulk/internal/metrics"
 )
@@ -89,6 +87,7 @@ func run() int {
 		quick     = flag.Bool("quick", false, "CI smoke matrix: 2 apps × 4 protocols × 8 cores, 1 round, tiny chunks")
 		progress  = flag.Duration("progress", 30*time.Second, "sweep heartbeat period on stderr (0 disables)")
 		telemetry = flag.String("telemetry", "", "serve live metrics on this address (e.g. :8090): /metrics, /debug/vars, /debug/pprof")
+		server    = flag.String("server", "", "run each round's sweep on a sweep-farm server at this base URL (the server owns the journal)")
 	)
 	flag.Parse()
 
@@ -106,25 +105,25 @@ func run() int {
 	profile, err := fault.ByName(*faults)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sbsoak:", err)
-		return 1
+		return cliutil.ExitError
 	}
 	var points []scalablebulk.Point
 	coreCounts, err := splitInts(*coresList)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, "sbsoak:", err)
-		return 1
+		return cliutil.ExitError
 	}
 	for _, app := range strings.Split(*apps, ",") {
 		if _, ok := scalablebulk.AppByName(app); !ok {
 			if _, ok := scalablebulk.WorkloadProfile(app); !ok {
 				fmt.Fprintf(os.Stderr, "sbsoak: unknown app or workload %q (-workloads lists sources)\n", app)
-				return 1
+				return cliutil.ExitError
 			}
 		}
 		for _, protocol := range strings.Split(*protos, ",") {
 			if err := cliutil.CheckProtocol(protocol); err != nil {
 				fmt.Fprintln(os.Stderr, "sbsoak:", err)
-				return 1
+				return cliutil.ExitError
 			}
 			for _, cores := range coreCounts {
 				points = append(points, scalablebulk.Point{App: app, Protocol: protocol, Cores: cores})
@@ -136,7 +135,7 @@ func run() int {
 		parallelism = runtime.GOMAXPROCS(0)
 	}
 
-	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	ctx, stop := cliutil.SignalContext()
 	defer stop()
 
 	var reg *metrics.Registry
@@ -145,18 +144,18 @@ func run() int {
 		addr, closeFn, err := metrics.Serve(*telemetry, reg)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sbsoak:", err)
-			return 1
+			return cliutil.ExitError
 		}
 		defer closeFn()
 		fmt.Fprintf(os.Stderr, "telemetry: http://%s/metrics (also /debug/vars, /debug/pprof)\n", addr)
 	}
 
 	var journal *scalablebulk.Journal
-	if *journalPath != "" {
+	if *journalPath != "" && *server == "" {
 		journal, err = scalablebulk.OpenJournal(*journalPath)
 		if err != nil {
 			fmt.Fprintln(os.Stderr, "sbsoak:", err)
-			return 1
+			return cliutil.ExitError
 		}
 		defer journal.Close()
 		fmt.Fprintf(os.Stderr, "journal %s: %d checkpointed point(s)\n", *journalPath, journal.Len())
@@ -210,7 +209,26 @@ func run() int {
 			s.UseJournal(journal)
 		}
 		start := time.Now()
-		out := s.SweepContext(ctx, points, parallelism)
+		var out *scalablebulk.SweepOutcome
+		if *server != "" {
+			// Farm mode: the round's sweep runs on sbworkers; the server owns
+			// the journal, so restores and dedup happen there.
+			spec := &farm.SweepSpec{
+				ChunksPerCore: *chunks, Seed: roundSeed,
+				Faults: *faults, FaultSeed: *faultSeed,
+				MaxCycles: uint64(*maxCycles), RunTimeoutMS: timeout.Milliseconds(),
+				Retries: *retries, Points: points,
+			}
+			client := &farm.Client{Base: *server}
+			var rerr error
+			out, rerr = client.RunSweep(ctx, spec, nil)
+			if rerr != nil {
+				fmt.Fprintln(os.Stderr, "sbsoak:", rerr)
+				return cliutil.ExitError
+			}
+		} else {
+			out = s.SweepContext(ctx, points, parallelism)
+		}
 		rr := roundReport{
 			Seed: roundSeed, Profile: *faults, Points: out.Points,
 			Completed: out.Completed, Restored: out.Restored,
@@ -256,16 +274,16 @@ func run() int {
 			os.Stdout.Write(data)
 		} else if err := os.WriteFile(*outPath, data, 0o644); err != nil {
 			fmt.Fprintln(os.Stderr, "sbsoak:", err)
-			return 1
+			return cliutil.ExitError
 		}
 	}
 	switch {
 	case rep.Aborted:
-		return 2
+		return cliutil.ExitAborted
 	case len(failures) > 0:
-		return 3
+		return cliutil.ExitPointFailures
 	}
-	return 0
+	return cliutil.ExitOK
 }
 
 // writeCheckSpec serializes a failed point as an sbcheck starting state: the

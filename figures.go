@@ -200,15 +200,45 @@ func (s *Session) result(ctx context.Context, p Point) (*Result, error) {
 	return e.res, e.err
 }
 
-// pointConfig materializes one point's Config: Table 2 defaults, the
-// session's strong-scaling work division and seed, then the Configure hook.
-func (s *Session) pointConfig(k runKey) Config {
-	cfg := DefaultConfig(k.cores, k.protocol)
-	cfg.Seed = s.Seed
-	cfg.ChunksPerCore = s.TotalWork() / k.cores
+// SweepPointConfig materializes the Config a Session-style sweep gives point
+// p: the Table 2 defaults for the point's machine, the shared seed, and the
+// strong-scaling work division (chunksPerCore is the per-core chunk count at
+// 64 processors; smaller machines get proportionally more chunks over the
+// same total work). The farm workers build remote points through this same
+// function, so a point computed by a worker process hashes — and therefore
+// journals, dedups, and fingerprints — identically to the same point run
+// in-process.
+func SweepPointConfig(p Point, chunksPerCore int, seed int64) Config {
+	cfg := DefaultConfig(p.Cores, p.Protocol)
+	cfg.Seed = seed
+	cfg.ChunksPerCore = 64 * chunksPerCore / p.Cores
 	if cfg.ChunksPerCore < 1 {
 		cfg.ChunksPerCore = 1
 	}
+	return cfg
+}
+
+// ResolvePointProfile resolves a sweep point's App label: an application
+// model by name, or a registered workload source sweeping under its own name
+// (in which case cfg.Workload is set to the source, matching how the point
+// would hash when run through a Session).
+func ResolvePointProfile(app string, cfg *Config) (Profile, error) {
+	if prof, ok := workload.ByName(app); ok {
+		return prof, nil
+	}
+	if prof, ok := workload.SourceProfile(app); ok {
+		if cfg.Workload == "" {
+			cfg.Workload = app
+		}
+		return prof, nil
+	}
+	return Profile{}, fmt.Errorf("unknown application or workload %q", app)
+}
+
+// pointConfig materializes one point's Config: Table 2 defaults, the
+// session's strong-scaling work division and seed, then the Configure hook.
+func (s *Session) pointConfig(k runKey) Config {
+	cfg := SweepPointConfig(Point{k.app, k.protocol, k.cores}, s.ChunksPerCore, s.Seed)
 	if s.Configure != nil {
 		s.Configure(&cfg)
 	}
@@ -217,17 +247,10 @@ func (s *Session) pointConfig(k runKey) Config {
 
 func (s *Session) run(ctx context.Context, k runKey) (res *Result, err error) {
 	p := Point{k.app, k.protocol, k.cores}
-	prof, ok := workload.ByName(k.app)
 	cfg := s.pointConfig(k)
-	if !ok {
-		// Not an application model: registered workload sources (the
-		// adversarial family) sweep under their own name as the app label.
-		if prof, ok = workload.SourceProfile(k.app); ok && cfg.Workload == "" {
-			cfg.Workload = k.app
-		}
-	}
-	if !ok {
-		return nil, fmt.Errorf("unknown application or workload %q", k.app)
+	prof, rerr := ResolvePointProfile(k.app, &cfg)
+	if rerr != nil {
+		return nil, rerr
 	}
 	hash := ConfigHash(cfg)
 	if j := s.Journal(); j != nil {
@@ -501,6 +524,26 @@ func (s *Session) Resume(ctx context.Context, path string, parallelism int) (*Sw
 		return nil, err
 	}
 	return s.SweepContext(ctx, s.SweepPoints(), parallelism), nil
+}
+
+// Inject stores res as the completed result for p, as if the session had run
+// the point itself: later Result calls and figure renders are served from
+// the cache. The farm thin clients (sbsim/sbfig/sbbench/sbsoak -server)
+// inject results computed by remote workers so figures render locally from
+// remote runs. A point that already has a cache slot keeps it (injection
+// never overwrites a run in flight or a completed result).
+func (s *Session) Inject(p Point, res *Result) {
+	k := runKey{p.App, p.Protocol, p.Cores}
+	e := &cacheEntry{done: make(chan struct{}), res: res}
+	close(e.done)
+	s.mu.Lock()
+	if s.cache == nil {
+		s.cache = map[runKey]*cacheEntry{}
+	}
+	if _, ok := s.cache[k]; !ok {
+		s.cache[k] = e
+	}
+	s.mu.Unlock()
 }
 
 // Prefetch is the historical name of Sweep, kept for callers that predate

@@ -1,15 +1,63 @@
 // Package cliutil holds small helpers shared by the cmd/ front-ends:
-// rendering the protocol registry for every CLI's -protocols list flag and
-// validating -protocol selections before a machine is built.
+// rendering the protocol registry for every CLI's -protocols list flag,
+// validating -protocol selections before a machine is built, the shared
+// process exit-code contract, and the SIGINT/SIGTERM cancellation context
+// every long-running tool installs.
 package cliutil
 
 import (
+	"context"
 	"fmt"
+	"io"
+	"os"
+	"os/signal"
 	"strings"
+	"syscall"
 
+	scalablebulk "scalablebulk"
 	"scalablebulk/internal/protocol"
 	"scalablebulk/internal/workload"
 )
+
+// Exit codes shared by every CLI (sbsim, sbfig, sbbench, sbsoak, sbserver,
+// sbworker): success, setup/internal error, aborted by signal or deadline,
+// and completed-with-point-failures. Failure beats abort so a crashed point
+// is never mistaken for a clean Ctrl-C.
+const (
+	ExitOK            = 0
+	ExitError         = 1
+	ExitAborted       = 2
+	ExitPointFailures = 3
+)
+
+// SignalContext returns a context canceled on SIGINT/SIGTERM, plus its stop
+// function. After stop (or after the first signal) a second signal falls
+// back to the default handler and kills the process — the standard
+// "graceful once, forceful twice" contract all the CLIs share.
+func SignalContext() (context.Context, context.CancelFunc) {
+	return signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+}
+
+// SweepExitCode prints one FAIL line per failed point to w (tool prefixes
+// the lines, stderr style) and maps the outcome to the shared exit-code
+// contract: point failures beat aborts, a clean abort is ExitAborted, and a
+// fully completed sweep is ExitOK.
+func SweepExitCode(w io.Writer, tool string, out *scalablebulk.SweepOutcome) int {
+	if w == nil {
+		w = io.Discard
+	}
+	for _, f := range out.Failures {
+		fmt.Fprintf(w, "%s: FAIL %s/%s/%d: %v\n",
+			tool, f.Point.App, f.Point.Protocol, f.Point.Cores, f.Err)
+	}
+	switch {
+	case len(out.Failures) > 0:
+		return ExitPointFailures
+	case out.Aborted:
+		return ExitAborted
+	}
+	return ExitOK
+}
 
 // ProtocolList renders the registry as the listing every CLI's -protocols
 // flag prints: one line per protocol — evaluated (Table 3) entries first,

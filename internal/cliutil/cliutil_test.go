@@ -1,0 +1,54 @@
+package cliutil
+
+import (
+	"errors"
+	"strings"
+	"testing"
+
+	scalablebulk "scalablebulk"
+)
+
+func TestSweepExitCode(t *testing.T) {
+	fail := scalablebulk.PointFailure{
+		Point: scalablebulk.Point{App: "Radix", Protocol: "TCC", Cores: 8},
+		Err:   errors.New("boom"),
+	}
+	cases := []struct {
+		name string
+		out  scalablebulk.SweepOutcome
+		want int
+	}{
+		{"clean", scalablebulk.SweepOutcome{Points: 2, Completed: 2}, ExitOK},
+		{"aborted", scalablebulk.SweepOutcome{Points: 2, Completed: 1, Aborted: true}, ExitAborted},
+		{"failures", scalablebulk.SweepOutcome{Points: 2, Completed: 1,
+			Failures: []scalablebulk.PointFailure{fail}}, ExitPointFailures},
+		// Failures beat aborts: a crashed point must not look like Ctrl-C.
+		{"failures_and_abort", scalablebulk.SweepOutcome{Points: 2, Aborted: true,
+			Failures: []scalablebulk.PointFailure{fail}}, ExitPointFailures},
+	}
+	for _, tc := range cases {
+		var b strings.Builder
+		if got := SweepExitCode(&b, "tool", &tc.out); got != tc.want {
+			t.Errorf("%s: exit code = %d, want %d", tc.name, got, tc.want)
+		}
+		if len(tc.out.Failures) > 0 && !strings.Contains(b.String(), "tool: FAIL Radix/TCC/8") {
+			t.Errorf("%s: missing FAIL line, got %q", tc.name, b.String())
+		}
+	}
+	if got := SweepExitCode(nil, "tool", &scalablebulk.SweepOutcome{}); got != ExitOK {
+		t.Errorf("nil writer: exit code = %d, want 0", got)
+	}
+}
+
+func TestSignalContext(t *testing.T) {
+	ctx, stop := SignalContext()
+	if ctx.Err() != nil {
+		t.Fatalf("fresh signal context already canceled: %v", ctx.Err())
+	}
+	stop()
+	select {
+	case <-ctx.Done():
+	default:
+		t.Fatal("stop() did not cancel the context")
+	}
+}

@@ -1,0 +1,271 @@
+package farm
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"net/http"
+	"net/url"
+	"strconv"
+	"time"
+
+	scalablebulk "scalablebulk"
+)
+
+// ErrLeaseGone reports a heartbeat or delivery against a lease the server
+// no longer holds: the lease expired (the worker looked dead) or the point
+// resolved elsewhere. The worker's correct response is to abandon the run
+// silently — the server has already re-queued or finished the point.
+var ErrLeaseGone = errors.New("farm: lease gone")
+
+// ErrDraining reports a lease request against a draining server.
+var ErrDraining = errors.New("farm: server is draining")
+
+// Client speaks the farm wire protocol. Transport-level failures —
+// connection refused, reset, timeout — are retried with backoff until the
+// context dies, which is what lets a thin client or worker ride through a
+// server restart: the server comes back, replays its journal, and the
+// retried call lands on the recovered state.
+type Client struct {
+	// Base is the server root, e.g. "http://127.0.0.1:8356".
+	Base string
+	// HTTP is the underlying client; nil selects a default with sane
+	// timeouts. Tests wire a FaultTransport here.
+	HTTP *http.Client
+	// RetryInterval paces transport-retry backoff (0 selects 250ms);
+	// MaxRetryWait bounds it (0 selects 5s).
+	RetryInterval time.Duration
+	MaxRetryWait  time.Duration
+}
+
+func (c *Client) http() *http.Client {
+	if c.HTTP != nil {
+		return c.HTTP
+	}
+	return &http.Client{Timeout: 30 * time.Second}
+}
+
+// httpError is a non-2xx response: the server answered, so the transport
+// works and retrying the same request is pointless unless the status says
+// otherwise.
+type httpError struct {
+	Status int
+	Body   string
+}
+
+func (e *httpError) Error() string {
+	return fmt.Sprintf("farm: server returned %d: %s", e.Status, e.Body)
+}
+
+// do POSTs (or GETs when body is nil) path with a JSON body and decodes the
+// JSON response into out, retrying transport errors with capped backoff
+// until ctx is done.
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var payload []byte
+	if body != nil {
+		var err error
+		if payload, err = json.Marshal(body); err != nil {
+			return err
+		}
+	}
+	interval := c.RetryInterval
+	if interval <= 0 {
+		interval = 250 * time.Millisecond
+	}
+	maxWait := c.MaxRetryWait
+	if maxWait <= 0 {
+		maxWait = 5 * time.Second
+	}
+	for {
+		req, err := http.NewRequestWithContext(ctx, method, c.Base+path, bytes.NewReader(payload))
+		if err != nil {
+			return err
+		}
+		if body != nil {
+			req.Header.Set("Content-Type", "application/json")
+		}
+		resp, err := c.http().Do(req)
+		if err == nil {
+			data, rerr := io.ReadAll(resp.Body)
+			resp.Body.Close()
+			if rerr == nil {
+				if resp.StatusCode/100 != 2 {
+					return &httpError{Status: resp.StatusCode,
+						Body: string(bytes.TrimSpace(data))}
+				}
+				if out == nil {
+					return nil
+				}
+				return json.Unmarshal(data, out)
+			}
+			err = rerr
+		}
+		// Transport failure: the server may be restarting. Back off and
+		// retry until the caller gives up.
+		select {
+		case <-ctx.Done():
+			return fmt.Errorf("farm: %s %s: %w (last transport error: %v)",
+				method, path, ctx.Err(), err)
+		case <-time.After(interval):
+		}
+		interval *= 2
+		if interval > maxWait {
+			interval = maxWait
+		}
+	}
+}
+
+// Submit registers spec with the server (idempotent: resubmitting an
+// identical spec attaches to the live sweep).
+func (c *Client) Submit(ctx context.Context, spec *SweepSpec) (*SubmitResponse, error) {
+	var resp SubmitResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/sweep", spec, &resp); err != nil {
+		return nil, err
+	}
+	return &resp, nil
+}
+
+// Status fetches sweep status plus the result stream after cursor.
+func (c *Client) Status(ctx context.Context, sweepID string, after int) (*SweepStatus, error) {
+	var st SweepStatus
+	q := url.Values{"id": {sweepID}, "after": {strconv.Itoa(after)}}
+	if err := c.do(ctx, http.MethodGet, "/v1/sweep?"+q.Encode(), nil, &st); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// Lease asks for work. A nil job with nil error means nothing is runnable
+// right now (retry after the hinted interval); ErrDraining means stop.
+func (c *Client) Lease(ctx context.Context, worker string) (*Job, time.Duration, error) {
+	var resp leaseResponse
+	if err := c.do(ctx, http.MethodPost, "/v1/lease", leaseRequest{Worker: worker}, &resp); err != nil {
+		return nil, 0, err
+	}
+	if resp.Draining {
+		return nil, 0, ErrDraining
+	}
+	retry := time.Duration(resp.RetryMS) * time.Millisecond
+	return resp.Job, retry, nil
+}
+
+// Heartbeat renews a lease; ErrLeaseGone means abandon the run.
+func (c *Client) Heartbeat(ctx context.Context, job *Job, worker string) error {
+	err := c.do(ctx, http.MethodPost, "/v1/heartbeat", heartbeatRequest{
+		SweepID: job.SweepID, LeaseID: job.LeaseID, Worker: worker,
+	}, nil)
+	var he *httpError
+	if errors.As(err, &he) && he.Status == http.StatusGone {
+		return ErrLeaseGone
+	}
+	return err
+}
+
+// Result delivers a completed point.
+func (c *Client) Result(ctx context.Context, job *Job, worker string, res *scalablebulk.Result, wall time.Duration) error {
+	data, err := scalablebulk.MarshalResult(res)
+	if err != nil {
+		return err
+	}
+	return c.do(ctx, http.MethodPost, "/v1/result", resultRequest{
+		SweepID: job.SweepID, LeaseID: job.LeaseID, Worker: worker,
+		PointID: job.PointID, Point: job.Point, ConfigHash: job.ConfigHash,
+		FingerprintSHA: scalablebulk.FingerprintSHA(res),
+		Result:         data, Attempts: res.Attempts,
+		WallMS: float64(wall.Microseconds()) / 1000,
+	}, nil)
+}
+
+// Fail reports a failed (or crashed) run.
+func (c *Client) Fail(ctx context.Context, job *Job, worker, msg string, crash *scalablebulk.CrashReport) error {
+	return c.do(ctx, http.MethodPost, "/v1/fail", failRequest{
+		SweepID: job.SweepID, LeaseID: job.LeaseID, Worker: worker,
+		PointID: job.PointID, Point: job.Point, Error: msg, Crash: crash,
+	}, nil)
+}
+
+// RunSweep is the thin-client driver the CLIs' -server mode uses: submit
+// the spec, then poll the result stream until every point is terminal,
+// returning a SweepOutcome shaped exactly like Session.SweepContext's. On
+// reconnect (any successful resubmission after a transport gap) the cursor
+// resets to zero and results dedupe by point — the stream is append-only,
+// so nothing is lost or double-counted. onResult, when non-nil, observes
+// each completed point once, with the restored flag distinguishing journal
+// hits from fresh runs.
+func (c *Client) RunSweep(ctx context.Context, spec *SweepSpec, onResult func(p Point, res *scalablebulk.Result, restored bool)) (*scalablebulk.SweepOutcome, error) {
+	sub, err := c.Submit(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	out := &scalablebulk.SweepOutcome{Points: sub.Points}
+	seen := make(map[int]bool, sub.Points)
+	cursor := 0
+	poll := c.RetryInterval
+	if poll <= 0 {
+		poll = 250 * time.Millisecond
+	}
+	for {
+		st, err := c.Status(ctx, sub.SweepID, cursor)
+		if err != nil {
+			var he *httpError
+			if errors.As(err, &he) && he.Status == http.StatusNotFound {
+				// The server restarted and lost the in-memory sweep:
+				// resubmit (idempotent — journaled points restore) and
+				// rewind the cursor; seen dedupes replayed results.
+				if _, err := c.Submit(ctx, spec); err != nil {
+					return out, err
+				}
+				cursor = 0
+				continue
+			}
+			if ctx.Err() != nil {
+				out.Aborted = true
+				return out, nil
+			}
+			return out, err
+		}
+		cursor = st.NextCursor
+		for _, pr := range st.Results {
+			if seen[pr.PointID] {
+				continue
+			}
+			seen[pr.PointID] = true
+			switch pr.Status {
+			case StatusDone:
+				res, err := scalablebulk.UnmarshalResult(pr.Result)
+				if err != nil {
+					return out, fmt.Errorf("farm: undecodable result for %s: %w",
+						pointLabel(pr.Point), err)
+				}
+				if scalablebulk.FingerprintSHA(res) != pr.FingerprintSHA {
+					return out, fmt.Errorf("farm: result for %s does not verify against its fingerprint",
+						pointLabel(pr.Point))
+				}
+				res.Attempts = pr.Attempts
+				out.Completed++
+				if pr.Restored {
+					out.Restored++
+				}
+				if onResult != nil {
+					onResult(pr.Point, res, pr.Restored)
+				}
+			default:
+				out.Failures = append(out.Failures, scalablebulk.PointFailure{
+					Point: pr.Point, Err: fmt.Errorf("%s: %s", pr.Status, pr.Error),
+				})
+			}
+		}
+		if st.Terminal() {
+			return out, nil
+		}
+		select {
+		case <-ctx.Done():
+			out.Aborted = true
+			return out, nil
+		case <-time.After(poll):
+		}
+	}
+}

@@ -1,0 +1,73 @@
+package farm
+
+import (
+	"encoding/json"
+	"os"
+	"sync"
+	"time"
+)
+
+// Event is one line of the farm's lease-lifecycle log: sweep submissions,
+// lease grants/renewals/expiries, results, failures, poisonings, drains.
+// The simulator's internal/trace schema is chunk-lifecycle-specific, so the
+// farm keeps its own JSONL stream with the same spirit: append-only,
+// machine-readable, greppable by kind.
+type Event struct {
+	Time    string `json:"time"`
+	Kind    string `json:"kind"`
+	Sweep   string `json:"sweep,omitempty"`
+	Worker  string `json:"worker,omitempty"`
+	Lease   string `json:"lease,omitempty"`
+	PointID int    `json:"point_id,omitempty"`
+	Point   string `json:"point,omitempty"` // "app/protocol/cores"
+	Detail  string `json:"detail,omitempty"`
+}
+
+// EventLog appends JSONL events to a file. Safe for concurrent use; writes
+// are line-atomic under the lock. Logging is best-effort — a write error
+// never fails the operation that emitted the event.
+type EventLog struct {
+	mu sync.Mutex
+	f  *os.File
+}
+
+// OpenEventLog opens (appending) or creates the JSONL event log at path.
+func OpenEventLog(path string) (*EventLog, error) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY|os.O_APPEND, 0o644)
+	if err != nil {
+		return nil, err
+	}
+	return &EventLog{f: f}, nil
+}
+
+// Emit appends one event, stamping the wall-clock time.
+func (l *EventLog) Emit(e Event) {
+	if l == nil {
+		return
+	}
+	e.Time = time.Now().UTC().Format(time.RFC3339Nano)
+	data, err := json.Marshal(e)
+	if err != nil {
+		return
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f != nil {
+		l.f.Write(append(data, '\n'))
+	}
+}
+
+// Close closes the underlying file.
+func (l *EventLog) Close() error {
+	if l == nil {
+		return nil
+	}
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	if l.f == nil {
+		return nil
+	}
+	err := l.f.Close()
+	l.f = nil
+	return err
+}

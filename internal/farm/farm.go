@@ -1,0 +1,91 @@
+// Package farm is the sharded sweep farm: an HTTP/JSON job server that
+// accepts sweep specs (protocol × cores × workload points), dedupes
+// identical points through the checkpoint journal, and hands points to
+// worker processes under time-bounded leases with heartbeat renewal.
+//
+// The durability story stacks three layers:
+//
+//   - Leases. A worker holds each point under a TTL it must renew by
+//     heartbeat. A worker that dies — SIGKILL, OOM, network partition —
+//     simply stops renewing; the server's expiry sweep re-queues the point
+//     behind a seeded-jitter exponential backoff.
+//   - Poisoning. A point whose leases die under PoisonAfter distinct
+//     workers is quarantined as poisoned (the point kills workers, not the
+//     other way around) and reported with its crash bundle instead of
+//     being retried forever.
+//   - The journal. Completed points are persisted through the root
+//     package's fingerprint-verified JSONL journal before they are
+//     acknowledged, so a server killed mid-sweep restarts, replays the
+//     journal, and resumes with every completed point intact. Workers that
+//     finish while the server is down deliver orphan results on reconnect;
+//     the server verifies and journals them even though the lease is gone.
+//
+// Determinism is the acceptance contract: a farm sweep — with workers
+// killed and the server restarted mid-run — produces byte-identical
+// ResultFingerprints to the same spec run in-process through
+// Session.SweepContext.
+package farm
+
+import (
+	"time"
+
+	scalablebulk "scalablebulk"
+	"scalablebulk/internal/metrics"
+)
+
+// Options configures a Server.
+type Options struct {
+	// LeaseTTL bounds each lease; a worker heartbeats at TTL/3 and a lease
+	// not renewed within TTL is presumed dead. 0 selects 10s.
+	LeaseTTL time.Duration
+	// PoisonAfter quarantines a point after its leases died under this
+	// many distinct workers. 0 selects 3.
+	PoisonAfter int
+	// MaxAttempts caps lease grants per point; the effective cap is
+	// max(MaxAttempts, PoisonAfter). 0 selects the retry default of 3.
+	MaxAttempts int
+	// Requeue shapes the re-queue backoff (Backoff, MaxBackoff, Jitter);
+	// zero fields select the system retry defaults (25ms base, 2s cap,
+	// 0.5 jitter).
+	Requeue requeuePolicy
+	// Seed seeds the backoff-jitter PRNG so scheduling noise is
+	// reproducible run to run.
+	Seed int64
+	// Journal, when non-nil, is the durable checkpoint every completed
+	// point is recorded into (and restored from at submit).
+	Journal *scalablebulk.Journal
+	// CrashDir, when nonempty, receives crash bundles forwarded by
+	// workers whose runs panicked.
+	CrashDir string
+	// Events, when non-nil, receives the lease-lifecycle event stream.
+	Events *EventLog
+	// Metrics, when non-nil, receives farm counters and gauges.
+	Metrics *metrics.Registry
+	// Clock replaces time.Now for tests.
+	Clock func() time.Time
+}
+
+func (o Options) withDefaults() Options {
+	if o.LeaseTTL <= 0 {
+		o.LeaseTTL = 10 * time.Second
+	}
+	if o.PoisonAfter <= 0 {
+		o.PoisonAfter = 3
+	}
+	if o.MaxAttempts <= 0 {
+		o.MaxAttempts = 3
+	}
+	if o.Requeue.Backoff <= 0 {
+		o.Requeue.Backoff = 25 * time.Millisecond
+	}
+	if o.Requeue.MaxBackoff <= 0 {
+		o.Requeue.MaxBackoff = 2 * time.Second
+	}
+	if o.Requeue.Jitter == 0 {
+		o.Requeue.Jitter = 0.5
+	}
+	if o.Clock == nil {
+		o.Clock = time.Now
+	}
+	return o
+}

@@ -1,0 +1,540 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	scalablebulk "scalablebulk"
+	"scalablebulk/internal/metrics"
+)
+
+// testSpec is a small but real sweep: two apps × one protocol × two core
+// counts, strong scaling, tiny work budget.
+func testSpec() *SweepSpec {
+	return &SweepSpec{
+		ChunksPerCore: 1,
+		Seed:          42,
+		Points: []Point{
+			{App: "Radix", Protocol: "ScalableBulk", Cores: 8},
+			{App: "Radix", Protocol: "ScalableBulk", Cores: 16},
+			{App: "FFT", Protocol: "TCC", Cores: 8},
+		},
+	}
+}
+
+// inProcessFingerprints runs the spec through Session.SweepContext — the
+// reference the farm must reproduce byte-identically.
+func inProcessFingerprints(t *testing.T, spec *SweepSpec) map[Point]string {
+	t.Helper()
+	s := scalablebulk.NewSession(spec.ChunksPerCore, spec.Seed, nil)
+	out := s.SweepContext(context.Background(), spec.Points, 2)
+	if len(out.Failures) > 0 || out.Aborted {
+		t.Fatalf("reference sweep failed: %+v", out)
+	}
+	fps := map[Point]string{}
+	for _, p := range spec.Points {
+		res, err := s.Result(p.App, p.Protocol, p.Cores)
+		if err != nil {
+			t.Fatal(err)
+		}
+		fps[p] = scalablebulk.FingerprintSHA(res)
+	}
+	return fps
+}
+
+// startServer binds a farm server (plus journal at journalPath when set) on
+// addr ("" picks a port) and returns its base URL and a shutdown func that
+// also closes the journal.
+func startServer(t *testing.T, opts Options, journalPath, addr string) (string, *Server, func()) {
+	t.Helper()
+	if journalPath != "" {
+		j, err := scalablebulk.OpenJournal(journalPath)
+		if err != nil {
+			t.Fatal(err)
+		}
+		opts.Journal = j
+	}
+	srv := NewServer(opts)
+	if addr == "" {
+		addr = "127.0.0.1:0"
+	}
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		t.Fatal(err)
+	}
+	hs := &http.Server{Handler: srv.Handler()}
+	go hs.Serve(ln)
+	var once sync.Once
+	stop := func() {
+		once.Do(func() {
+			hs.Close()
+			if opts.Journal != nil {
+				opts.Journal.Close()
+			}
+		})
+	}
+	return "http://" + ln.Addr().String(), srv, stop
+}
+
+func quickOpts() Options {
+	return Options{
+		LeaseTTL:    500 * time.Millisecond,
+		PoisonAfter: 3,
+		MaxAttempts: 5,
+		Requeue:     requeuePolicy{Backoff: 5 * time.Millisecond, MaxBackoff: 50 * time.Millisecond, Jitter: 0.5},
+		Seed:        1,
+	}
+}
+
+func startWorker(ctx context.Context, c *Client, id string, onPoint func(string, Point)) *sync.WaitGroup {
+	var wg sync.WaitGroup
+	wg.Add(1)
+	w := &Worker{Client: c, ID: id, Poll: 20 * time.Millisecond, OnPoint: onPoint}
+	go func() {
+		defer wg.Done()
+		w.Run(ctx)
+	}()
+	return &wg
+}
+
+func fastClient(base string) *Client {
+	return &Client{Base: base, RetryInterval: 20 * time.Millisecond, MaxRetryWait: 200 * time.Millisecond}
+}
+
+// TestFarmSweepMatchesInProcess: the headline determinism contract — a farm
+// sweep over live workers yields byte-identical ResultFingerprints to the
+// same spec swept in-process.
+func TestFarmSweepMatchesInProcess(t *testing.T) {
+	spec := testSpec()
+	want := inProcessFingerprints(t, spec)
+
+	base, _, stop := startServer(t, quickOpts(), filepath.Join(t.TempDir(), "farm.jsonl"), "")
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	wg := startWorker(wctx, fastClient(base), "w1", nil)
+	defer wg.Wait()
+
+	got := map[Point]string{}
+	out, err := fastClient(base).RunSweep(ctx, spec, func(p Point, res *scalablebulk.Result, _ bool) {
+		got[p] = scalablebulk.FingerprintSHA(res)
+	})
+	wcancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed != len(spec.Points) || len(out.Failures) > 0 || out.Aborted {
+		t.Fatalf("outcome: %+v", out)
+	}
+	for p, fp := range want {
+		if got[p] != fp {
+			t.Errorf("%s/%s/%d: farm fingerprint %s != in-process %s",
+				p.App, p.Protocol, p.Cores, got[p], fp)
+		}
+	}
+}
+
+// TestWorkerKilledMidLease: a worker that takes a lease and dies (never
+// heartbeats) must not lose the point — the lease expires, the point
+// re-queues, a healthy worker completes it, and it completes exactly once.
+func TestWorkerKilledMidLease(t *testing.T) {
+	spec := testSpec()
+	reg := metrics.NewRegistry()
+	opts := quickOpts()
+	opts.LeaseTTL = 200 * time.Millisecond
+	opts.Metrics = reg
+	base, _, stop := startServer(t, opts, filepath.Join(t.TempDir(), "farm.jsonl"), "")
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// "Kill" a worker mid-lease: take a lease directly and never heartbeat
+	// or deliver — exactly what the server sees when a worker is SIGKILLed.
+	c := fastClient(base)
+	if _, err := c.Submit(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	job, _, err := c.Lease(ctx, "w-dead")
+	if err != nil || job == nil {
+		t.Fatalf("dead worker's lease: %+v, %v", job, err)
+	}
+
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	wg := startWorker(wctx, fastClient(base), "w-live", nil)
+	defer wg.Wait()
+
+	out, err := fastClient(base).RunSweep(ctx, spec, nil)
+	wcancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed != len(spec.Points) || len(out.Failures) > 0 {
+		t.Fatalf("outcome after worker death: %+v", out)
+	}
+	if n := reg.Counter("farm_leases_expired").Value(); n < 1 {
+		t.Errorf("lease expiries = %d, want ≥ 1", n)
+	}
+	// Exactly once: one accepted result per point, no divergent duplicates.
+	if n := reg.Counter("farm_results_ok").Value(); n != uint64(len(spec.Points)) {
+		t.Errorf("accepted results = %d, want %d", n, len(spec.Points))
+	}
+	if n := reg.Counter("farm_results_divergent").Value(); n != 0 {
+		t.Errorf("divergent results = %d, want 0", n)
+	}
+}
+
+// deliver runs the job's point for real and posts the result, standing in
+// for a healthy worker.
+func deliver(ctx context.Context, t *testing.T, c *Client, job *Job) {
+	t.Helper()
+	prof, cfg, err := job.Spec.Resolve(job.Point)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scalablebulk.RunContext(ctx, prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := c.Result(ctx, job, "w-healthy", res, time.Second); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestPoisonedPointQuarantined: a point that crashes PoisonAfter distinct
+// workers is quarantined with a crash bundle instead of retrying forever,
+// and the rest of the sweep completes.
+func TestPoisonedPointQuarantined(t *testing.T) {
+	spec := testSpec()
+	poisonPoint := spec.Points[1]
+	crashDir := t.TempDir()
+	opts := quickOpts()
+	opts.PoisonAfter = 2
+	opts.MaxAttempts = 2
+	opts.CrashDir = crashDir
+	base, _, stop := startServer(t, opts, "", "")
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	c := fastClient(base)
+	if _, err := c.Submit(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	// Drive leases by hand: healthy deliveries for every point except the
+	// poison one, which kills two distinct workers via crash reports. Every
+	// lease uses a fresh worker identity — the server attributes a death to
+	// the worker holding the lease.
+	deaths := 0
+	for i := 0; deaths < 2; i++ {
+		worker := fmt.Sprintf("w-%d", i)
+		job, wait, err := c.Lease(ctx, worker)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job == nil { // poison point inside its requeue backoff window
+			time.Sleep(max(wait, 5*time.Millisecond))
+			continue
+		}
+		if job.Point != poisonPoint {
+			deliver(ctx, t, c, job)
+			continue
+		}
+		deaths++
+		_, cfg, err := job.Spec.Resolve(job.Point)
+		if err != nil {
+			t.Fatal(err)
+		}
+		crash := scalablebulk.NewCrashReport(job.Point, cfg, fmt.Sprintf("induced crash %d", deaths))
+		if err := c.Fail(ctx, job, worker, "induced crash", crash); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Drain whatever the crash loop left pending. Once the table is empty a
+	// lease comes back nil — and the quarantined point must never be among
+	// the grants.
+	for {
+		job, _, err := c.Lease(ctx, "w-healthy")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if job == nil {
+			break
+		}
+		if job.Point == poisonPoint {
+			t.Fatal("poisoned point was re-leased after quarantine")
+		}
+		deliver(ctx, t, c, job)
+	}
+	out, err := c.RunSweep(ctx, spec, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(out.Failures) != 1 {
+		t.Fatalf("failures = %+v, want exactly the poisoned point", out.Failures)
+	}
+	f := out.Failures[0]
+	if f.Point != poisonPoint {
+		t.Errorf("failed point = %+v, want %+v", f.Point, poisonPoint)
+	}
+	if !strings.Contains(f.Err.Error(), "poisoned") {
+		t.Errorf("failure error %q does not mention poisoning", f.Err)
+	}
+	if out.Completed != len(spec.Points)-1 {
+		t.Errorf("completed = %d, want %d", out.Completed, len(spec.Points)-1)
+	}
+	// Each crash death wrote a bundle for postmortem.
+	ents, err := os.ReadDir(crashDir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ents) != 2 {
+		t.Errorf("crash bundles = %d, want 2", len(ents))
+	}
+}
+
+// TestServerRestartResumesFromJournal: kill the server mid-sweep, restart
+// it on the same journal and address, and the sweep completes with
+// fingerprints byte-identical to an uninterrupted in-process run. This is
+// the PR's acceptance scenario.
+func TestServerRestartResumesFromJournal(t *testing.T) {
+	spec := testSpec()
+	want := inProcessFingerprints(t, spec)
+	journal := filepath.Join(t.TempDir(), "farm.jsonl")
+
+	base, _, stop1 := startServer(t, quickOpts(), journal, "")
+	addr := strings.TrimPrefix(base, "http://")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Let exactly one point complete, then kill the server.
+	firstDone := make(chan struct{}, 1)
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	var completedOnce sync.Once
+	wg := startWorker(wctx, fastClient(base), "w1", nil)
+
+	// Observe the first journaled entry by polling the file.
+	go func() {
+		for ctx.Err() == nil {
+			if data, err := os.ReadFile(journal); err == nil && len(data) > 0 {
+				completedOnce.Do(func() { close(firstDone) })
+				return
+			}
+			time.Sleep(10 * time.Millisecond)
+		}
+	}()
+
+	client := fastClient(base)
+	outc := make(chan *scalablebulk.SweepOutcome, 1)
+	got := map[Point]string{}
+	var gotMu sync.Mutex
+	go func() {
+		out, err := client.RunSweep(ctx, spec, func(p Point, res *scalablebulk.Result, _ bool) {
+			gotMu.Lock()
+			got[p] = scalablebulk.FingerprintSHA(res)
+			gotMu.Unlock()
+		})
+		if err != nil {
+			t.Error(err)
+		}
+		outc <- out
+	}()
+
+	select {
+	case <-firstDone:
+	case <-ctx.Done():
+		t.Fatal("no point completed before the kill window")
+	}
+	// Kill the server (journal closes, flock releases) and restart it on
+	// the same address and journal. The thin client and the worker ride
+	// through on transport retries; the worker's in-flight result may land
+	// as an orphan and must still be accepted.
+	stop1()
+	base2, _, stop2 := startServer(t, quickOpts(), journal, addr)
+	defer stop2()
+	if base2 != base {
+		t.Fatalf("restarted server bound %s, want %s", base2, base)
+	}
+
+	var out *scalablebulk.SweepOutcome
+	select {
+	case out = <-outc:
+	case <-ctx.Done():
+		t.Fatal("sweep did not finish after server restart")
+	}
+	wcancel()
+	wg.Wait()
+	if out.Completed != len(spec.Points) || len(out.Failures) > 0 || out.Aborted {
+		t.Fatalf("outcome after restart: %+v", out)
+	}
+	gotMu.Lock()
+	defer gotMu.Unlock()
+	for p, fp := range want {
+		if got[p] != fp {
+			t.Errorf("%s/%s/%d: post-restart fingerprint %s != uninterrupted %s",
+				p.App, p.Protocol, p.Cores, got[p], fp)
+		}
+	}
+	// The journal must hold every point — the restart reused it. The second
+	// server still holds the flock, so stop it before inspecting.
+	stop2()
+	j, err := scalablebulk.OpenJournal(journal)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if j.Len() != len(spec.Points) {
+		t.Errorf("journal holds %d points, want %d", j.Len(), len(spec.Points))
+	}
+}
+
+// TestRPCFaultInjectionConverges: under a hostile seeded RPC fault profile
+// (drops, duplicates, delays) the sweep still completes with fingerprints
+// identical to the in-process reference — the wire protocol is idempotent
+// and retried end to end.
+func TestRPCFaultInjectionConverges(t *testing.T) {
+	spec := testSpec()
+	want := inProcessFingerprints(t, spec)
+	reg := metrics.NewRegistry()
+	opts := quickOpts()
+	opts.Metrics = reg
+	base, _, stop := startServer(t, opts, "", "")
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	prof, err := RPCFaultByName("lossy", 7)
+	if err != nil {
+		t.Fatal(err)
+	}
+	faulty := func() *Client {
+		return &Client{
+			Base:          base,
+			HTTP:          &http.Client{Transport: NewFaultTransport(nil, *prof)},
+			RetryInterval: 10 * time.Millisecond,
+			MaxRetryWait:  100 * time.Millisecond,
+		}
+	}
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	wg := startWorker(wctx, faulty(), "w1", nil)
+	defer wg.Wait()
+
+	got := map[Point]string{}
+	out, err := faulty().RunSweep(ctx, spec, func(p Point, res *scalablebulk.Result, _ bool) {
+		got[p] = scalablebulk.FingerprintSHA(res)
+	})
+	wcancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed != len(spec.Points) || len(out.Failures) > 0 {
+		t.Fatalf("outcome under RPC faults: %+v", out)
+	}
+	for p, fp := range want {
+		if got[p] != fp {
+			t.Errorf("%s/%s/%d: fingerprint %s != reference %s",
+				p.App, p.Protocol, p.Cores, got[p], fp)
+		}
+	}
+	if n := reg.Counter("farm_results_divergent").Value(); n != 0 {
+		t.Errorf("divergent results under faults = %d, want 0", n)
+	}
+}
+
+// TestDrainRejectsLeases: a draining server grants nothing and tells
+// workers to stop; the drain completes once no lease is live.
+func TestDrainRejectsLeases(t *testing.T) {
+	spec := testSpec()
+	base, srv, stop := startServer(t, quickOpts(), "", "")
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c := fastClient(base)
+	if _, err := c.Submit(ctx, spec); err != nil {
+		t.Fatal(err)
+	}
+	drained := srv.Drain()
+	select {
+	case <-drained:
+	case <-time.After(5 * time.Second):
+		t.Fatal("drain with no live leases did not complete")
+	}
+	if _, _, err := c.Lease(ctx, "w1"); !errors.Is(err, ErrDraining) {
+		t.Fatalf("lease on draining server: %v, want ErrDraining", err)
+	}
+}
+
+// TestOrphanResultAccepted: a result delivered for a sweep the server no
+// longer knows (restart without resubmission) is verified and journaled, so
+// the eventual resubmission restores it instead of re-running.
+func TestOrphanResultAccepted(t *testing.T) {
+	spec := testSpec()
+	journal := filepath.Join(t.TempDir(), "farm.jsonl")
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	// Run one point's simulation directly to stand in for a worker that
+	// finished while its server was down.
+	p := spec.Points[0]
+	prof, cfg, err := spec.Resolve(p)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res, err := scalablebulk.RunContext(ctx, prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	base, _, stop := startServer(t, quickOpts(), journal, "")
+	defer stop()
+	c := fastClient(base)
+	// Deliver with a fabricated sweep/lease the fresh server has never seen.
+	job := &Job{SweepID: spec.ID(), LeaseID: "l-ghost", PointID: 0, Point: p,
+		Spec: *spec, ConfigHash: scalablebulk.ConfigHash(cfg)}
+	if err := c.Result(ctx, job, "w-ghost", res, time.Second); err != nil {
+		t.Fatalf("orphan result rejected: %v", err)
+	}
+	// Resubmission must restore the orphaned point from the journal.
+	sub, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if sub.Restored != 1 {
+		t.Fatalf("restored = %d, want 1 (the orphan)", sub.Restored)
+	}
+}
+
+// TestSubmitIsIdempotent: identical specs collapse to one sweep; a
+// divergent result for an already-done point is refused with 409.
+func TestSubmitIsIdempotent(t *testing.T) {
+	spec := testSpec()
+	base, _, stop := startServer(t, quickOpts(), "", "")
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	c := fastClient(base)
+	s1, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	s2, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s1.SweepID != s2.SweepID || !s2.Existing {
+		t.Fatalf("resubmit: %+v then %+v, want same id with Existing", s1, s2)
+	}
+}

@@ -1,0 +1,258 @@
+package farm
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"scalablebulk/internal/system"
+)
+
+// pointState is the lease table's per-point state machine:
+//
+//	Pending ──acquire──▶ Leased ──result──▶ Done
+//	   ▲                    │
+//	   └──expiry / fail─────┘   (deaths from PoisonAfter distinct
+//	        (backoff)            workers, or attempts past the cap,
+//	                             short-circuit to Poisoned/Failed)
+type pointState int
+
+const (
+	statePending pointState = iota
+	stateLeased
+	stateDone
+	stateFailed
+	statePoisoned
+)
+
+// lease is one grant of a point to a worker, renewable by heartbeat until
+// it expires or resolves.
+type lease struct {
+	id      string
+	worker  string
+	expires time.Time
+}
+
+// pointEntry tracks one sweep point through the lease state machine.
+type pointEntry struct {
+	id    int
+	point Point
+	state pointState
+	// attempt counts lease grants; notBefore gates re-queue backoff.
+	attempt   int
+	notBefore time.Time
+	// deadWorkers records the distinct workers whose lease on this point
+	// died (expired or crashed) — the poison counter.
+	deadWorkers map[string]bool
+	lastErr     string
+}
+
+// leaseTable is the server's scheduler state for one sweep: which points
+// are pending, leased, or terminal, with expiry sweeping, seeded-jitter
+// re-queue backoff, and poisoning. All methods require the caller to hold
+// the owning server's lock; the table itself is not concurrency-safe.
+type leaseTable struct {
+	opts    Options
+	now     func() time.Time
+	rng     *rand.Rand
+	entries []*pointEntry
+	// leases indexes live leases by lease ID.
+	leases map[string]*leaseAt
+}
+
+// leaseAt ties a live lease back to its point entry.
+type leaseAt struct {
+	l     *lease
+	entry *pointEntry
+}
+
+func newLeaseTable(points []Point, opts Options, now func() time.Time, rng *rand.Rand) *leaseTable {
+	t := &leaseTable{opts: opts, now: now, rng: rng, leases: map[string]*leaseAt{}}
+	for i, p := range points {
+		t.entries = append(t.entries, &pointEntry{
+			id: i, point: p, deadWorkers: map[string]bool{},
+		})
+	}
+	return t
+}
+
+// markDone transitions a point terminal without a lease — journal restores
+// at submit time.
+func (t *leaseTable) markDone(pointID int) { t.entries[pointID].state = stateDone }
+
+// expire sweeps every leased point whose lease lapsed: the holding worker
+// is presumed dead, its death is charged to the poison counter, and the
+// point re-queues with backoff (or poisons). Returns the expired leases so
+// the server can log and count them.
+func (t *leaseTable) expire() []leaseAt {
+	now := t.now()
+	var dead []leaseAt
+	for id, la := range t.leases {
+		if now.After(la.l.expires) {
+			dead = append(dead, *la)
+			delete(t.leases, id)
+			t.chargeDeath(la.entry, la.l.worker, "lease expired (worker presumed dead)")
+		}
+	}
+	return dead
+}
+
+// acquire grants the first eligible pending point to worker, or returns nil
+// when nothing is runnable right now. Eligibility is deterministic point
+// order gated by each entry's backoff window.
+func (t *leaseTable) acquire(worker, leaseID string) (*pointEntry, *lease) {
+	now := t.now()
+	for _, e := range t.entries {
+		if e.state != statePending || now.Before(e.notBefore) {
+			continue
+		}
+		e.state = stateLeased
+		e.attempt++
+		l := &lease{id: leaseID, worker: worker, expires: now.Add(t.opts.LeaseTTL)}
+		t.leases[leaseID] = &leaseAt{l: l, entry: e}
+		return e, l
+	}
+	return nil, nil
+}
+
+// heartbeat renews a live lease; false means the lease is gone (expired and
+// re-queued, or resolved) and the worker should abandon the run.
+func (t *leaseTable) heartbeat(leaseID string) bool {
+	la, ok := t.leases[leaseID]
+	if !ok {
+		return false
+	}
+	la.l.expires = t.now().Add(t.opts.LeaseTTL)
+	return true
+}
+
+// lookup resolves a live lease ID.
+func (t *leaseTable) lookup(leaseID string) (*leaseAt, bool) {
+	la, ok := t.leases[leaseID]
+	return la, ok
+}
+
+// complete resolves a lease's point as Done. The lease may already be gone
+// (expired while the result was in flight) — the point still completes if
+// it is not already terminal.
+func (t *leaseTable) complete(pointID int, leaseID string) {
+	if la, ok := t.leases[leaseID]; ok {
+		delete(t.leases, leaseID)
+		la.entry.state = stateDone
+		return
+	}
+	if e := t.entries[pointID]; e.state != stateDone {
+		// Orphan completion: lease expired or server restarted, but the
+		// work is real and verified — take it.
+		if e.state == stateLeased {
+			t.dropLeaseOf(e)
+		}
+		e.state = stateDone
+	}
+}
+
+// dropLeaseOf removes whatever live lease points at e (a re-grant after the
+// original holder's expiry) — its holder will get a gone heartbeat.
+func (t *leaseTable) dropLeaseOf(e *pointEntry) {
+	for id, la := range t.leases {
+		if la.entry == e {
+			delete(t.leases, id)
+		}
+	}
+}
+
+// fail records a run failure under a live lease. A crash (worker survived
+// but the run panicked) charges the poison counter like a death; an
+// ordinary error re-queues with backoff until the attempt cap.
+func (t *leaseTable) fail(leaseID string, crashed bool, msg string) bool {
+	la, ok := t.leases[leaseID]
+	if !ok {
+		return false
+	}
+	delete(t.leases, leaseID)
+	la.entry.lastErr = msg
+	if crashed {
+		t.chargeDeath(la.entry, la.l.worker, msg)
+	} else {
+		t.requeue(la.entry, msg)
+	}
+	return true
+}
+
+// chargeDeath marks worker dead on e's poison counter and re-queues or
+// poisons the point.
+func (t *leaseTable) chargeDeath(e *pointEntry, worker, msg string) {
+	e.deadWorkers[worker] = true
+	e.lastErr = msg
+	if len(e.deadWorkers) >= t.opts.PoisonAfter {
+		e.state = statePoisoned
+		e.lastErr = fmt.Sprintf("poisoned: killed %d distinct workers; last: %s",
+			len(e.deadWorkers), msg)
+		return
+	}
+	t.requeue(e, msg)
+}
+
+// requeue returns a point to Pending behind a seeded-jitter exponential
+// backoff window, or marks it Failed once the attempt cap is spent. The cap
+// is max(MaxAttempts, PoisonAfter) so a small worker pool can still reach
+// the poison threshold before the budget wedges the point.
+func (t *leaseTable) requeue(e *pointEntry, msg string) {
+	budget := t.opts.MaxAttempts
+	if t.opts.PoisonAfter > budget {
+		budget = t.opts.PoisonAfter
+	}
+	if e.attempt >= budget {
+		e.state = stateFailed
+		e.lastErr = fmt.Sprintf("retry budget exhausted after %d leases; last: %s",
+			e.attempt, msg)
+		return
+	}
+	e.state = statePending
+	e.notBefore = t.now().Add(t.backoff(e.attempt))
+}
+
+// backoff mirrors system.RetryPolicy's schedule — base×2^(n-1) capped, plus
+// a uniform seeded jitter — so concurrent re-queues decorrelate without
+// nondeterministic randomness sources.
+func (t *leaseTable) backoff(attempt int) time.Duration {
+	pol := t.opts.Requeue
+	pause := pol.Backoff
+	for i := 1; i < attempt; i++ {
+		pause *= 2
+		if pause >= pol.MaxBackoff {
+			pause = pol.MaxBackoff
+			break
+		}
+	}
+	if pause > pol.MaxBackoff {
+		pause = pol.MaxBackoff
+	}
+	if pol.Jitter > 0 && pause > 0 {
+		pause += time.Duration(t.rng.Int63n(int64(float64(pause)*pol.Jitter) + 1))
+	}
+	return pause
+}
+
+// counts tallies the table for SweepStatus.
+func (t *leaseTable) counts() (pending, leased, done, failed, poisoned int) {
+	for _, e := range t.entries {
+		switch e.state {
+		case statePending:
+			pending++
+		case stateLeased:
+			leased++
+		case stateDone:
+			done++
+		case stateFailed:
+			failed++
+		case statePoisoned:
+			poisoned++
+		}
+	}
+	return
+}
+
+// requeuePolicy is the subset of system.RetryPolicy the table's backoff
+// uses; aliased so Options can embed it without exporting system.
+type requeuePolicy = system.RetryPolicy

@@ -1,0 +1,154 @@
+package farm
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"math/rand"
+	"net/http"
+	"sort"
+	"sync"
+	"time"
+)
+
+// RPCFaultProfile shapes seeded RPC-layer fault injection, mirroring
+// internal/fault's named-profile idiom at the wire instead of the NoC:
+// requests are dropped (the transport reports a connection error),
+// duplicated (sent twice, exercising idempotency), or delayed.
+type RPCFaultProfile struct {
+	Name string
+	// Drop is the probability a request is discarded before sending.
+	Drop float64
+	// Dup is the probability a request is sent twice back to back.
+	Dup float64
+	// Delay is the maximum uniform extra latency added per request.
+	Delay time.Duration
+	// Seed seeds the injector's PRNG; a given (profile, seed) pair yields
+	// the same fault schedule every run.
+	Seed int64
+}
+
+// rpcProfiles is the named registry, mild to hostile.
+var rpcProfiles = map[string]RPCFaultProfile{
+	"flaky": {Name: "flaky", Drop: 0.05, Dup: 0.05, Delay: 20 * time.Millisecond},
+	"lossy": {Name: "lossy", Drop: 0.20, Dup: 0.10, Delay: 50 * time.Millisecond},
+	"chaos": {Name: "chaos", Drop: 0.35, Dup: 0.25, Delay: 100 * time.Millisecond},
+}
+
+// RPCFaultNames lists the registered profile names, sorted.
+func RPCFaultNames() []string {
+	names := make([]string, 0, len(rpcProfiles))
+	for n := range rpcProfiles {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// RPCFaultByName resolves a profile name; "", "off", "none" disable.
+func RPCFaultByName(name string, seed int64) (*RPCFaultProfile, error) {
+	switch name {
+	case "", "off", "none":
+		return nil, nil
+	}
+	p, ok := rpcProfiles[name]
+	if !ok {
+		return nil, fmt.Errorf("farm: unknown RPC fault profile %q (have %v)",
+			name, RPCFaultNames())
+	}
+	p.Seed = seed
+	return &p, nil
+}
+
+// errInjectedDrop is what a dropped request surfaces as — a transport
+// error, so the Client's retry loop handles it like a real network fault.
+var errInjectedDrop = errors.New("farm: injected RPC drop")
+
+// FaultTransport is an http.RoundTripper that injects the profile's faults
+// in front of a base transport. Drops return a transport error (retried by
+// Client.do), duplicates send the request twice and return the second
+// response (the first is drained and discarded — the server must treat the
+// repeat idempotently), delays add seeded uniform latency.
+type FaultTransport struct {
+	Base    http.RoundTripper
+	Profile RPCFaultProfile
+
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+// NewFaultTransport wires a FaultTransport over base (nil selects
+// http.DefaultTransport).
+func NewFaultTransport(base http.RoundTripper, prof RPCFaultProfile) *FaultTransport {
+	if base == nil {
+		base = http.DefaultTransport
+	}
+	return &FaultTransport{
+		Base: base, Profile: prof,
+		rng: rand.New(rand.NewSource(prof.Seed*0x9e3779b9 + 0x5bd1e995)),
+	}
+}
+
+func (t *FaultTransport) draw() (drop, dup bool, delay time.Duration) {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	drop = t.Profile.Drop > 0 && t.rng.Float64() < t.Profile.Drop
+	dup = t.Profile.Dup > 0 && t.rng.Float64() < t.Profile.Dup
+	if t.Profile.Delay > 0 {
+		delay = time.Duration(t.rng.Int63n(int64(t.Profile.Delay) + 1))
+	}
+	return
+}
+
+// RoundTrip implements http.RoundTripper.
+func (t *FaultTransport) RoundTrip(req *http.Request) (*http.Response, error) {
+	drop, dup, delay := t.draw()
+	if delay > 0 {
+		select {
+		case <-req.Context().Done():
+			return nil, req.Context().Err()
+		case <-time.After(delay):
+		}
+	}
+	if drop {
+		if req.Body != nil {
+			req.Body.Close()
+		}
+		return nil, errInjectedDrop
+	}
+	if dup && req.Body != nil && req.GetBody == nil {
+		// Can't replay a one-shot body; buffer it so both sends work.
+		data, err := io.ReadAll(req.Body)
+		req.Body.Close()
+		if err != nil {
+			return nil, err
+		}
+		req.Body = io.NopCloser(bytes.NewReader(data))
+		req.GetBody = func() (io.ReadCloser, error) {
+			return io.NopCloser(bytes.NewReader(data)), nil
+		}
+	}
+	if dup {
+		first := req.Clone(req.Context())
+		if req.GetBody != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, err
+			}
+			first.Body = body
+		}
+		if resp, err := t.Base.RoundTrip(first); err == nil {
+			io.Copy(io.Discard, resp.Body)
+			resp.Body.Close()
+		}
+		if req.GetBody != nil {
+			body, err := req.GetBody()
+			if err != nil {
+				return nil, err
+			}
+			req.Body = body
+		}
+	}
+	return t.Base.RoundTrip(req)
+}

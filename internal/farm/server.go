@@ -1,0 +1,472 @@
+package farm
+
+import (
+	"encoding/json"
+	"fmt"
+	"math/rand"
+	"net/http"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	scalablebulk "scalablebulk"
+)
+
+// sweep is one submitted spec's live state: its lease table plus the
+// append-only, completion-ordered result stream clients page through.
+type sweep struct {
+	id      string
+	spec    *SweepSpec
+	hashes  []string // ConfigHash per point, derived once at submit
+	table   *leaseTable
+	results []PointResult
+	// resolved dedupes terminal transitions: a point appears in results
+	// exactly once even if duplicate results race.
+	resolved []bool
+}
+
+// Server is the farm's job server. It owns the journal, the sweeps, and the
+// lease scheduler; every handler works under one lock (simulation work
+// happens in workers — the server only moves small records around).
+type Server struct {
+	opts Options
+	rng  *rand.Rand
+
+	mu       sync.Mutex
+	sweeps   map[string]*sweep
+	order    []string // submission order, for fair deterministic leasing
+	leaseSeq uint64
+	draining atomic.Bool
+	// drained closes when draining is set and no leases remain live.
+	drained chan struct{}
+}
+
+// NewServer builds a Server over opts (zero-value fields select defaults).
+func NewServer(opts Options) *Server {
+	opts = opts.withDefaults()
+	return &Server{
+		opts:    opts,
+		rng:     rand.New(rand.NewSource(opts.Seed*0x9e3779b9 + 1)),
+		sweeps:  map[string]*sweep{},
+		drained: make(chan struct{}),
+	}
+}
+
+// Handler returns the farm API mux:
+//
+//	POST /v1/sweep      submit a spec (idempotent by spec ID)
+//	GET  /v1/sweep      status + result stream (?id=...&after=N)
+//	POST /v1/lease      acquire a point lease
+//	POST /v1/heartbeat  renew a lease (410 when the lease is gone)
+//	POST /v1/result     deliver a completed point (orphans accepted)
+//	POST /v1/fail       report a failed or crashed run
+//	GET  /v1/healthz    liveness
+func (s *Server) Handler() *http.ServeMux {
+	mux := http.NewServeMux()
+	mux.HandleFunc("POST /v1/sweep", s.handleSubmit)
+	mux.HandleFunc("GET /v1/sweep", s.handleStatus)
+	mux.HandleFunc("POST /v1/lease", s.handleLease)
+	mux.HandleFunc("POST /v1/heartbeat", s.handleHeartbeat)
+	mux.HandleFunc("POST /v1/result", s.handleResult)
+	mux.HandleFunc("POST /v1/fail", s.handleFail)
+	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
+		fmt.Fprintln(w, "ok")
+	})
+	return mux
+}
+
+func (s *Server) count(name string) {
+	if s.opts.Metrics != nil {
+		s.opts.Metrics.Counter(name).Add(1)
+	}
+}
+
+func pointLabel(p Point) string {
+	return fmt.Sprintf("%s/%s/%d", p.App, p.Protocol, p.Cores)
+}
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	json.NewEncoder(w).Encode(v)
+}
+
+func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
+	if err := json.NewDecoder(r.Body).Decode(v); err != nil {
+		http.Error(w, "bad request body: "+err.Error(), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+// handleSubmit registers a sweep (idempotently — an identical spec attaches
+// to the live sweep) and immediately resolves every point the journal
+// already holds a verified result for.
+func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
+	var spec SweepSpec
+	if !readJSON(w, r, &spec) {
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		http.Error(w, err.Error(), http.StatusUnprocessableEntity)
+		return
+	}
+	id := spec.ID()
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if sw, ok := s.sweeps[id]; ok {
+		restored := 0
+		for _, pr := range sw.results {
+			if pr.Restored {
+				restored++
+			}
+		}
+		writeJSON(w, SubmitResponse{
+			SweepID: id, Points: len(sw.spec.Points), Restored: restored, Existing: true,
+		})
+		return
+	}
+
+	sw := &sweep{
+		id:       id,
+		spec:     &spec,
+		table:    newLeaseTable(spec.Points, s.opts, s.opts.Clock, s.rng),
+		resolved: make([]bool, len(spec.Points)),
+	}
+	restored := 0
+	for i, p := range spec.Points {
+		h := scalablebulk.ConfigHash(spec.Config(p))
+		sw.hashes = append(sw.hashes, h)
+		if s.opts.Journal == nil {
+			continue
+		}
+		res, attempts, ok := s.opts.Journal.Lookup(p, h)
+		if !ok {
+			continue
+		}
+		data, err := scalablebulk.MarshalResult(res)
+		if err != nil {
+			continue
+		}
+		sw.table.markDone(i)
+		sw.resolved[i] = true
+		sw.results = append(sw.results, PointResult{
+			PointID: i, Point: p, Status: StatusDone, ConfigHash: h,
+			FingerprintSHA: scalablebulk.FingerprintSHA(res),
+			Result:         data, Attempts: attempts, Restored: true,
+		})
+		restored++
+	}
+	s.sweeps[id] = sw
+	s.order = append(s.order, id)
+	s.count("farm_sweeps_submitted")
+	s.opts.Events.Emit(Event{Kind: "sweep_submitted", Sweep: id,
+		Detail: fmt.Sprintf("points=%d restored=%d", len(spec.Points), restored)})
+	writeJSON(w, SubmitResponse{SweepID: id, Points: len(spec.Points), Restored: restored})
+}
+
+// handleStatus reports counts plus the completion-ordered result stream
+// from the caller's cursor.
+func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
+	id := r.URL.Query().Get("id")
+	after, _ := strconv.Atoi(r.URL.Query().Get("after"))
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		http.Error(w, "unknown sweep "+id, http.StatusNotFound)
+		return
+	}
+	s.expireLocked(sw)
+	st := SweepStatus{SweepID: id, Total: len(sw.spec.Points), Draining: s.draining.Load()}
+	st.Pending, st.Leased, st.Done, st.Failed, st.Poisoned = sw.table.counts()
+	if after < 0 {
+		after = 0
+	}
+	if after < len(sw.results) {
+		st.Results = append(st.Results, sw.results[after:]...)
+	}
+	st.NextCursor = len(sw.results)
+	writeJSON(w, st)
+}
+
+// expireLocked runs the lease-expiry sweep for one sweep's table and
+// records the resulting terminal transitions. Called with s.mu held, from
+// every handler that observes time passing — the server needs no timer
+// goroutine and tests control the clock completely.
+func (s *Server) expireLocked(sw *sweep) {
+	dead := sw.table.expire()
+	for _, la := range dead {
+		s.count("farm_leases_expired")
+		s.opts.Events.Emit(Event{Kind: "lease_expired", Sweep: sw.id,
+			Worker: la.l.worker, Lease: la.l.id,
+			PointID: la.entry.id, Point: pointLabel(la.entry.point)})
+	}
+	s.harvestTerminal(sw)
+	s.checkDrained()
+}
+
+// harvestTerminal appends newly terminal (failed/poisoned) points to the
+// result stream exactly once.
+func (s *Server) harvestTerminal(sw *sweep) {
+	for _, e := range sw.table.entries {
+		if sw.resolved[e.id] {
+			continue
+		}
+		var status string
+		switch e.state {
+		case stateFailed:
+			status = StatusFailed
+			s.count("farm_points_failed")
+		case statePoisoned:
+			status = StatusPoisoned
+			s.count("farm_points_poisoned")
+			s.opts.Events.Emit(Event{Kind: "point_poisoned", Sweep: sw.id,
+				PointID: e.id, Point: pointLabel(e.point), Detail: e.lastErr})
+		default:
+			continue
+		}
+		sw.resolved[e.id] = true
+		sw.results = append(sw.results, PointResult{
+			PointID: e.id, Point: e.point, Status: status,
+			ConfigHash: sw.hashes[e.id], Error: e.lastErr,
+		})
+	}
+}
+
+// handleLease grants the first eligible point across sweeps in submission
+// order. While draining it grants nothing and tells workers so.
+func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		http.Error(w, "worker id required", http.StatusBadRequest)
+		return
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.draining.Load() {
+		writeJSON(w, leaseResponse{Draining: true})
+		return
+	}
+	for _, id := range s.order {
+		sw := s.sweeps[id]
+		s.expireLocked(sw)
+		s.leaseSeq++
+		leaseID := fmt.Sprintf("l-%d", s.leaseSeq)
+		e, l := sw.table.acquire(req.Worker, leaseID)
+		if e == nil {
+			continue
+		}
+		s.count("farm_leases_granted")
+		s.opts.Events.Emit(Event{Kind: "lease_granted", Sweep: sw.id,
+			Worker: req.Worker, Lease: l.id, PointID: e.id,
+			Point: pointLabel(e.point), Detail: fmt.Sprintf("attempt=%d", e.attempt)})
+		writeJSON(w, leaseResponse{Job: &Job{
+			SweepID: sw.id, LeaseID: l.id, PointID: e.id, Point: e.point,
+			Spec: *sw.spec, ConfigHash: sw.hashes[e.id],
+			TTLMS: s.opts.LeaseTTL.Milliseconds(), Attempt: e.attempt,
+		}})
+		return
+	}
+	// No work right now: poll again after a fraction of the lease TTL
+	// (work may appear when a lease expires or a new sweep arrives).
+	writeJSON(w, leaseResponse{RetryMS: s.opts.LeaseTTL.Milliseconds() / 10})
+}
+
+// handleHeartbeat renews a lease; 410 Gone tells the worker the lease was
+// lost (expired and re-queued, or the point resolved elsewhere) and the run
+// should be abandoned silently.
+func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
+	var req heartbeatRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[req.SweepID]
+	if !ok {
+		http.Error(w, "unknown sweep", http.StatusGone)
+		return
+	}
+	s.expireLocked(sw)
+	if !sw.table.heartbeat(req.LeaseID) {
+		http.Error(w, "lease gone", http.StatusGone)
+		return
+	}
+	s.count("farm_heartbeats")
+	writeJSON(w, struct{}{})
+}
+
+// handleResult accepts a completed point. The server never trusts the
+// worker's digest alone: it restores the result and re-derives the
+// fingerprint before journaling. Orphan results — unknown lease or even
+// unknown sweep, the signature of a server restart — are verified and
+// journaled too, so no completed work is ever lost.
+func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
+	var req resultRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	res, err := scalablebulk.UnmarshalResult(req.Result)
+	if err != nil {
+		http.Error(w, "undecodable result: "+err.Error(), http.StatusBadRequest)
+		return
+	}
+	sha := scalablebulk.FingerprintSHA(res)
+	if sha != req.FingerprintSHA {
+		s.count("farm_results_divergent")
+		http.Error(w, "fingerprint mismatch: result does not hash to the digest shipped with it",
+			http.StatusConflict)
+		return
+	}
+	res.Attempts = req.Attempts
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[req.SweepID]
+	if !ok {
+		// Orphan beyond the sweep itself: the server restarted and the
+		// sweep was not resubmitted yet. Journal the verified result so
+		// the resubmission restores it.
+		s.journalLocked(req.Point, req.ConfigHash, res, req.WallMS)
+		s.count("farm_results_orphaned")
+		s.opts.Events.Emit(Event{Kind: "result_orphaned", Sweep: req.SweepID,
+			Worker: req.Worker, Point: pointLabel(req.Point)})
+		writeJSON(w, struct{}{})
+		return
+	}
+	s.expireLocked(sw)
+	if req.PointID < 0 || req.PointID >= len(sw.spec.Points) {
+		http.Error(w, "point id out of range", http.StatusBadRequest)
+		return
+	}
+	if sw.hashes[req.PointID] != req.ConfigHash {
+		s.count("farm_results_divergent")
+		http.Error(w, "config hash mismatch: worker and server derive different configs (version skew?)",
+			http.StatusConflict)
+		return
+	}
+	if sw.resolved[req.PointID] {
+		// Duplicate delivery (retried RPC, or a re-granted lease racing
+		// the original holder). Equal fingerprints are idempotent;
+		// divergent fingerprints mean nondeterminism and must scream.
+		prev := s.findResult(sw, req.PointID)
+		if prev != nil && prev.FingerprintSHA != sha {
+			s.count("farm_results_divergent")
+			http.Error(w, "divergent duplicate: same point, different fingerprint",
+				http.StatusConflict)
+			return
+		}
+		writeJSON(w, struct{}{})
+		return
+	}
+
+	s.journalLocked(req.Point, req.ConfigHash, res, req.WallMS)
+	sw.table.complete(req.PointID, req.LeaseID)
+	sw.resolved[req.PointID] = true
+	sw.results = append(sw.results, PointResult{
+		PointID: req.PointID, Point: req.Point, Status: StatusDone,
+		ConfigHash: req.ConfigHash, FingerprintSHA: sha,
+		Result: req.Result, Attempts: req.Attempts,
+	})
+	s.count("farm_results_ok")
+	s.opts.Events.Emit(Event{Kind: "result", Sweep: sw.id, Worker: req.Worker,
+		Lease: req.LeaseID, PointID: req.PointID, Point: pointLabel(req.Point)})
+	s.checkDrained()
+	writeJSON(w, struct{}{})
+}
+
+func (s *Server) findResult(sw *sweep, pointID int) *PointResult {
+	for i := range sw.results {
+		if sw.results[i].PointID == pointID {
+			return &sw.results[i]
+		}
+	}
+	return nil
+}
+
+// journalLocked records a verified result; journaling failures are logged
+// but do not fail the delivery (the result is still live in memory).
+func (s *Server) journalLocked(p Point, hash string, res *scalablebulk.Result, wallMS float64) {
+	if s.opts.Journal == nil {
+		return
+	}
+	if _, _, ok := s.opts.Journal.Lookup(p, hash); ok {
+		return // already journaled (duplicate or cross-sweep dedup)
+	}
+	wall := time.Duration(wallMS * float64(time.Millisecond))
+	if err := s.opts.Journal.Record(p, hash, res, wall); err != nil {
+		s.opts.Events.Emit(Event{Kind: "journal_error", Point: pointLabel(p),
+			Detail: err.Error()})
+	}
+}
+
+// handleFail records a failed or crashed run under a live lease. Crash
+// reports become crash bundles under CrashDir; a crash charges the poison
+// counter, an ordinary error re-queues with backoff.
+func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
+	var req failRequest
+	if !readJSON(w, r, &req) {
+		return
+	}
+	if req.Crash != nil && s.opts.CrashDir != "" {
+		if _, err := scalablebulk.WriteCrashBundle(s.opts.CrashDir, req.Crash); err != nil {
+			s.opts.Events.Emit(Event{Kind: "crash_bundle_error", Detail: err.Error()})
+		}
+	}
+
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[req.SweepID]
+	if !ok {
+		writeJSON(w, struct{}{}) // orphan failure: the re-submitted sweep re-runs the point anyway
+		return
+	}
+	s.expireLocked(sw)
+	if sw.table.fail(req.LeaseID, req.Crash != nil, req.Error) {
+		s.count("farm_point_failures")
+		s.opts.Events.Emit(Event{Kind: "run_failed", Sweep: sw.id, Worker: req.Worker,
+			Lease: req.LeaseID, PointID: req.PointID, Point: pointLabel(req.Point),
+			Detail: req.Error})
+	}
+	s.harvestTerminal(sw)
+	s.checkDrained()
+	writeJSON(w, struct{}{})
+}
+
+// Drain flips the server into shutdown mode: no new leases are granted, and
+// the returned channel closes once no lease remains live (every in-flight
+// point resolved or expired). Callers bound the wait themselves.
+func (s *Server) Drain() <-chan struct{} {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if !s.draining.Swap(true) {
+		s.opts.Events.Emit(Event{Kind: "draining"})
+	}
+	s.checkDrained()
+	return s.drained
+}
+
+// checkDrained closes the drained channel when draining with no live
+// leases. Called with s.mu held.
+func (s *Server) checkDrained() {
+	if !s.draining.Load() {
+		return
+	}
+	for _, sw := range s.sweeps {
+		if len(sw.table.leases) > 0 {
+			return
+		}
+	}
+	select {
+	case <-s.drained:
+	default:
+		close(s.drained)
+	}
+}

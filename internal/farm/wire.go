@@ -1,0 +1,282 @@
+package farm
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"time"
+
+	scalablebulk "scalablebulk"
+	"scalablebulk/internal/event"
+	"scalablebulk/internal/fault"
+	"scalablebulk/internal/system"
+)
+
+// Point aliases the root sweep point so farm wire types and Session-side
+// thin clients speak the same identity.
+type Point = scalablebulk.Point
+
+// Scaling names for SweepSpec.Scaling.
+const (
+	// ScalingStrong divides the Session's fixed total work budget
+	// (64×ChunksPerCore chunks) across the cores of each point — the
+	// strong-scaling semantics every figure sweep uses.
+	ScalingStrong = "strong"
+	// ScalingFixed gives every point ChunksPerCore chunks per core
+	// verbatim — sbsim's literal semantics.
+	ScalingFixed = "fixed"
+)
+
+// SweepSpec is the wire description of one sweep: every knob that feeds the
+// canonical config of its points, plus the point list itself. Two specs that
+// marshal identically have the same ID, which makes submission idempotent —
+// a reconnecting client resubmits and the server recognizes the sweep it
+// already holds.
+type SweepSpec struct {
+	// ChunksPerCore sizes the work budget (interpreted per Scaling);
+	// ≤0 selects the Session default of 64.
+	ChunksPerCore int `json:"chunks_per_core,omitempty"`
+	// Scaling is ScalingStrong (default) or ScalingFixed.
+	Scaling string `json:"scaling,omitempty"`
+	// Seed is the base PRNG seed shared by every point.
+	Seed int64 `json:"seed,omitempty"`
+	// Workload optionally overrides the chunk-stream source by registry
+	// spec (Config.Workload) for points whose App is an application model.
+	Workload string `json:"workload,omitempty"`
+	// Faults names a fault-injection profile ("", "off", "none" disable).
+	Faults string `json:"faults,omitempty"`
+	// FaultSeed seeds the injector; zero reuses Seed.
+	FaultSeed int64 `json:"fault_seed,omitempty"`
+	// MaxCycles overrides the deadlock-guard budget when nonzero.
+	MaxCycles uint64 `json:"max_cycles,omitempty"`
+	// RunTimeoutMS bounds each attempt's wall-clock time when nonzero.
+	RunTimeoutMS int64 `json:"run_timeout_ms,omitempty"`
+	// Retries caps RunWithRetry attempts per lease (≤0 selects the
+	// default policy's 3).
+	Retries int `json:"retries,omitempty"`
+	// Check wires the online invariant checker into every run.
+	Check bool `json:"check,omitempty"`
+	// Points is the sweep's point list, in submission order.
+	Points []Point `json:"points"`
+}
+
+// ID is the sweep's identity: the SHA-256 of the spec's canonical JSON,
+// truncated to 16 hex characters. Identical specs — same knobs, same points
+// in the same order — collapse to the same sweep on resubmission.
+func (s *SweepSpec) ID() string {
+	data, _ := json.Marshal(s)
+	h := sha256.Sum256(data)
+	return hex.EncodeToString(h[:8])
+}
+
+// Validate rejects a spec whose points could not run: unknown protocols,
+// unresolvable app labels, unknown fault profiles, or a bad scaling name.
+// Validation happens server-side at submit so a typo fails the POST, not a
+// worker attempt minutes later.
+func (s *SweepSpec) Validate() error {
+	if len(s.Points) == 0 {
+		return fmt.Errorf("farm: sweep spec has no points")
+	}
+	switch s.Scaling {
+	case "", ScalingStrong, ScalingFixed:
+	default:
+		return fmt.Errorf("farm: unknown scaling %q (want %q or %q)",
+			s.Scaling, ScalingStrong, ScalingFixed)
+	}
+	if _, err := fault.ByName(s.Faults); err != nil {
+		return fmt.Errorf("farm: %w", err)
+	}
+	for _, p := range s.Points {
+		if !scalablebulk.IsProtocol(p.Protocol) {
+			return fmt.Errorf("farm: point %s/%s/%d: unknown protocol %q",
+				p.App, p.Protocol, p.Cores, p.Protocol)
+		}
+		if p.Cores < 1 {
+			return fmt.Errorf("farm: point %s/%s/%d: cores must be ≥ 1",
+				p.App, p.Protocol, p.Cores)
+		}
+		cfg := s.Config(p)
+		if _, err := scalablebulk.ResolvePointProfile(p.App, &cfg); err != nil {
+			return fmt.Errorf("farm: point %s/%s/%d: %w", p.App, p.Protocol, p.Cores, err)
+		}
+	}
+	return nil
+}
+
+// Config materializes the exact Config a point runs under — the same
+// derivation the in-process Session uses, so a farm sweep's ConfigHash (and
+// therefore its journal keys and ResultFingerprints) is byte-identical to a
+// local SweepContext over the same spec.
+func (s *SweepSpec) Config(p Point) scalablebulk.Config {
+	var cfg scalablebulk.Config
+	if s.Scaling == ScalingFixed {
+		cfg = scalablebulk.DefaultConfig(p.Cores, p.Protocol)
+		cfg.Seed = s.Seed
+		if s.ChunksPerCore > 0 {
+			cfg.ChunksPerCore = s.ChunksPerCore
+		}
+	} else {
+		cpc := s.ChunksPerCore
+		if cpc <= 0 {
+			cpc = 64
+		}
+		cfg = scalablebulk.SweepPointConfig(p, cpc, s.Seed)
+	}
+	if s.Workload != "" {
+		cfg.Workload = s.Workload
+	}
+	if s.MaxCycles > 0 {
+		cfg.MaxCycles = event.Time(s.MaxCycles)
+	}
+	if s.RunTimeoutMS > 0 {
+		cfg.RunTimeout = time.Duration(s.RunTimeoutMS) * time.Millisecond
+	}
+	if prof, err := fault.ByName(s.Faults); err == nil && prof != nil {
+		cfg.Faults = prof
+		cfg.FaultSeed = s.FaultSeed
+	}
+	cfg.Check = s.Check
+	return cfg
+}
+
+// Resolve returns the profile and config for one point, with App resolved
+// through the same application/workload-source registries the Session uses.
+func (s *SweepSpec) Resolve(p Point) (scalablebulk.Profile, scalablebulk.Config, error) {
+	cfg := s.Config(p)
+	prof, err := scalablebulk.ResolvePointProfile(p.App, &cfg)
+	return prof, cfg, err
+}
+
+// RetryPolicy is the per-attempt retry policy workers apply inside one
+// lease, derived from the spec's Retries knob.
+func (s *SweepSpec) RetryPolicy() scalablebulk.RetryPolicy {
+	pol := scalablebulk.DefaultRetryPolicy()
+	if s.Retries > 0 {
+		pol.MaxAttempts = s.Retries
+	}
+	return pol
+}
+
+// SubmitResponse answers POST /v1/sweep.
+type SubmitResponse struct {
+	SweepID string `json:"sweep_id"`
+	// Points is the sweep's total point count.
+	Points int `json:"points"`
+	// Restored counts points satisfied immediately from the server's
+	// journal (dedup across sweeps and across server restarts).
+	Restored int `json:"restored"`
+	// Existing is true when an identical spec was already submitted; the
+	// resubmission attached to the live sweep instead of starting over.
+	Existing bool `json:"existing,omitempty"`
+}
+
+// Job is one granted lease: the point to run, the spec it belongs to, the
+// server's config hash for version-skew detection, and the lease terms.
+type Job struct {
+	SweepID string    `json:"sweep_id"`
+	LeaseID string    `json:"lease_id"`
+	PointID int       `json:"point_id"` // index into the spec's Points
+	Point   Point     `json:"point"`
+	Spec    SweepSpec `json:"spec"`
+	// ConfigHash is the server's hash of the point's config. A worker
+	// whose binary derives a different hash must refuse the job — running
+	// it would journal a result under a key the server can never match.
+	ConfigHash string `json:"config_hash"`
+	// TTLMS is the lease duration; the worker heartbeats well inside it.
+	TTLMS int64 `json:"ttl_ms"`
+	// Attempt is 1 for the first lease of a point, incrementing on every
+	// re-queue after an expiry or failure.
+	Attempt int `json:"attempt"`
+}
+
+type leaseRequest struct {
+	Worker string `json:"worker"`
+}
+
+type leaseResponse struct {
+	// Job is nil when no work is available.
+	Job *Job `json:"job,omitempty"`
+	// Draining tells workers the server is shutting down: stop polling.
+	Draining bool `json:"draining,omitempty"`
+	// RetryMS hints how long to wait before polling again.
+	RetryMS int64 `json:"retry_ms,omitempty"`
+}
+
+type heartbeatRequest struct {
+	SweepID string `json:"sweep_id"`
+	LeaseID string `json:"lease_id"`
+	Worker  string `json:"worker"`
+}
+
+type resultRequest struct {
+	SweepID    string `json:"sweep_id"`
+	LeaseID    string `json:"lease_id,omitempty"` // empty for orphan results
+	Worker     string `json:"worker"`
+	PointID    int    `json:"point_id"`
+	Point      Point  `json:"point"`
+	ConfigHash string `json:"config_hash"`
+	// FingerprintSHA is the worker's digest of the result fingerprint; the
+	// server re-derives it from Result and refuses a mismatch.
+	FingerprintSHA string              `json:"fingerprint_sha256"`
+	Result         json.RawMessage     `json:"result"` // MarshalResult bytes
+	Attempts       []system.RunAttempt `json:"attempts,omitempty"`
+	WallMS         float64             `json:"wall_ms,omitempty"`
+}
+
+type failRequest struct {
+	SweepID string `json:"sweep_id"`
+	LeaseID string `json:"lease_id"`
+	Worker  string `json:"worker"`
+	PointID int    `json:"point_id"`
+	Point   Point  `json:"point"`
+	Error   string `json:"error"`
+	// Crash carries the crash bundle when the run panicked; a crashing
+	// point counts toward poisoning exactly like a lease-expiry death.
+	Crash *scalablebulk.CrashReport `json:"crash,omitempty"`
+}
+
+// Point terminal states reported in SweepStatus results.
+const (
+	StatusDone     = "done"
+	StatusFailed   = "failed"   // exhausted the retry budget with run errors
+	StatusPoisoned = "poisoned" // killed PoisonAfter distinct workers
+)
+
+// PointResult is one terminal point in a sweep's completion-ordered result
+// stream.
+type PointResult struct {
+	PointID        int                 `json:"point_id"`
+	Point          Point               `json:"point"`
+	Status         string              `json:"status"`
+	ConfigHash     string              `json:"config_hash"`
+	FingerprintSHA string              `json:"fingerprint_sha256,omitempty"`
+	Result         json.RawMessage     `json:"result,omitempty"`
+	Attempts       []system.RunAttempt `json:"attempts,omitempty"`
+	Error          string              `json:"error,omitempty"`
+	// Restored marks a point satisfied from the journal without a run.
+	Restored bool `json:"restored,omitempty"`
+}
+
+// SweepStatus answers GET /v1/sweep: aggregate counts plus the result
+// stream after the client's cursor. A client that reconnects resets its
+// cursor to zero and dedupes by PointID — results are append-only.
+type SweepStatus struct {
+	SweepID  string `json:"sweep_id"`
+	Total    int    `json:"total"`
+	Pending  int    `json:"pending"`
+	Leased   int    `json:"leased"`
+	Done     int    `json:"done"`
+	Failed   int    `json:"failed"`
+	Poisoned int    `json:"poisoned"`
+	Draining bool   `json:"draining,omitempty"`
+	// Results holds the terminal points from the request's cursor onward;
+	// NextCursor is the cursor to pass next time.
+	Results    []PointResult `json:"results,omitempty"`
+	NextCursor int           `json:"next_cursor"`
+}
+
+// Terminal reports whether every point has reached a terminal state.
+func (s *SweepStatus) Terminal() bool {
+	return s.Done+s.Failed+s.Poisoned >= s.Total
+}

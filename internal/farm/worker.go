@@ -1,0 +1,200 @@
+package farm
+
+import (
+	"context"
+	"errors"
+	"fmt"
+	"sync"
+	"time"
+
+	scalablebulk "scalablebulk"
+)
+
+// Worker is the farm's execution side: lease a point, run it under the
+// spec's retry policy while heartbeating the lease, deliver the result (or
+// the failure, with a crash report when the run panicked), repeat.
+type Worker struct {
+	Client *Client
+	// ID names this worker to the server; it is the unit the poison
+	// counter counts distinct deaths by.
+	ID string
+	// Parallel is the number of concurrent leases (≤0 selects 1).
+	Parallel int
+	// Poll paces idle polling when the server has no work (0 selects the
+	// server's hint, falling back to 500ms).
+	Poll time.Duration
+	// OnPoint, when non-nil, observes every leased point before it runs —
+	// the failure-mode tests use it to kill workers mid-lease.
+	OnPoint func(workerID string, p Point)
+	// Printf, when non-nil, receives progress lines.
+	Printf func(format string, args ...any)
+}
+
+func (w *Worker) logf(format string, args ...any) {
+	if w.Printf != nil {
+		w.Printf(format, args...)
+	}
+}
+
+// Run leases and executes points until ctx is canceled or the server
+// drains. Cancellation is graceful: in-flight points finish and deliver
+// (the run itself is only abandoned if the server says the lease is gone).
+func (w *Worker) Run(ctx context.Context) error {
+	par := w.Parallel
+	if par <= 0 {
+		par = 1
+	}
+	var wg sync.WaitGroup
+	sem := make(chan struct{}, par)
+	defer wg.Wait()
+	for {
+		if ctx.Err() != nil {
+			return nil
+		}
+		job, retry, err := w.Client.Lease(ctx, w.ID)
+		if errors.Is(err, ErrDraining) {
+			w.logf("worker %s: server draining, exiting", w.ID)
+			return nil
+		}
+		if err != nil {
+			if ctx.Err() != nil {
+				return nil
+			}
+			return err
+		}
+		if job == nil {
+			wait := w.Poll
+			if wait <= 0 {
+				wait = retry
+			}
+			if wait <= 0 {
+				wait = 500 * time.Millisecond
+			}
+			select {
+			case <-ctx.Done():
+				return nil
+			case <-time.After(wait):
+			}
+			continue
+		}
+		select {
+		case sem <- struct{}{}:
+		case <-ctx.Done():
+			return nil
+		}
+		wg.Add(1)
+		go func(job *Job) {
+			defer wg.Done()
+			defer func() { <-sem }()
+			w.runJob(ctx, job)
+		}(job)
+	}
+}
+
+// runJob executes one leased point end to end. The run is detached from the
+// lease loop's cancellation — a SIGTERM stops new leases but lets this
+// point finish and deliver — and is instead canceled when the server
+// declares the lease gone (the point is already re-queued; finishing would
+// only waste cycles).
+func (w *Worker) runJob(ctx context.Context, job *Job) {
+	if w.OnPoint != nil {
+		w.OnPoint(w.ID, job.Point)
+	}
+	prof, cfg, err := job.Spec.Resolve(job.Point)
+	if err != nil {
+		w.failJob(job, fmt.Sprintf("resolve: %v", err), nil)
+		return
+	}
+	if h := scalablebulk.ConfigHash(cfg); h != job.ConfigHash {
+		// Version skew: this binary derives a different canonical config
+		// than the server's. Running would journal under a key the server
+		// can never match — refuse loudly instead.
+		w.failJob(job, fmt.Sprintf(
+			"config hash skew: worker derives %s, server expects %s (mismatched binaries?)",
+			h, job.ConfigHash), nil)
+		return
+	}
+
+	// The run outlives the lease loop's ctx (graceful drain) but dies with
+	// the lease: heartbeats renew it, and a gone lease cancels the run.
+	runCtx, cancelRun := context.WithCancel(context.WithoutCancel(ctx))
+	defer cancelRun()
+	leaseGone := false
+	hbDone := make(chan struct{})
+	ttl := time.Duration(job.TTLMS) * time.Millisecond
+	if ttl <= 0 {
+		ttl = 10 * time.Second
+	}
+	go func() {
+		defer close(hbDone)
+		tick := time.NewTicker(ttl / 3)
+		defer tick.Stop()
+		for {
+			select {
+			case <-runCtx.Done():
+				return
+			case <-tick.C:
+			}
+			hbCtx, cancel := context.WithTimeout(runCtx, ttl)
+			err := w.Client.Heartbeat(hbCtx, job, w.ID)
+			cancel()
+			if errors.Is(err, ErrLeaseGone) {
+				leaseGone = true
+				cancelRun()
+				return
+			}
+		}
+	}()
+
+	start := time.Now()
+	res, runErr := w.runPoint(runCtx, job, prof, cfg)
+	cancelRun()
+	<-hbDone
+	if leaseGone {
+		// The server presumed us dead and re-queued the point; someone
+		// else owns it now. Abandon silently.
+		w.logf("worker %s: lease %s gone, abandoning %s", w.ID, job.LeaseID, pointLabel(job.Point))
+		return
+	}
+	if runErr != nil {
+		var ce *scalablebulk.CrashError
+		var crash *scalablebulk.CrashReport
+		if errors.As(runErr, &ce) {
+			crash = ce.Report
+		}
+		w.failJob(job, runErr.Error(), crash)
+		return
+	}
+	// Delivery uses a fresh context: even a canceled worker delivers the
+	// finished result (bounded, in case the server is gone for good).
+	dctx, cancel := context.WithTimeout(context.WithoutCancel(ctx), 2*time.Minute)
+	defer cancel()
+	if err := w.Client.Result(dctx, job, w.ID, res, time.Since(start)); err != nil {
+		w.logf("worker %s: result delivery for %s failed: %v", w.ID, pointLabel(job.Point), err)
+		return
+	}
+	w.logf("worker %s: completed %s (attempt %d)", w.ID, pointLabel(job.Point), job.Attempt)
+}
+
+// runPoint executes the simulation with panic isolation: a panic becomes a
+// *CrashError carrying the crash report, exactly like the in-process sweep
+// worker's recovery.
+func (w *Worker) runPoint(ctx context.Context, job *Job, prof scalablebulk.Profile, cfg scalablebulk.Config) (res *scalablebulk.Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			report := scalablebulk.NewCrashReport(job.Point, cfg, r)
+			res, err = nil, &scalablebulk.CrashError{Point: job.Point, Report: report}
+		}
+	}()
+	return scalablebulk.RunWithRetry(ctx, prof, cfg, job.Spec.RetryPolicy())
+}
+
+// failJob reports a failure, best-effort and bounded.
+func (w *Worker) failJob(job *Job, msg string, crash *scalablebulk.CrashReport) {
+	ctx, cancel := context.WithTimeout(context.Background(), time.Minute)
+	defer cancel()
+	if err := w.Client.Fail(ctx, job, w.ID, msg, crash); err != nil {
+		w.logf("worker %s: fail report for %s lost: %v", w.ID, pointLabel(job.Point), err)
+	}
+	w.logf("worker %s: failed %s: %s", w.ID, pointLabel(job.Point), msg)
+}

@@ -30,6 +30,21 @@ var (
 // server runs on its own goroutine and never touches the simulator's
 // single-threaded internals — only the atomic registry.
 func Serve(addr string, reg *Registry) (string, func() error, error) {
+	mux := Handler(reg)
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", nil, err
+	}
+	srv := &http.Server{Handler: mux}
+	go srv.Serve(ln)
+	return ln.Addr().String(), srv.Close, nil
+}
+
+// Handler builds the telemetry mux Serve exposes — /metrics JSON snapshot,
+// /debug/vars expvar, /debug/pprof — without binding a listener, so servers
+// that own their own mux (the sweep farm's sbserver) can mount telemetry
+// alongside their API endpoints.
+func Handler(reg *Registry) *http.ServeMux {
 	published.Store(reg)
 	publishOnce.Do(func() {
 		expvar.Publish("scalablebulk", expvar.Func(func() any {
@@ -56,12 +71,5 @@ func Serve(addr string, reg *Registry) (string, func() error, error) {
 	mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
 	mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
 	mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
-
-	ln, err := net.Listen("tcp", addr)
-	if err != nil {
-		return "", nil, err
-	}
-	srv := &http.Server{Handler: mux}
-	go srv.Serve(ln)
-	return ln.Addr().String(), srv.Close, nil
+	return mux
 }

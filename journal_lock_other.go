@@ -1,0 +1,9 @@
+//go:build !unix
+
+package scalablebulk
+
+import "os"
+
+// lockJournalFile is a no-op on platforms without flock: journal sharing
+// protection degrades to the fingerprint verification every Lookup performs.
+func lockJournalFile(*os.File) error { return nil }

@@ -1,0 +1,22 @@
+//go:build unix
+
+package scalablebulk
+
+import (
+	"errors"
+	"os"
+	"syscall"
+)
+
+// lockJournalFile takes an exclusive, non-blocking flock on the journal
+// file. The lock lives and dies with the file descriptor: it is released by
+// Journal.Close and — crucially for kill-and-resume — by the kernel when the
+// holding process dies, even via SIGKILL, so there is never a stale lock to
+// clean up. A contended lock reports ErrJournalLocked.
+func lockJournalFile(f *os.File) error {
+	err := syscall.Flock(int(f.Fd()), syscall.LOCK_EX|syscall.LOCK_NB)
+	if errors.Is(err, syscall.EWOULDBLOCK) {
+		return ErrJournalLocked
+	}
+	return err
+}

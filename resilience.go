@@ -11,6 +11,7 @@ import (
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
+	"errors"
 	"fmt"
 	"io"
 	"os"
@@ -140,12 +141,23 @@ func WriteCrashBundle(dir string, r *CrashReport) (string, error) {
 	if err != nil {
 		return "", err
 	}
-	path := filepath.Join(dir, fmt.Sprintf("crash-%s-%s-%d-%d.json",
-		sanitizeName(r.App), sanitizeName(r.Protocol), r.Cores, time.Now().UnixNano()))
+	path := filepath.Join(dir, crashBundleName(r, time.Now().UnixNano()))
 	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
 		return "", err
 	}
 	return path, nil
+}
+
+// crashBundleName builds a bundle filename that cannot collide across
+// distinct points: sanitizeName is lossy ("a/b" and "a_b" both sanitize to
+// "a_b"), so the readable prefix is followed by a short digest of the
+// unsanitized point identity plus the config hash, which distinguishes
+// points the sanitized names cannot.
+func crashBundleName(r *CrashReport, nano int64) string {
+	h := sha256.Sum256([]byte(r.App + "\x00" + r.Protocol + "\x00" + r.ConfigHash))
+	return fmt.Sprintf("crash-%s-%s-%d-%s-%d.json",
+		sanitizeName(r.App), sanitizeName(r.Protocol), r.Cores,
+		hex.EncodeToString(h[:4]), nano)
 }
 
 func sanitizeName(s string) string {
@@ -223,6 +235,24 @@ func (r *resultJSON) restore() *Result {
 	}
 }
 
+// MarshalResult encodes the restorable subset of a Result — the same fields
+// the checkpoint journal persists — as JSON. The farm wire protocol ships
+// worker results to the server through this encoding; the attempt history
+// travels separately (it is excluded from fingerprints).
+func MarshalResult(r *Result) ([]byte, error) { return json.Marshal(toResultJSON(r)) }
+
+// UnmarshalResult decodes a MarshalResult encoding back into a restored
+// Result. Callers that need integrity (the farm server and thin clients)
+// re-hash the restored result's ResultFingerprint and compare it against the
+// digest that traveled alongside.
+func UnmarshalResult(data []byte) (*Result, error) {
+	var rj resultJSON
+	if err := json.Unmarshal(data, &rj); err != nil {
+		return nil, err
+	}
+	return rj.restore(), nil
+}
+
 // journalEntry is one JSONL line: a completed point keyed by (point,
 // config-hash), its full restorable result, the SHA-256 of its
 // ResultFingerprint (verified on load), and the attempt history.
@@ -254,16 +284,49 @@ type Journal struct {
 	entries map[journalKey]*journalEntry
 }
 
+// ErrJournalLocked marks an OpenJournal attempt against a journal another
+// live process holds open (errors.Is); the concrete *JournalLockedError
+// carries the path. The lock is the file itself (flock), so a process killed
+// with SIGKILL releases it automatically — there are no stale lock files to
+// clean up.
+var ErrJournalLocked = errors.New("journal is locked by another process")
+
+// JournalLockedError reports the contended journal path.
+type JournalLockedError struct{ Path string }
+
+func (e *JournalLockedError) Error() string {
+	return fmt.Sprintf("journal %s is locked by another process", e.Path)
+}
+
+// Unwrap makes errors.Is(err, ErrJournalLocked) match.
+func (e *JournalLockedError) Unwrap() error { return ErrJournalLocked }
+
 // OpenJournal opens (creating if absent) the journal at path and loads its
-// entries. A truncated final line — the signature of a kill mid-append — is
-// discarded: the file is truncated back to the last complete entry before
-// appending resumes, so a crashed writer never corrupts the journal.
+// entries. The file is locked exclusively for the life of the Journal, so
+// two processes (e.g. a restarted sbserver and a stale one) can never append
+// to the same journal concurrently: the second open fails with
+// *JournalLockedError. A truncated final line — the signature of a kill
+// mid-append — is discarded: the file is truncated back to the last complete
+// entry before appending resumes, so a crashed writer never corrupts the
+// journal.
 func OpenJournal(path string) (*Journal, error) {
-	j := &Journal{path: path, entries: map[journalKey]*journalEntry{}}
-	data, err := os.ReadFile(path)
-	if err != nil && !os.IsNotExist(err) {
+	f, err := os.OpenFile(path, os.O_CREATE|os.O_RDWR, 0o644)
+	if err != nil {
 		return nil, err
 	}
+	if err := lockJournalFile(f); err != nil {
+		f.Close()
+		if errors.Is(err, ErrJournalLocked) {
+			return nil, &JournalLockedError{Path: path}
+		}
+		return nil, err
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		f.Close()
+		return nil, err
+	}
+	j := &Journal{path: path, entries: map[journalKey]*journalEntry{}}
 	valid := 0
 	for valid < len(data) {
 		nl := bytes.IndexByte(data[valid:], '\n')
@@ -280,10 +343,6 @@ func OpenJournal(path string) (*Journal, error) {
 			j.entries[journalKey{e.App, e.Protocol, e.Cores, e.ConfigHash}] = &e
 		}
 		valid += nl + 1
-	}
-	f, err := os.OpenFile(path, os.O_CREATE|os.O_WRONLY, 0o644)
-	if err != nil {
-		return nil, err
 	}
 	if err := f.Truncate(int64(valid)); err != nil {
 		f.Close()

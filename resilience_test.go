@@ -326,3 +326,54 @@ func jsonNumber[T ~uint64 | ~int64](v T) string {
 	b, _ := json.Marshal(v)
 	return string(b)
 }
+
+// TestCrashBundleNamesDistinct: apps (or protocols) that sanitize to the
+// same filesystem-safe string must still get distinct bundle filenames —
+// the hash suffix disambiguates what sanitizeName flattens.
+func TestCrashBundleNamesDistinct(t *testing.T) {
+	mk := func(app, proto string) *CrashReport {
+		cfg := DefaultConfig(4, proto)
+		return &CrashReport{App: app, Protocol: proto, Cores: 4, ConfigHash: ConfigHash(cfg)}
+	}
+	const nano = 1234567890
+	a := crashBundleName(mk("a/b", "TCC"), nano)
+	b := crashBundleName(mk("a_b", "TCC"), nano)
+	if a == b {
+		t.Errorf("colliding bundle names for a/b vs a_b: %q", a)
+	}
+	// Same app, different protocol must differ too (protocol changes the
+	// config hash, but the name must differ even at identical timestamps).
+	c := crashBundleName(mk("a/b", "ScalableBulk"), nano)
+	if a == c {
+		t.Errorf("colliding bundle names across protocols: %q", a)
+	}
+	for _, n := range []string{a, b, c} {
+		if strings.ContainsAny(n, "/\\ ") {
+			t.Errorf("bundle name %q not filesystem-safe", n)
+		}
+	}
+}
+
+// TestJournalLockContended: a second OpenJournal against a live journal must
+// fail with the typed lock error, and succeed once the holder closes.
+func TestJournalLockContended(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "sweep.jsonl")
+	j, err := OpenJournal(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, err = OpenJournal(path)
+	if !errors.Is(err, ErrJournalLocked) {
+		t.Fatalf("contended open: got %v, want ErrJournalLocked", err)
+	}
+	var locked *JournalLockedError
+	if !errors.As(err, &locked) || locked.Path != path {
+		t.Fatalf("contended open: got %#v, want *JournalLockedError with path %q", err, path)
+	}
+	j.Close()
+	j2, err := OpenJournal(path)
+	if err != nil {
+		t.Fatalf("open after close: %v", err)
+	}
+	j2.Close()
+}
