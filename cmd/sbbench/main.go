@@ -409,7 +409,8 @@ func sweep(ctx context.Context, chunks int, seed int64, parallelism int, serial 
 			ChunksPerCore: chunks, Seed: seed,
 			RunTimeoutMS: timeout.Milliseconds(), Points: points,
 		}
-		client := &farm.Client{Base: server}
+		client := &farm.Client{Base: server, Corr: farm.NewCorrID()}
+		fmt.Fprintf(os.Stderr, "  farm sweep corr=%s\n", client.Corr)
 		var err error
 		out, err = client.RunSweep(ctx, spec, func(p farm.Point, res *scalablebulk.Result, _ bool) {
 			s.Inject(p, res)

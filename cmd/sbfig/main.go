@@ -80,7 +80,8 @@ func run() int {
 				ChunksPerCore: *chunks, Seed: *seed, Workload: *wl,
 				Points: s.SweepPoints(),
 			}
-			client := &farm.Client{Base: *server}
+			client := &farm.Client{Base: *server, Corr: farm.NewCorrID()}
+			fmt.Fprintf(os.Stderr, "farm sweep corr=%s\n", client.Corr)
 			var err error
 			out, err = client.RunSweep(ctx, spec, func(p farm.Point, res *scalablebulk.Result, _ bool) {
 				s.Inject(p, res)

@@ -36,15 +36,27 @@ func run() int {
 		maxAttempts  = flag.Int("retries", 3, "lease grants per point before it fails (effective cap is max of this and -poison)")
 		seed         = flag.Int64("seed", 1, "seed for the requeue-backoff jitter PRNG")
 		drainTimeout = flag.Duration("draintimeout", 30*time.Second, "max wait for in-flight leases on shutdown")
+		logFormat    = flag.String("log-format", "text", "structured log format: text or json")
+		ssePing      = flag.Duration("sseping", 5*time.Second, "SSE keepalive-comment interval")
+		eventRing    = flag.Int("eventring", 8192, "in-memory event ring size for SSE Last-Event-ID resume")
 	)
 	flag.Parse()
 
+	logger, err := cliutil.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbserver: %v\n", err)
+		return cliutil.ExitError
+	}
+
 	opts := farm.Options{
-		LeaseTTL:    *leaseTTL,
-		PoisonAfter: *poisonAfter,
-		MaxAttempts: *maxAttempts,
-		Seed:        *seed,
-		CrashDir:    *crashDir,
+		LeaseTTL:     *leaseTTL,
+		PoisonAfter:  *poisonAfter,
+		MaxAttempts:  *maxAttempts,
+		Seed:         *seed,
+		CrashDir:     *crashDir,
+		SSEPing:      *ssePing,
+		EventHistory: *eventRing,
+		Logger:       logger,
 	}
 	if *journalPath != "" {
 		j, err := scalablebulk.OpenJournal(*journalPath)
@@ -54,7 +66,7 @@ func run() int {
 		}
 		defer j.Close()
 		opts.Journal = j
-		fmt.Printf("sbserver: journal %s (%d completed points)\n", *journalPath, j.Len())
+		logger.Info("journal_open", "path", *journalPath, "points", j.Len())
 	}
 	if *eventsPath != "" {
 		ev, err := farm.OpenEventLog(*eventsPath)
@@ -62,7 +74,14 @@ func run() int {
 			fmt.Fprintf(os.Stderr, "sbserver: %v\n", err)
 			return cliutil.ExitError
 		}
-		defer ev.Close()
+		defer func() {
+			// Close surfaces the first write error the log swallowed while
+			// emitting — a full disk shows up at shutdown instead of never.
+			if cerr := ev.Close(); cerr != nil {
+				fmt.Fprintf(os.Stderr, "sbserver: event log: %v (%d events dropped)\n",
+					cerr, ev.Dropped())
+			}
+		}()
 		opts.Events = ev
 	}
 	reg := metrics.NewRegistry()
@@ -70,7 +89,9 @@ func run() int {
 
 	srv := farm.NewServer(opts)
 	mux := metrics.Handler(reg)
-	mux.Handle("/v1/", srv.Handler())
+	api := srv.Handler()
+	mux.Handle("/v1/", api)
+	mux.Handle("/api/v1/", api)
 
 	ln, err := net.Listen("tcp", *addr)
 	if err != nil {
@@ -81,6 +102,7 @@ func run() int {
 	errc := make(chan error, 1)
 	go func() { errc <- httpSrv.Serve(ln) }()
 	fmt.Printf("sbserver: listening on %s\n", ln.Addr())
+	logger.Info("listening", "addr", ln.Addr().String())
 
 	ctx, stop := cliutil.SignalContext()
 	defer stop()
@@ -93,13 +115,13 @@ func run() int {
 
 	// Graceful drain: stop granting leases, let in-flight points land (or
 	// their leases expire), then shut the listener down.
-	fmt.Println("sbserver: draining")
+	logger.Info("draining")
 	select {
 	case <-srv.Drain():
 	case <-time.After(*drainTimeout):
-		fmt.Fprintln(os.Stderr, "sbserver: drain timeout; abandoning in-flight leases")
+		logger.Warn("drain_timeout", "detail", "abandoning in-flight leases")
 	}
 	httpSrv.Close()
-	fmt.Println("sbserver: drained, exiting")
+	logger.Info("drained")
 	return cliutil.ExitOK
 }

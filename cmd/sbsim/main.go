@@ -231,7 +231,8 @@ func runOnFarm(server, app, protocol string, cores, chunks int, seed int64,
 
 	ctx, stop := cliutil.SignalContext()
 	defer stop()
-	client := &farm.Client{Base: server}
+	client := &farm.Client{Base: server, Corr: farm.NewCorrID()}
+	fmt.Fprintf(os.Stderr, "sbsim: farm sweep corr=%s (grep it across client, server and worker logs)\n", client.Corr)
 	var res *scalablebulk.Result
 	out, err := client.RunSweep(ctx, spec, func(_ farm.Point, r *scalablebulk.Result, _ bool) {
 		res = r

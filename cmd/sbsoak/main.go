@@ -219,7 +219,8 @@ func run() int {
 				MaxCycles: uint64(*maxCycles), RunTimeoutMS: timeout.Milliseconds(),
 				Retries: *retries, Points: points,
 			}
-			client := &farm.Client{Base: *server}
+			client := &farm.Client{Base: *server, Corr: farm.NewCorrID()}
+			fmt.Fprintf(os.Stderr, "sbsoak: round seed=%d corr=%s\n", roundSeed, client.Corr)
 			var rerr error
 			out, rerr = client.RunSweep(ctx, spec, nil)
 			if rerr != nil {

@@ -1,0 +1,167 @@
+// Command sbtop is the farm's live status view: a refreshing terminal table
+// of sweeps (with progress, throughput and ETA), workers, live leases, the
+// poison list and a tail of recent events, all from one GET /api/v1/farm.
+//
+//	sbtop -server http://127.0.0.1:8356             # live view, 2s refresh
+//	sbtop -server http://127.0.0.1:8356 -once       # one snapshot, no clear
+//	sbtop -server http://127.0.0.1:8356 -once -json # raw FarmStatus JSON
+//
+// Exit code 0 on a clean snapshot or Ctrl-C, 1 when the server can't be
+// reached.
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"strings"
+	"text/tabwriter"
+	"time"
+
+	"scalablebulk/internal/cliutil"
+	"scalablebulk/internal/farm"
+)
+
+func main() { os.Exit(run()) }
+
+func run() int {
+	var (
+		server   = flag.String("server", "http://127.0.0.1:8356", "farm server base URL")
+		interval = flag.Duration("interval", 2*time.Second, "refresh interval in live mode")
+		once     = flag.Bool("once", false, "print one snapshot and exit (no screen clearing)")
+		asJSON   = flag.Bool("json", false, "emit the raw FarmStatus JSON (implies -once semantics per refresh)")
+		events   = flag.Int("events", 10, "event-tail length to request")
+	)
+	flag.Parse()
+
+	client := &farm.Client{Base: *server, RetryInterval: 100 * time.Millisecond,
+		MaxRetryWait: time.Second}
+	ctx, stop := cliutil.SignalContext()
+	defer stop()
+
+	for {
+		// Bound each fetch so a dead server fails fast instead of retrying
+		// forever inside the client.
+		fctx, cancel := context.WithTimeout(ctx, 5*time.Second)
+		fs, err := client.FarmStatus(fctx, *events)
+		cancel()
+		if err != nil {
+			if ctx.Err() != nil {
+				return cliutil.ExitOK
+			}
+			fmt.Fprintf(os.Stderr, "sbtop: %v\n", err)
+			return cliutil.ExitError
+		}
+		if *asJSON {
+			enc := json.NewEncoder(os.Stdout)
+			enc.SetIndent("", "  ")
+			enc.Encode(fs)
+		} else {
+			if !*once {
+				fmt.Print("\x1b[2J\x1b[H") // clear + home
+			}
+			render(os.Stdout, *server, fs)
+		}
+		if *once {
+			return cliutil.ExitOK
+		}
+		select {
+		case <-ctx.Done():
+			return cliutil.ExitOK
+		case <-time.After(*interval):
+		}
+	}
+}
+
+func render(w io.Writer, server string, fs *farm.FarmStatus) {
+	state := "running"
+	if fs.Draining {
+		state = "DRAINING"
+	}
+	fmt.Fprintf(w, "sbtop — %s  %s  seq=%d  %s\n\n", server, fs.Now, fs.Seq, state)
+
+	fmt.Fprintf(w, "Sweeps (%d)\n", len(fs.Sweeps))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  SWEEP\tCORR\tDONE\tQUEUED\tLEASED\tFAILED\tPOISON\tREQ\tPTS/S\tETA\tELAPSED")
+	for _, sp := range fs.Sweeps {
+		fmt.Fprintf(tw, "  %s\t%s\t%d/%d\t%d\t%d\t%d\t%d\t%d\t%.2f\t%s\t%s\n",
+			sp.SweepID, sp.Corr, sp.Done, sp.Total, sp.Queued, sp.Leased,
+			sp.Failed, sp.Poisoned, sp.Requeues, sp.PointsPerSec,
+			fmtETA(sp), fmtMS(sp.ElapsedMS))
+	}
+	tw.Flush()
+
+	fmt.Fprintf(w, "\nWorkers (%d)\n", len(fs.Workers))
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  WORKER\tLEASES\tDONE\tFAILED\tCRASHED\tIDLE")
+	for _, ws := range fs.Workers {
+		fmt.Fprintf(tw, "  %s\t%d\t%d\t%d\t%d\t%s\n",
+			ws.ID, ws.Leases, ws.Done, ws.Failed, ws.Crashed, fmtMS(ws.IdleMS))
+	}
+	tw.Flush()
+
+	fmt.Fprintf(w, "\nLive leases (%d)\n", len(fs.Leases))
+	tw = tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "  LEASE\tSWEEP\tPOINT\tWORKER\tATTEMPT\tAGE/TTL")
+	for _, ls := range fs.Leases {
+		fmt.Fprintf(tw, "  %s\t%s\t%s\t%s\t%d\t%s/%s\n",
+			ls.Lease, ls.Sweep, ls.Point, ls.Worker, ls.Attempt,
+			fmtMS(ls.AgeMS), fmtMS(ls.TTLMS))
+	}
+	tw.Flush()
+
+	if len(fs.Poisoned) > 0 {
+		fmt.Fprintf(w, "\nPoisoned (%d)\n", len(fs.Poisoned))
+		for _, ps := range fs.Poisoned {
+			fmt.Fprintf(w, "  %s point %d (%s): %s\n",
+				ps.Sweep, ps.PointID, ps.Point, ps.Error)
+		}
+	}
+
+	if len(fs.Events) > 0 {
+		fmt.Fprintf(w, "\nRecent events\n")
+		for _, e := range fs.Events {
+			parts := []string{fmt.Sprintf("%6d  %-16s", e.Seq, e.Kind)}
+			if e.Sweep != "" {
+				parts = append(parts, "sweep="+e.Sweep)
+			}
+			if e.Point != "" {
+				parts = append(parts, "point="+e.Point)
+			}
+			if e.Worker != "" {
+				parts = append(parts, "worker="+e.Worker)
+			}
+			if e.Detail != "" {
+				parts = append(parts, e.Detail)
+			}
+			fmt.Fprintf(w, "  %s\n", strings.Join(parts, " "))
+		}
+	}
+}
+
+// fmtETA renders a SweepProgress ETA: "-" while unknown, "done" when
+// terminal, a duration otherwise.
+func fmtETA(sp farm.SweepProgress) string {
+	switch {
+	case sp.Terminal:
+		return "done"
+	case sp.ETAMS < 0:
+		return "-"
+	}
+	return fmtMS(sp.ETAMS)
+}
+
+// fmtMS renders a millisecond count compactly (1.2s, 3m05s, 450ms).
+func fmtMS(ms int64) string {
+	d := time.Duration(ms) * time.Millisecond
+	switch {
+	case d < time.Second:
+		return fmt.Sprintf("%dms", ms)
+	case d < time.Minute:
+		return fmt.Sprintf("%.1fs", d.Seconds())
+	}
+	return fmt.Sprintf("%dm%02ds", int(d.Minutes()), int(d.Seconds())%60)
+}

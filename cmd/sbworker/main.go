@@ -34,8 +34,15 @@ func run() int {
 		poll      = flag.Duration("poll", 0, "idle poll interval (0 uses the server's hint)")
 		rpcFaults = flag.String("rpcfaults", "", "RPC fault-injection profile (flaky, lossy, chaos; empty disables)")
 		faultSeed = flag.Int64("rpcfaultseed", 1, "seed for the RPC fault injector")
+		logFormat = flag.String("log-format", "text", "structured log format: text or json")
 	)
 	flag.Parse()
+
+	logger, err := cliutil.NewLogger(*logFormat, os.Stderr)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "sbworker: %v\n", err)
+		return cliutil.ExitError
+	}
 
 	client := &farm.Client{Base: *server}
 	prof, err := farm.RPCFaultByName(*rpcFaults, *faultSeed)
@@ -57,10 +64,9 @@ func run() int {
 		ID:       *id,
 		Parallel: *parallel,
 		Poll:     *poll,
-		Printf: func(format string, args ...any) {
-			fmt.Printf(format+"\n", args...)
-		},
+		Log:      logger,
 	}
+	logger.Info("worker_start", "id", *id, "server", *server, "parallel", *parallel)
 	if err := w.Run(ctx); err != nil {
 		fmt.Fprintf(os.Stderr, "sbworker: %v\n", err)
 		return cliutil.ExitError

@@ -9,6 +9,7 @@ import (
 	"context"
 	"fmt"
 	"io"
+	"log/slog"
 	"os"
 	"os/signal"
 	"strings"
@@ -57,6 +58,23 @@ func SweepExitCode(w io.Writer, tool string, out *scalablebulk.SweepOutcome) int
 		return ExitAborted
 	}
 	return ExitOK
+}
+
+// NewLogger builds the structured logger behind every CLI's -log-format
+// flag: "text" (human-readable key=value) or "json" (one JSON object per
+// line, for log shippers). An unknown format errors at flag-handling time.
+func NewLogger(format string, w io.Writer) (*slog.Logger, error) {
+	if w == nil {
+		w = os.Stderr
+	}
+	switch format {
+	case "", "text":
+		return slog.New(slog.NewTextHandler(w, nil)), nil
+	case "json":
+		return slog.New(slog.NewJSONHandler(w, nil)), nil
+	default:
+		return nil, fmt.Errorf("unknown -log-format %q (want text or json)", format)
+	}
 }
 
 // ProtocolList renders the registry as the listing every CLI's -protocols

@@ -1,0 +1,25 @@
+package farm
+
+import (
+	"crypto/rand"
+	"encoding/hex"
+	"fmt"
+)
+
+// CorrHeader carries the correlation ID on every farm HTTP exchange. The
+// submitting client mints one per sweep (NewCorrID), the server echoes it
+// back on the submit response and threads it through leases, events, journal
+// entries and crash bundles — `grep <id>` across a client log, the server's
+// event log, the journal and a crash bundle reconstructs one point's life.
+const CorrHeader = "X-Correlation-ID"
+
+// NewCorrID mints a fresh correlation ID ("c-" + 12 random hex chars).
+func NewCorrID() string {
+	var b [6]byte
+	if _, err := rand.Read(b[:]); err != nil {
+		// crypto/rand failing is effectively fatal elsewhere; degrade to a
+		// constant rather than panic in a telemetry path.
+		return "c-unrandom"
+	}
+	return fmt.Sprintf("c-%s", hex.EncodeToString(b[:]))
+}

@@ -27,6 +27,7 @@
 package farm
 
 import (
+	"log/slog"
 	"time"
 
 	scalablebulk "scalablebulk"
@@ -61,6 +62,16 @@ type Options struct {
 	Events *EventLog
 	// Metrics, when non-nil, receives farm counters and gauges.
 	Metrics *metrics.Registry
+	// EventHistory bounds the in-memory event ring SSE clients resume from
+	// (Last-Event-ID); a client further behind than this gets a snapshot
+	// instead of a replay. 0 selects 8192.
+	EventHistory int
+	// SSEPing is the keepalive-comment interval on SSE streams (defeats
+	// idle-connection reapers between events). 0 selects 5s.
+	SSEPing time.Duration
+	// Logger, when non-nil, receives a structured log line per farm event
+	// (kind, sweep, worker, lease, point, corr).
+	Logger *slog.Logger
 	// Clock replaces time.Now for tests.
 	Clock func() time.Time
 }
@@ -83,6 +94,12 @@ func (o Options) withDefaults() Options {
 	}
 	if o.Requeue.Jitter == 0 {
 		o.Requeue.Jitter = 0.5
+	}
+	if o.EventHistory <= 0 {
+		o.EventHistory = 8192
+	}
+	if o.SSEPing <= 0 {
+		o.SSEPing = 5 * time.Second
 	}
 	if o.Clock == nil {
 		o.Clock = time.Now

@@ -1,0 +1,127 @@
+package farm
+
+import (
+	"sync"
+	"time"
+)
+
+// eventHub is the server's live event spine: it stamps every Event with a
+// monotonic seq and wall-clock time, mirrors it to the JSONL EventLog, keeps
+// a bounded in-memory ring for SSE resume (Last-Event-ID), and wakes
+// subscribed streams. Subscribers never receive events over channels — they
+// re-read the ring by seq, so a slow consumer can never make the hub drop or
+// block; it just catches up (or takes a snapshot when the ring has already
+// evicted its resume point).
+type eventHub struct {
+	mu    sync.Mutex
+	seq   uint64
+	ring  []Event // ring[i] holds seq (minSeq+i); append-only window
+	cap   int
+	log   *EventLog
+	clock func() time.Time
+	subs  map[chan struct{}]struct{}
+}
+
+func newEventHub(log *EventLog, capacity int, clock func() time.Time) *eventHub {
+	if capacity <= 0 {
+		capacity = 8192
+	}
+	if clock == nil {
+		clock = time.Now
+	}
+	h := &eventHub{cap: capacity, log: log, clock: clock, subs: map[chan struct{}]struct{}{}}
+	// Resume the sequence from the log so seqs stay unique (and totally
+	// ordered) across restarts over the same file.
+	h.seq = log.LastSeq()
+	return h
+}
+
+// emit stamps and publishes one event, returning it with seq and time set.
+func (h *eventHub) emit(e Event) Event {
+	h.mu.Lock()
+	h.seq++
+	e.Seq = h.seq
+	e.Time = h.clock().UTC().Format(time.RFC3339Nano)
+	h.ring = append(h.ring, e)
+	if len(h.ring) > h.cap {
+		h.ring = h.ring[len(h.ring)-h.cap:]
+	}
+	subs := make([]chan struct{}, 0, len(h.subs))
+	for ch := range h.subs {
+		subs = append(subs, ch)
+	}
+	h.mu.Unlock()
+
+	h.log.Emit(e) // EventLog locks itself; keep it out of the hub lock
+	for _, ch := range subs {
+		select {
+		case ch <- struct{}{}:
+		default: // already signaled; the subscriber will re-read the ring
+		}
+	}
+	return e
+}
+
+// subscribe registers a wakeup channel (capacity 1) the hub pokes on every
+// emit. unsubscribe with the returned func.
+func (h *eventHub) subscribe() (chan struct{}, func()) {
+	ch := make(chan struct{}, 1)
+	h.mu.Lock()
+	h.subs[ch] = struct{}{}
+	h.mu.Unlock()
+	return ch, func() {
+		h.mu.Lock()
+		delete(h.subs, ch)
+		h.mu.Unlock()
+	}
+}
+
+// since returns the retained events with seq > after that pass filter, plus
+// gapped=true when the ring has already evicted events the caller never saw
+// (its resume point predates the window) — the signal to send a snapshot
+// instead of pretending the stream is contiguous.
+func (h *eventHub) since(after uint64, filter func(Event) bool) (evs []Event, gapped bool) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	minSeq := h.seq - uint64(len(h.ring)) + 1 // seq of ring[0]; h.seq when empty
+	if len(h.ring) == 0 {
+		return nil, after < h.seq
+	}
+	if after+1 < minSeq {
+		gapped = true
+	}
+	for i := range h.ring {
+		e := h.ring[i]
+		if e.Seq <= after {
+			continue
+		}
+		if filter == nil || filter(e) {
+			evs = append(evs, e)
+		}
+	}
+	return evs, gapped
+}
+
+// last returns the newest seq issued.
+func (h *eventHub) last() uint64 {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.seq
+}
+
+// tail returns the newest n retained events (oldest first), optionally
+// filtered.
+func (h *eventHub) tail(n int, filter func(Event) bool) []Event {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	var evs []Event
+	for i := len(h.ring) - 1; i >= 0 && len(evs) < n; i-- {
+		if filter == nil || filter(h.ring[i]) {
+			evs = append(evs, h.ring[i])
+		}
+	}
+	for i, j := 0, len(evs)-1; i < j; i, j = i+1, j-1 {
+		evs[i], evs[j] = evs[j], evs[i]
+	}
+	return evs
+}

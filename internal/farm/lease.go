@@ -30,6 +30,7 @@ const (
 type lease struct {
 	id      string
 	worker  string
+	granted time.Time
 	expires time.Time
 }
 
@@ -38,8 +39,10 @@ type pointEntry struct {
 	id    int
 	point Point
 	state pointState
-	// attempt counts lease grants; notBefore gates re-queue backoff.
+	// attempt counts lease grants; notBefore gates re-queue backoff;
+	// requeues counts returns to Pending after a death or failure.
 	attempt   int
+	requeues  int
 	notBefore time.Time
 	// deadWorkers records the distinct workers whose lease on this point
 	// died (expired or crashed) — the poison counter.
@@ -91,10 +94,28 @@ func (t *leaseTable) expire() []leaseAt {
 		if now.After(la.l.expires) {
 			dead = append(dead, *la)
 			delete(t.leases, id)
+			t.observeLeaseAge(la.l)
 			t.chargeDeath(la.entry, la.l.worker, "lease expired (worker presumed dead)")
 		}
 	}
 	return dead
+}
+
+// leaseAgeBounds and requeueBackoffBounds bucket the farm's two latency
+// histograms (milliseconds) for /metrics.prom and SweepProgress.
+var (
+	leaseAgeBounds       = []float64{10, 50, 100, 500, 1000, 5000, 15000, 60000}
+	requeueBackoffBounds = []float64{10, 50, 250, 1000, 2500, 10000}
+)
+
+// observeLeaseAge records how long a just-released lease was held.
+func (t *leaseTable) observeLeaseAge(l *lease) {
+	if t.opts.Metrics == nil {
+		return
+	}
+	age := t.now().Sub(l.granted)
+	t.opts.Metrics.Histogram("farm_lease_age_ms", leaseAgeBounds).
+		Observe(float64(age.Microseconds()) / 1000)
 }
 
 // acquire grants the first eligible pending point to worker, or returns nil
@@ -108,7 +129,7 @@ func (t *leaseTable) acquire(worker, leaseID string) (*pointEntry, *lease) {
 		}
 		e.state = stateLeased
 		e.attempt++
-		l := &lease{id: leaseID, worker: worker, expires: now.Add(t.opts.LeaseTTL)}
+		l := &lease{id: leaseID, worker: worker, granted: now, expires: now.Add(t.opts.LeaseTTL)}
 		t.leases[leaseID] = &leaseAt{l: l, entry: e}
 		return e, l
 	}
@@ -138,6 +159,7 @@ func (t *leaseTable) lookup(leaseID string) (*leaseAt, bool) {
 func (t *leaseTable) complete(pointID int, leaseID string) {
 	if la, ok := t.leases[leaseID]; ok {
 		delete(t.leases, leaseID)
+		t.observeLeaseAge(la.l)
 		la.entry.state = stateDone
 		return
 	}
@@ -170,6 +192,7 @@ func (t *leaseTable) fail(leaseID string, crashed bool, msg string) bool {
 		return false
 	}
 	delete(t.leases, leaseID)
+	t.observeLeaseAge(la.l)
 	la.entry.lastErr = msg
 	if crashed {
 		t.chargeDeath(la.entry, la.l.worker, msg)
@@ -209,7 +232,13 @@ func (t *leaseTable) requeue(e *pointEntry, msg string) {
 		return
 	}
 	e.state = statePending
-	e.notBefore = t.now().Add(t.backoff(e.attempt))
+	e.requeues++
+	pause := t.backoff(e.attempt)
+	e.notBefore = t.now().Add(pause)
+	if t.opts.Metrics != nil {
+		t.opts.Metrics.Histogram("farm_requeue_backoff_ms", requeueBackoffBounds).
+			Observe(float64(pause.Microseconds()) / 1000)
+	}
 }
 
 // backoff mirrors system.RetryPolicy's schedule — base×2^(n-1) capped, plus

@@ -1,0 +1,545 @@
+package farm
+
+import (
+	"bufio"
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"log/slog"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	scalablebulk "scalablebulk"
+	"scalablebulk/internal/metrics"
+)
+
+// TestSSESweepConvergesUnderLossyRPC: the headline SSE contract — a client
+// consuming a sweep over SSE through a lossy fault-injecting transport
+// (drops, duplicates, delays) and a cursor-polling client on the same sweep
+// both converge to byte-identical ResultFingerprints against the in-process
+// reference, with zero divergent results.
+func TestSSESweepConvergesUnderLossyRPC(t *testing.T) {
+	spec := testSpec()
+	want := inProcessFingerprints(t, spec)
+
+	reg := metrics.NewRegistry()
+	opts := quickOpts()
+	opts.Metrics = reg
+	opts.SSEPing = 100 * time.Millisecond
+	base, _, stop := startServer(t, opts, filepath.Join(t.TempDir(), "farm.jsonl"), "")
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	wg := startWorker(wctx, fastClient(base), "w1", nil)
+	defer wg.Wait()
+
+	lossy := func(seed int64) *http.Client {
+		prof, err := RPCFaultByName("lossy", seed)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return &http.Client{Transport: NewFaultTransport(nil, *prof)}
+	}
+	sseClient := fastClient(base)
+	sseClient.HTTP = lossy(7)
+	sseClient.SSEIdle = 2 * time.Second
+	pollClient := fastClient(base)
+	pollClient.HTTP = lossy(11)
+	pollClient.NoSSE = true
+
+	type outcome struct {
+		got map[Point]string
+		out *scalablebulk.SweepOutcome
+		err error
+	}
+	runOne := func(c *Client) outcome {
+		got := map[Point]string{}
+		var mu sync.Mutex
+		out, err := c.RunSweep(ctx, spec, func(p Point, res *scalablebulk.Result, _ bool) {
+			mu.Lock()
+			got[p] = scalablebulk.FingerprintSHA(res)
+			mu.Unlock()
+		})
+		return outcome{got, out, err}
+	}
+	results := make(chan outcome, 2)
+	go func() { results <- runOne(sseClient) }()
+	go func() { results <- runOne(pollClient) }()
+	for i := 0; i < 2; i++ {
+		oc := <-results
+		if oc.err != nil {
+			t.Fatal(oc.err)
+		}
+		if oc.out.Completed != len(spec.Points) || len(oc.out.Failures) > 0 || oc.out.Aborted {
+			t.Fatalf("outcome: %+v", oc.out)
+		}
+		for p, fp := range want {
+			if oc.got[p] != fp {
+				t.Errorf("%s/%s/%d: fingerprint %s != in-process %s",
+					p.App, p.Protocol, p.Cores, oc.got[p], fp)
+			}
+		}
+	}
+	wcancel()
+
+	snap := reg.Snapshot()
+	if snap.Counters["farm_sse_connects"] == 0 {
+		t.Error("farm_sse_connects never incremented: the SSE path was not exercised")
+	}
+	if n := snap.Counters["farm_results_divergent"]; n != 0 {
+		t.Errorf("farm_results_divergent = %d, want 0", n)
+	}
+}
+
+// TestSSEResumeAfterStreamKill kills an SSE stream mid-sweep, lets the
+// sweep finish while disconnected, and reconnects with Last-Event-ID into a
+// deliberately tiny event ring — forcing the snapshot path — asserting every
+// result lands exactly once and fingerprints match the in-process reference.
+func TestSSEResumeAfterStreamKill(t *testing.T) {
+	spec := testSpec()
+	want := inProcessFingerprints(t, spec)
+
+	opts := quickOpts()
+	opts.EventHistory = 2 // force Last-Event-ID past the ring on reconnect
+	opts.SSEPing = 100 * time.Millisecond
+	base, _, stop := startServer(t, opts, filepath.Join(t.TempDir(), "farm.jsonl"), "")
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	c := fastClient(base)
+	sub, err := c.Submit(ctx, spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	// Connect before any worker runs so the first result arrives live.
+	connect := func(after uint64) *http.Response {
+		req, err := http.NewRequestWithContext(ctx, http.MethodGet,
+			base+"/api/v1/sweeps/"+sub.SweepID+"/events", nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if after > 0 {
+			req.Header.Set("Last-Event-ID", fmt.Sprintf("%d", after))
+		}
+		resp, err := (&http.Client{}).Do(req)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if resp.StatusCode != http.StatusOK {
+			t.Fatalf("SSE connect: %d", resp.StatusCode)
+		}
+		return resp
+	}
+	resp := connect(0)
+
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	wg := startWorker(wctx, fastClient(base), "w1", nil)
+	defer wg.Wait()
+
+	run := &sweepRun{
+		c:    c,
+		out:  &scalablebulk.SweepOutcome{Points: sub.Points},
+		seen: map[int]bool{},
+	}
+	got := map[Point]string{}
+	run.onResult = func(p Point, res *scalablebulk.Result, _ bool) {
+		if _, dup := got[p]; dup {
+			t.Errorf("point %s/%s/%d applied twice", p.App, p.Protocol, p.Cores)
+		}
+		got[p] = scalablebulk.FingerprintSHA(res)
+	}
+
+	// Read until the first result, then kill the stream mid-sweep.
+	var lastID uint64
+	rd := newSSEReader(bufio.NewReader(resp.Body), nil)
+	for {
+		ev, err := rd.next()
+		if err != nil {
+			t.Fatalf("first stream died before a result: %v", err)
+		}
+		if ev.ID != "" {
+			fmt.Sscanf(ev.ID, "%d", &lastID)
+		}
+		if ev.Type == sseResult {
+			var pr PointResult
+			if err := json.Unmarshal(ev.Data, &pr); err != nil {
+				t.Fatal(err)
+			}
+			if err := run.apply(pr); err != nil {
+				t.Fatal(err)
+			}
+			break
+		}
+	}
+	resp.Body.Close() // kill the stream
+
+	// Let the sweep finish (and the tiny ring evict) while disconnected.
+	deadline := time.Now().Add(time.Minute)
+	for {
+		st, err := c.Status(ctx, sub.SweepID, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if st.Terminal() {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("sweep did not finish")
+		}
+		time.Sleep(20 * time.Millisecond)
+	}
+	wcancel()
+
+	// Reconnect with Last-Event-ID: the ring has moved past it, so the
+	// server must answer with a snapshot rather than a pretend-contiguous
+	// replay; replayed results dedupe through the same apply sink.
+	resp2 := connect(lastID)
+	defer resp2.Body.Close()
+	sawSnapshot := false
+	rd2 := newSSEReader(bufio.NewReader(resp2.Body), nil)
+	for {
+		ev, err := rd2.next()
+		if err != nil {
+			t.Fatalf("resume stream: %v", err)
+		}
+		switch ev.Type {
+		case sseSnapshot:
+			sawSnapshot = true
+			var st SweepStatus
+			if err := json.Unmarshal(ev.Data, &st); err != nil {
+				t.Fatal(err)
+			}
+			for _, pr := range st.Results {
+				if err := run.apply(pr); err != nil {
+					t.Fatal(err)
+				}
+			}
+		case sseResult:
+			var pr PointResult
+			if err := json.Unmarshal(ev.Data, &pr); err != nil {
+				t.Fatal(err)
+			}
+			if err := run.apply(pr); err != nil {
+				t.Fatal(err)
+			}
+		case sseEnd:
+			goto done
+		}
+	}
+done:
+	if !sawSnapshot {
+		t.Error("resume past the ring did not produce a snapshot event")
+	}
+	if run.out.Completed != len(spec.Points) || len(run.out.Failures) > 0 {
+		t.Fatalf("outcome after resume: %+v", run.out)
+	}
+	for p, fp := range want {
+		if got[p] != fp {
+			t.Errorf("%s/%s/%d: fingerprint %s != in-process %s",
+				p.App, p.Protocol, p.Cores, got[p], fp)
+		}
+	}
+}
+
+// TestCorrelationIDThreadsThrough: one correlation ID, minted at the client,
+// must be greppable in the client's structured log, the worker's structured
+// log, the server's event log, the journal entry of a completed point, and
+// the crash bundle of a point whose run panicked.
+func TestCorrelationIDThreadsThrough(t *testing.T) {
+	dir := t.TempDir()
+	eventsPath := filepath.Join(dir, "events.jsonl")
+	journalPath := filepath.Join(dir, "journal.jsonl")
+	crashDir := filepath.Join(dir, "crash")
+
+	ev, err := OpenEventLog(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	opts := quickOpts()
+	opts.PoisonAfter = 2
+	opts.Events = ev
+	opts.CrashDir = crashDir
+	base, _, stop := startServer(t, opts, journalPath, "")
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+
+	var clientLog, workerLog bytes.Buffer
+	client := fastClient(base)
+	client.Corr = NewCorrID()
+	client.Log = slog.New(slog.NewTextHandler(&clientLog, nil))
+
+	// Two workers whose run panics on the FFT point: each panic becomes a
+	// crash bundle, and two distinct crashing workers poison the point.
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	var wgs []*sync.WaitGroup
+	var logMu sync.Mutex
+	for i := 0; i < 2; i++ {
+		w := &Worker{
+			Client: fastClient(base),
+			ID:     fmt.Sprintf("w%d", i+1),
+			Poll:   20 * time.Millisecond,
+			OnPoint: func(_ string, p Point) {
+				if p.App == "FFT" {
+					panic("injected panic for correlation test")
+				}
+			},
+			Log: slog.New(slog.NewTextHandler(lockedWriter{&logMu, &workerLog}, nil)),
+		}
+		var wg sync.WaitGroup
+		wg.Add(1)
+		go func() { defer wg.Done(); w.Run(wctx) }()
+		wgs = append(wgs, &wg)
+	}
+	defer func() {
+		for _, wg := range wgs {
+			wg.Wait()
+		}
+	}()
+
+	out, err := client.RunSweep(ctx, testSpec(), nil)
+	wcancel()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if out.Completed != 2 || len(out.Failures) != 1 {
+		t.Fatalf("outcome: %+v", out)
+	}
+
+	corr := client.Corr
+	grep := func(name string, data []byte) {
+		t.Helper()
+		if !bytes.Contains(data, []byte(corr)) {
+			t.Errorf("%s does not contain correlation ID %s:\n%s", name, corr, data)
+		}
+	}
+	logMu.Lock()
+	grep("client log", clientLog.Bytes())
+	grep("worker log", workerLog.Bytes())
+	logMu.Unlock()
+
+	if err := ev.Close(); err != nil {
+		t.Fatalf("event log close: %v", err)
+	}
+	events, err := os.ReadFile(eventsPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grep("server event log", events)
+
+	journal, err := os.ReadFile(journalPath)
+	if err != nil {
+		t.Fatal(err)
+	}
+	grep("journal", journal)
+
+	bundles, err := filepath.Glob(filepath.Join(crashDir, "crash-*.json"))
+	if err != nil || len(bundles) == 0 {
+		t.Fatalf("no crash bundles written (err=%v)", err)
+	}
+	found := false
+	for _, b := range bundles {
+		data, err := os.ReadFile(b)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var cr scalablebulk.CrashReport
+		if err := json.Unmarshal(data, &cr); err != nil {
+			t.Fatalf("bundle %s: %v", b, err)
+		}
+		if cr.Corr == corr {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("no crash bundle carries correlation ID %s", corr)
+	}
+}
+
+// lockedWriter serializes two workers' slog handlers onto one buffer.
+type lockedWriter struct {
+	mu *sync.Mutex
+	w  *bytes.Buffer
+}
+
+func (l lockedWriter) Write(p []byte) (int, error) {
+	l.mu.Lock()
+	defer l.mu.Unlock()
+	return l.w.Write(p)
+}
+
+// TestEventLogDropAccounting: a write failure must not be silent — it counts
+// in Dropped and the farm_eventlog_dropped metric, and surfaces as the first
+// write error from Close.
+func TestEventLogDropAccounting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	l, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	reg := metrics.NewRegistry()
+	l.AttachMetrics(reg)
+
+	l.Emit(Event{Kind: "ok"})
+	if n := l.Dropped(); n != 0 {
+		t.Fatalf("dropped after clean emit: %d", n)
+	}
+
+	// Sabotage the file descriptor underneath the log: subsequent writes
+	// fail exactly like a full or yanked disk.
+	l.f.Close()
+	l.Emit(Event{Kind: "lost"})
+	l.Emit(Event{Kind: "lost-too"})
+
+	if n := l.Dropped(); n != 2 {
+		t.Errorf("Dropped() = %d, want 2", n)
+	}
+	if n := reg.Snapshot().Counters["farm_eventlog_dropped"]; n != 2 {
+		t.Errorf("farm_eventlog_dropped = %d, want 2", n)
+	}
+	if err := l.Close(); err == nil {
+		t.Error("Close() = nil, want the latched write error")
+	}
+}
+
+// TestEventSeqSurvivesRestart: a server restarted over the same event log
+// resumes the monotonic sequence from the file's max seq and announces the
+// restart with a "restarted" event carrying it.
+func TestEventSeqSurvivesRestart(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "events.jsonl")
+	l1, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if l1.LastSeq() != 0 {
+		t.Fatalf("fresh log LastSeq = %d", l1.LastSeq())
+	}
+	s1 := NewServer(Options{Events: l1})
+	s1.emit(Event{Kind: "a"})
+	if e := s1.emit(Event{Kind: "b"}); e.Seq != 2 {
+		t.Fatalf("second event seq = %d, want 2", e.Seq)
+	}
+	if err := l1.Close(); err != nil {
+		t.Fatal(err)
+	}
+
+	l2, err := OpenEventLog(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer l2.Close()
+	if l2.LastSeq() != 2 {
+		t.Fatalf("reopened LastSeq = %d, want 2", l2.LastSeq())
+	}
+	s2 := NewServer(Options{Events: l2})
+	if e := s2.emit(Event{Kind: "c"}); e.Seq != 4 {
+		t.Errorf("post-restart event seq = %d, want 4 (3 taken by restarted)", e.Seq)
+	}
+
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []string
+	var seqs []uint64
+	for _, line := range strings.Split(strings.TrimSpace(string(data)), "\n") {
+		var e Event
+		if err := json.Unmarshal([]byte(line), &e); err != nil {
+			t.Fatalf("bad event line %q: %v", line, err)
+		}
+		kinds = append(kinds, e.Kind)
+		seqs = append(seqs, e.Seq)
+	}
+	wantKinds := []string{"a", "b", "restarted", "c"}
+	if len(kinds) != len(wantKinds) {
+		t.Fatalf("event kinds = %v, want %v", kinds, wantKinds)
+	}
+	for i := range wantKinds {
+		if kinds[i] != wantKinds[i] {
+			t.Errorf("event %d kind = %q, want %q", i, kinds[i], wantKinds[i])
+		}
+		if seqs[i] != uint64(i+1) {
+			t.Errorf("event %d seq = %d, want %d", i, seqs[i], i+1)
+		}
+	}
+	// The restarted event names the seq it resumed from.
+	if !strings.Contains(string(data), "prev_max_seq=2") {
+		t.Error("restarted event does not carry prev_max_seq=2")
+	}
+}
+
+// TestProgressAndFarmStatus: the aggregation endpoints report a finished
+// sweep as terminal with consistent counts, and the farm view lists the
+// sweep, its worker, and a recent-event tail.
+func TestProgressAndFarmStatus(t *testing.T) {
+	spec := testSpec()
+	base, _, stop := startServer(t, quickOpts(), filepath.Join(t.TempDir(), "farm.jsonl"), "")
+	defer stop()
+	ctx, cancel := context.WithTimeout(context.Background(), 2*time.Minute)
+	defer cancel()
+	wctx, wcancel := context.WithCancel(ctx)
+	defer wcancel()
+	wg := startWorker(wctx, fastClient(base), "w1", nil)
+	defer wg.Wait()
+
+	c := fastClient(base)
+	c.Corr = NewCorrID()
+	out, err := c.RunSweep(ctx, spec, nil)
+	wcancel()
+	if err != nil || out.Completed != len(spec.Points) {
+		t.Fatalf("sweep: %+v, %v", out, err)
+	}
+
+	p, err := c.Progress(ctx, spec.ID())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !p.Terminal || p.Done != len(spec.Points) || p.Total != len(spec.Points) {
+		t.Errorf("progress: %+v", p)
+	}
+	if p.ETAMS != 0 {
+		t.Errorf("terminal ETAMS = %d, want 0", p.ETAMS)
+	}
+	if p.Corr != c.Corr {
+		t.Errorf("progress corr = %q, want %q", p.Corr, c.Corr)
+	}
+	if p.Attempts.Count != uint64(len(spec.Points)) {
+		t.Errorf("attempts dist count = %d, want %d", p.Attempts.Count, len(spec.Points))
+	}
+
+	fs, err := c.FarmStatus(ctx, 16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(fs.Sweeps) != 1 || !fs.Sweeps[0].Terminal {
+		t.Errorf("farm sweeps: %+v", fs.Sweeps)
+	}
+	if len(fs.Workers) == 0 {
+		t.Error("farm status lists no workers")
+	} else {
+		var w1 *WorkerStatus
+		for i := range fs.Workers {
+			if fs.Workers[i].ID == "w1" {
+				w1 = &fs.Workers[i]
+			}
+		}
+		if w1 == nil || w1.Done != uint64(len(spec.Points)) {
+			t.Errorf("worker w1 status: %+v", fs.Workers)
+		}
+	}
+	if len(fs.Events) == 0 || fs.Seq == 0 {
+		t.Errorf("farm status events/seq: %d events, seq %d", len(fs.Events), fs.Seq)
+	}
+}

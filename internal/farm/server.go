@@ -3,6 +3,7 @@ package farm
 import (
 	"encoding/json"
 	"fmt"
+	"log/slog"
 	"math/rand"
 	"net/http"
 	"strconv"
@@ -16,8 +17,13 @@ import (
 // sweep is one submitted spec's live state: its lease table plus the
 // append-only, completion-ordered result stream clients page through.
 type sweep struct {
-	id      string
-	spec    *SweepSpec
+	id   string
+	spec *SweepSpec
+	// corr is the correlation ID minted by the submitting client (or by the
+	// server when the client sent none); every lease, event, journal entry
+	// and crash bundle of this sweep carries it.
+	corr    string
+	created time.Time
 	hashes  []string // ConfigHash per point, derived once at submit
 	table   *leaseTable
 	results []PointResult
@@ -28,40 +34,72 @@ type sweep struct {
 
 // Server is the farm's job server. It owns the journal, the sweeps, and the
 // lease scheduler; every handler works under one lock (simulation work
-// happens in workers — the server only moves small records around).
+// happens in workers — the server only moves small records around). Live
+// telemetry — the event hub, SSE streams, progress aggregation — reads the
+// same state under the same lock.
 type Server struct {
 	opts Options
 	rng  *rand.Rand
+	hub  *eventHub
+	log  *slog.Logger
 
 	mu       sync.Mutex
 	sweeps   map[string]*sweep
 	order    []string // submission order, for fair deterministic leasing
+	workers  map[string]*workerInfo
 	leaseSeq uint64
+	corrSeq  atomic.Uint64
 	draining atomic.Bool
 	// drained closes when draining is set and no leases remain live.
 	drained chan struct{}
 }
 
 // NewServer builds a Server over opts (zero-value fields select defaults).
+// When the event log already holds events — the signature of a restart over
+// the same -events file — the server resumes the sequence from the log's max
+// seq and announces itself with a "restarted" event carrying it.
 func NewServer(opts Options) *Server {
 	opts = opts.withDefaults()
-	return &Server{
+	opts.Events.AttachMetrics(opts.Metrics)
+	s := &Server{
 		opts:    opts,
 		rng:     rand.New(rand.NewSource(opts.Seed*0x9e3779b9 + 1)),
+		hub:     newEventHub(opts.Events, opts.EventHistory, opts.Clock),
+		log:     opts.Logger,
 		sweeps:  map[string]*sweep{},
+		workers: map[string]*workerInfo{},
 		drained: make(chan struct{}),
 	}
+	if prev := opts.Events.LastSeq(); prev > 0 {
+		s.emit(Event{Kind: "restarted", Detail: fmt.Sprintf("prev_max_seq=%d", prev)})
+	}
+	return s
+}
+
+// emit publishes one event through the hub (seq + time stamped there), the
+// event log, and the structured log.
+func (s *Server) emit(e Event) Event {
+	e = s.hub.emit(e)
+	if s.log != nil {
+		s.log.Info(e.Kind,
+			"seq", e.Seq, "sweep", e.Sweep, "worker", e.Worker, "lease", e.Lease,
+			"point", e.Point, "corr", e.Corr, "detail", e.Detail)
+	}
+	return e
 }
 
 // Handler returns the farm API mux:
 //
-//	POST /v1/sweep      submit a spec (idempotent by spec ID)
-//	GET  /v1/sweep      status + result stream (?id=...&after=N)
-//	POST /v1/lease      acquire a point lease
-//	POST /v1/heartbeat  renew a lease (410 when the lease is gone)
-//	POST /v1/result     deliver a completed point (orphans accepted)
-//	POST /v1/fail       report a failed or crashed run
-//	GET  /v1/healthz    liveness
+//	POST /v1/sweep                     submit a spec (idempotent by spec ID)
+//	GET  /v1/sweep                     status + result stream (?id=...&after=N)
+//	POST /v1/lease                     acquire a point lease
+//	POST /v1/heartbeat                 renew a lease (410 when the lease is gone)
+//	POST /v1/result                    deliver a completed point (orphans accepted)
+//	POST /v1/fail                      report a failed or crashed run
+//	GET  /v1/healthz                   liveness
+//	GET  /api/v1/sweeps/{id}/events    live SSE stream (Last-Event-ID resume)
+//	GET  /api/v1/sweeps/{id}/progress  per-sweep progress aggregation
+//	GET  /api/v1/farm                  whole-farm status (sbtop's endpoint)
 func (s *Server) Handler() *http.ServeMux {
 	mux := http.NewServeMux()
 	mux.HandleFunc("POST /v1/sweep", s.handleSubmit)
@@ -73,6 +111,9 @@ func (s *Server) Handler() *http.ServeMux {
 	mux.HandleFunc("GET /v1/healthz", func(w http.ResponseWriter, r *http.Request) {
 		fmt.Fprintln(w, "ok")
 	})
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/events", s.handleSweepEvents)
+	mux.HandleFunc("GET /api/v1/sweeps/{id}/progress", s.handleSweepProgress)
+	mux.HandleFunc("GET /api/v1/farm", s.handleFarmStatus)
 	return mux
 }
 
@@ -101,7 +142,9 @@ func readJSON(w http.ResponseWriter, r *http.Request, v any) bool {
 
 // handleSubmit registers a sweep (idempotently — an identical spec attaches
 // to the live sweep) and immediately resolves every point the journal
-// already holds a verified result for.
+// already holds a verified result for. The submission's correlation ID
+// arrives in the X-Correlation-ID header; a client that sends none gets one
+// minted here, returned in the response header either way.
 func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	var spec SweepSpec
 	if !readJSON(w, r, &spec) {
@@ -112,25 +155,38 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	id := spec.ID()
+	corr := r.Header.Get(CorrHeader)
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if sw, ok := s.sweeps[id]; ok {
+		if corr != "" && corr != sw.corr {
+			// A different client attached to the live sweep: note it, but
+			// the sweep keeps the first submitter's ID.
+			s.emit(Event{Kind: "sweep_attached", Sweep: id, Corr: sw.corr,
+				Detail: "resubmitted with corr=" + corr})
+		}
 		restored := 0
 		for _, pr := range sw.results {
 			if pr.Restored {
 				restored++
 			}
 		}
+		w.Header().Set(CorrHeader, sw.corr)
 		writeJSON(w, SubmitResponse{
 			SweepID: id, Points: len(sw.spec.Points), Restored: restored, Existing: true,
 		})
 		return
 	}
 
+	if corr == "" {
+		corr = fmt.Sprintf("c-srv-%s-%d", id, s.corrSeq.Add(1))
+	}
 	sw := &sweep{
 		id:       id,
 		spec:     &spec,
+		corr:     corr,
+		created:  s.opts.Clock(),
 		table:    newLeaseTable(spec.Points, s.opts, s.opts.Clock, s.rng),
 		resolved: make([]bool, len(spec.Points)),
 	}
@@ -161,13 +217,20 @@ func (s *Server) handleSubmit(w http.ResponseWriter, r *http.Request) {
 	s.sweeps[id] = sw
 	s.order = append(s.order, id)
 	s.count("farm_sweeps_submitted")
-	s.opts.Events.Emit(Event{Kind: "sweep_submitted", Sweep: id,
+	s.emit(Event{Kind: "sweep_submitted", Sweep: id, Corr: corr,
 		Detail: fmt.Sprintf("points=%d restored=%d", len(spec.Points), restored)})
+	// Every journal-restored point gets its own result event so SSE
+	// consumers (and the grep trail) see restores like any other completion.
+	for _, pr := range sw.results {
+		s.emit(Event{Kind: "result", Sweep: id, Corr: corr,
+			PointID: pr.PointID, Point: pointLabel(pr.Point), Detail: "restored"})
+	}
+	w.Header().Set(CorrHeader, corr)
 	writeJSON(w, SubmitResponse{SweepID: id, Points: len(spec.Points), Restored: restored})
 }
 
 // handleStatus reports counts plus the completion-ordered result stream
-// from the caller's cursor.
+// from the caller's cursor, and the live progress aggregation.
 func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 	id := r.URL.Query().Get("id")
 	after, _ := strconv.Atoi(r.URL.Query().Get("after"))
@@ -180,16 +243,53 @@ func (s *Server) handleStatus(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	s.expireLocked(sw)
-	st := SweepStatus{SweepID: id, Total: len(sw.spec.Points), Draining: s.draining.Load()}
-	st.Pending, st.Leased, st.Done, st.Failed, st.Poisoned = sw.table.counts()
 	if after < 0 {
 		after = 0
 	}
+	writeJSON(w, s.statusLocked(sw, after))
+}
+
+// statusLocked builds the SweepStatus from the caller's cursor. Caller holds
+// s.mu and has already run expireLocked.
+func (s *Server) statusLocked(sw *sweep, after int) *SweepStatus {
+	st := &SweepStatus{SweepID: sw.id, Corr: sw.corr,
+		Total: len(sw.spec.Points), Draining: s.draining.Load()}
+	st.Pending, st.Leased, st.Done, st.Failed, st.Poisoned = sw.table.counts()
 	if after < len(sw.results) {
 		st.Results = append(st.Results, sw.results[after:]...)
 	}
 	st.NextCursor = len(sw.results)
-	writeJSON(w, st)
+	st.Progress = s.progressLocked(sw)
+	return st
+}
+
+// handleSweepProgress serves the per-sweep aggregation on its own.
+func (s *Server) handleSweepProgress(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sw, ok := s.sweeps[id]
+	if !ok {
+		http.Error(w, "unknown sweep "+id, http.StatusNotFound)
+		return
+	}
+	s.expireLocked(sw)
+	writeJSON(w, s.progressLocked(sw))
+}
+
+// handleFarmStatus serves the whole-farm view (sbtop's endpoint).
+// ?events=N bounds the event tail (default 32, 0 disables).
+func (s *Server) handleFarmStatus(w http.ResponseWriter, r *http.Request) {
+	tail := 32
+	if v := r.URL.Query().Get("events"); v != "" {
+		tail, _ = strconv.Atoi(v)
+	}
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for _, id := range s.order {
+		s.expireLocked(s.sweeps[id])
+	}
+	writeJSON(w, s.farmStatusLocked(tail))
 }
 
 // expireLocked runs the lease-expiry sweep for one sweep's table and
@@ -200,7 +300,7 @@ func (s *Server) expireLocked(sw *sweep) {
 	dead := sw.table.expire()
 	for _, la := range dead {
 		s.count("farm_leases_expired")
-		s.opts.Events.Emit(Event{Kind: "lease_expired", Sweep: sw.id,
+		s.emit(Event{Kind: "lease_expired", Sweep: sw.id, Corr: sw.corr,
 			Worker: la.l.worker, Lease: la.l.id,
 			PointID: la.entry.id, Point: pointLabel(la.entry.point)})
 	}
@@ -223,7 +323,7 @@ func (s *Server) harvestTerminal(sw *sweep) {
 		case statePoisoned:
 			status = StatusPoisoned
 			s.count("farm_points_poisoned")
-			s.opts.Events.Emit(Event{Kind: "point_poisoned", Sweep: sw.id,
+			s.emit(Event{Kind: "point_poisoned", Sweep: sw.id, Corr: sw.corr,
 				PointID: e.id, Point: pointLabel(e.point), Detail: e.lastErr})
 		default:
 			continue
@@ -233,6 +333,8 @@ func (s *Server) harvestTerminal(sw *sweep) {
 			PointID: e.id, Point: e.point, Status: status,
 			ConfigHash: sw.hashes[e.id], Error: e.lastErr,
 		})
+		s.emit(Event{Kind: "result", Sweep: sw.id, Corr: sw.corr,
+			PointID: e.id, Point: pointLabel(e.point), Detail: status})
 	}
 }
 
@@ -250,6 +352,7 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.touchWorker(req.Worker)
 	if s.draining.Load() {
 		writeJSON(w, leaseResponse{Draining: true})
 		return
@@ -264,12 +367,12 @@ func (s *Server) handleLease(w http.ResponseWriter, r *http.Request) {
 			continue
 		}
 		s.count("farm_leases_granted")
-		s.opts.Events.Emit(Event{Kind: "lease_granted", Sweep: sw.id,
+		s.emit(Event{Kind: "lease_granted", Sweep: sw.id, Corr: sw.corr,
 			Worker: req.Worker, Lease: l.id, PointID: e.id,
 			Point: pointLabel(e.point), Detail: fmt.Sprintf("attempt=%d", e.attempt)})
 		writeJSON(w, leaseResponse{Job: &Job{
 			SweepID: sw.id, LeaseID: l.id, PointID: e.id, Point: e.point,
-			Spec: *sw.spec, ConfigHash: sw.hashes[e.id],
+			Spec: *sw.spec, ConfigHash: sw.hashes[e.id], Corr: sw.corr,
 			TTLMS: s.opts.LeaseTTL.Milliseconds(), Attempt: e.attempt,
 		}})
 		return
@@ -289,6 +392,7 @@ func (s *Server) handleHeartbeat(w http.ResponseWriter, r *http.Request) {
 	}
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.touchWorker(req.Worker)
 	sw, ok := s.sweeps[req.SweepID]
 	if !ok {
 		http.Error(w, "unknown sweep", http.StatusGone)
@@ -329,14 +433,15 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	wi := s.touchWorker(req.Worker)
 	sw, ok := s.sweeps[req.SweepID]
 	if !ok {
 		// Orphan beyond the sweep itself: the server restarted and the
 		// sweep was not resubmitted yet. Journal the verified result so
 		// the resubmission restores it.
-		s.journalLocked(req.Point, req.ConfigHash, res, req.WallMS)
+		s.journalLocked(req.Point, req.ConfigHash, res, req.WallMS, req.Corr)
 		s.count("farm_results_orphaned")
-		s.opts.Events.Emit(Event{Kind: "result_orphaned", Sweep: req.SweepID,
+		s.emit(Event{Kind: "result_orphaned", Sweep: req.SweepID, Corr: req.Corr,
 			Worker: req.Worker, Point: pointLabel(req.Point)})
 		writeJSON(w, struct{}{})
 		return
@@ -367,7 +472,7 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 
-	s.journalLocked(req.Point, req.ConfigHash, res, req.WallMS)
+	s.journalLocked(req.Point, req.ConfigHash, res, req.WallMS, sw.corr)
 	sw.table.complete(req.PointID, req.LeaseID)
 	sw.resolved[req.PointID] = true
 	sw.results = append(sw.results, PointResult{
@@ -375,9 +480,13 @@ func (s *Server) handleResult(w http.ResponseWriter, r *http.Request) {
 		ConfigHash: req.ConfigHash, FingerprintSHA: sha,
 		Result: req.Result, Attempts: req.Attempts,
 	})
+	if wi != nil {
+		wi.done++
+	}
 	s.count("farm_results_ok")
-	s.opts.Events.Emit(Event{Kind: "result", Sweep: sw.id, Worker: req.Worker,
-		Lease: req.LeaseID, PointID: req.PointID, Point: pointLabel(req.Point)})
+	s.emit(Event{Kind: "result", Sweep: sw.id, Corr: sw.corr, Worker: req.Worker,
+		Lease: req.LeaseID, PointID: req.PointID, Point: pointLabel(req.Point),
+		Detail: StatusDone})
 	s.checkDrained()
 	writeJSON(w, struct{}{})
 }
@@ -393,7 +502,7 @@ func (s *Server) findResult(sw *sweep, pointID int) *PointResult {
 
 // journalLocked records a verified result; journaling failures are logged
 // but do not fail the delivery (the result is still live in memory).
-func (s *Server) journalLocked(p Point, hash string, res *scalablebulk.Result, wallMS float64) {
+func (s *Server) journalLocked(p Point, hash string, res *scalablebulk.Result, wallMS float64, corr string) {
 	if s.opts.Journal == nil {
 		return
 	}
@@ -401,8 +510,8 @@ func (s *Server) journalLocked(p Point, hash string, res *scalablebulk.Result, w
 		return // already journaled (duplicate or cross-sweep dedup)
 	}
 	wall := time.Duration(wallMS * float64(time.Millisecond))
-	if err := s.opts.Journal.Record(p, hash, res, wall); err != nil {
-		s.opts.Events.Emit(Event{Kind: "journal_error", Point: pointLabel(p),
+	if err := s.opts.Journal.RecordCorr(p, hash, res, wall, corr); err != nil {
+		s.emit(Event{Kind: "journal_error", Point: pointLabel(p), Corr: corr,
 			Detail: err.Error()})
 	}
 }
@@ -416,13 +525,17 @@ func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	if req.Crash != nil && s.opts.CrashDir != "" {
+		if req.Crash.Corr == "" {
+			req.Crash.Corr = req.Corr
+		}
 		if _, err := scalablebulk.WriteCrashBundle(s.opts.CrashDir, req.Crash); err != nil {
-			s.opts.Events.Emit(Event{Kind: "crash_bundle_error", Detail: err.Error()})
+			s.emit(Event{Kind: "crash_bundle_error", Corr: req.Corr, Detail: err.Error()})
 		}
 	}
 
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	wi := s.touchWorker(req.Worker)
 	sw, ok := s.sweeps[req.SweepID]
 	if !ok {
 		writeJSON(w, struct{}{}) // orphan failure: the re-submitted sweep re-runs the point anyway
@@ -431,7 +544,13 @@ func (s *Server) handleFail(w http.ResponseWriter, r *http.Request) {
 	s.expireLocked(sw)
 	if sw.table.fail(req.LeaseID, req.Crash != nil, req.Error) {
 		s.count("farm_point_failures")
-		s.opts.Events.Emit(Event{Kind: "run_failed", Sweep: sw.id, Worker: req.Worker,
+		if wi != nil {
+			wi.failed++
+			if req.Crash != nil {
+				wi.crashed++
+			}
+		}
+		s.emit(Event{Kind: "run_failed", Sweep: sw.id, Corr: sw.corr, Worker: req.Worker,
 			Lease: req.LeaseID, PointID: req.PointID, Point: pointLabel(req.Point),
 			Detail: req.Error})
 	}
@@ -447,7 +566,7 @@ func (s *Server) Drain() <-chan struct{} {
 	s.mu.Lock()
 	defer s.mu.Unlock()
 	if !s.draining.Swap(true) {
-		s.opts.Events.Emit(Event{Kind: "draining"})
+		s.emit(Event{Kind: "draining"})
 	}
 	s.checkDrained()
 	return s.drained

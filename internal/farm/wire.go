@@ -179,6 +179,10 @@ type Job struct {
 	PointID int       `json:"point_id"` // index into the spec's Points
 	Point   Point     `json:"point"`
 	Spec    SweepSpec `json:"spec"`
+	// Corr is the sweep's correlation ID (minted by the submitting client);
+	// the worker threads it through its logs, the result/fail reports and
+	// any crash bundle, so one grep follows the point across processes.
+	Corr string `json:"corr,omitempty"`
 	// ConfigHash is the server's hash of the point's config. A worker
 	// whose binary derives a different hash must refuse the job — running
 	// it would journal a result under a key the server can never match.
@@ -213,6 +217,7 @@ type resultRequest struct {
 	SweepID    string `json:"sweep_id"`
 	LeaseID    string `json:"lease_id,omitempty"` // empty for orphan results
 	Worker     string `json:"worker"`
+	Corr       string `json:"corr,omitempty"`
 	PointID    int    `json:"point_id"`
 	Point      Point  `json:"point"`
 	ConfigHash string `json:"config_hash"`
@@ -228,6 +233,7 @@ type failRequest struct {
 	SweepID string `json:"sweep_id"`
 	LeaseID string `json:"lease_id"`
 	Worker  string `json:"worker"`
+	Corr    string `json:"corr,omitempty"`
 	PointID int    `json:"point_id"`
 	Point   Point  `json:"point"`
 	Error   string `json:"error"`
@@ -260,9 +266,12 @@ type PointResult struct {
 
 // SweepStatus answers GET /v1/sweep: aggregate counts plus the result
 // stream after the client's cursor. A client that reconnects resets its
-// cursor to zero and dedupes by PointID — results are append-only.
+// cursor to zero and dedupes by PointID — results are append-only. The same
+// shape is the payload of the SSE "snapshot" event, where Results always
+// holds the full stream.
 type SweepStatus struct {
 	SweepID  string `json:"sweep_id"`
+	Corr     string `json:"corr,omitempty"`
 	Total    int    `json:"total"`
 	Pending  int    `json:"pending"`
 	Leased   int    `json:"leased"`
@@ -274,9 +283,113 @@ type SweepStatus struct {
 	// NextCursor is the cursor to pass next time.
 	Results    []PointResult `json:"results,omitempty"`
 	NextCursor int           `json:"next_cursor"`
+	// Progress is the server's live aggregation for this sweep (rates,
+	// histograms, ETA).
+	Progress *SweepProgress `json:"progress,omitempty"`
 }
 
 // Terminal reports whether every point has reached a terminal state.
 func (s *SweepStatus) Terminal() bool {
 	return s.Done+s.Failed+s.Poisoned >= s.Total
+}
+
+// Dist is a small self-describing distribution: fixed histogram buckets
+// (Counts has len(Bounds)+1 entries, the last an overflow bucket) plus exact
+// count/sum/min/max, computed server-side from live state.
+type Dist struct {
+	Bounds []float64 `json:"bounds,omitempty"`
+	Counts []uint64  `json:"counts,omitempty"`
+	Count  uint64    `json:"count"`
+	Sum    float64   `json:"sum"`
+	Min    float64   `json:"min,omitempty"`
+	Max    float64   `json:"max,omitempty"`
+}
+
+// Mean returns Sum/Count (0 when empty).
+func (d Dist) Mean() float64 {
+	if d.Count == 0 {
+		return 0
+	}
+	return d.Sum / float64(d.Count)
+}
+
+// SweepProgress is the server-side per-sweep aggregation exposed over
+// GET /api/v1/sweeps/{id}/progress, folded into SweepStatus, and streamed as
+// SSE "progress" events: state counts, throughput, live lease ages, the
+// requeue picture and an ETA.
+type SweepProgress struct {
+	SweepID  string `json:"sweep_id"`
+	Corr     string `json:"corr,omitempty"`
+	Total    int    `json:"total"`
+	Queued   int    `json:"queued"`
+	Leased   int    `json:"leased"`
+	Done     int    `json:"done"`
+	Failed   int    `json:"failed"`
+	Poisoned int    `json:"poisoned"`
+	// Restored counts Done points satisfied from the journal without a run.
+	Restored int `json:"restored"`
+	// PointsPerSec is fresh (non-restored) completions over the sweep's
+	// lifetime; ETAMS extrapolates the remaining points at that rate
+	// (-1 while the rate is still unknown).
+	PointsPerSec float64 `json:"points_per_sec"`
+	ElapsedMS    int64   `json:"elapsed_ms"`
+	ETAMS        int64   `json:"eta_ms"`
+	// Requeues is the total number of re-queues (grants beyond each point's
+	// first) so far; Attempts distributes lease grants across points.
+	Requeues int  `json:"requeues"`
+	Attempts Dist `json:"attempts"`
+	// LeaseAgeMS distributes the ages of the currently live leases.
+	LeaseAgeMS Dist `json:"lease_age_ms"`
+	// Workers counts distinct workers currently holding leases.
+	Workers  int  `json:"workers"`
+	Terminal bool `json:"terminal"`
+}
+
+// WorkerStatus is one worker's row in FarmStatus, aggregated from every
+// request the server has seen it make.
+type WorkerStatus struct {
+	ID string `json:"id"`
+	// IdleMS is how long ago the worker last contacted the server.
+	IdleMS int64 `json:"idle_ms"`
+	// Leases counts the live leases it holds right now.
+	Leases  int    `json:"leases"`
+	Done    uint64 `json:"done"`
+	Failed  uint64 `json:"failed"`
+	Crashed uint64 `json:"crashed"`
+}
+
+// LeaseStatus is one live lease in FarmStatus.
+type LeaseStatus struct {
+	Sweep   string `json:"sweep"`
+	Lease   string `json:"lease"`
+	Worker  string `json:"worker"`
+	PointID int    `json:"point_id"`
+	Point   string `json:"point"`
+	Corr    string `json:"corr,omitempty"`
+	Attempt int    `json:"attempt"`
+	AgeMS   int64  `json:"age_ms"`
+	TTLMS   int64  `json:"ttl_ms"`
+}
+
+// PoisonStatus is one quarantined point in FarmStatus.
+type PoisonStatus struct {
+	Sweep   string `json:"sweep"`
+	PointID int    `json:"point_id"`
+	Point   string `json:"point"`
+	Corr    string `json:"corr,omitempty"`
+	Error   string `json:"error,omitempty"`
+}
+
+// FarmStatus answers GET /api/v1/farm: the whole server at a glance —
+// per-sweep progress, the worker pool, live leases, the poison list and an
+// event tail. This is sbtop's wire format.
+type FarmStatus struct {
+	Now      string          `json:"now"`
+	Seq      uint64          `json:"seq"`
+	Draining bool            `json:"draining,omitempty"`
+	Sweeps   []SweepProgress `json:"sweeps,omitempty"`
+	Workers  []WorkerStatus  `json:"workers,omitempty"`
+	Leases   []LeaseStatus   `json:"leases,omitempty"`
+	Poisoned []PoisonStatus  `json:"poisoned,omitempty"`
+	Events   []Event         `json:"events,omitempty"`
 }

@@ -4,6 +4,7 @@ import (
 	"context"
 	"errors"
 	"fmt"
+	"log/slog"
 	"sync"
 	"time"
 
@@ -23,17 +24,36 @@ type Worker struct {
 	// Poll paces idle polling when the server has no work (0 selects the
 	// server's hint, falling back to 500ms).
 	Poll time.Duration
-	// OnPoint, when non-nil, observes every leased point before it runs —
-	// the failure-mode tests use it to kill workers mid-lease.
+	// OnPoint, when non-nil, observes every leased point before it runs,
+	// inside the run's panic-isolation scope — the failure-mode tests use
+	// it to kill workers mid-lease or inject panics that become real crash
+	// bundles.
 	OnPoint func(workerID string, p Point)
 	// Printf, when non-nil, receives progress lines.
 	Printf func(format string, args ...any)
+	// Log, when non-nil, receives structured progress lines; every
+	// job-scoped line carries the sweep's correlation ID.
+	Log *slog.Logger
 }
 
 func (w *Worker) logf(format string, args ...any) {
 	if w.Printf != nil {
 		w.Printf(format, args...)
 	}
+}
+
+// logJob emits one structured line about a leased job, stamped with the
+// identifiers (sweep, lease, point, corr) that make the line greppable
+// alongside the server's event log and crash bundles.
+func (w *Worker) logJob(job *Job, msg string, args ...any) {
+	if w.Log == nil {
+		return
+	}
+	w.Log.Info(msg, append([]any{
+		"worker", w.ID, "sweep", job.SweepID, "lease", job.LeaseID,
+		"point", pointLabel(job.Point), "point_id", job.PointID,
+		"attempt", job.Attempt, "corr", job.Corr,
+	}, args...)...)
 }
 
 // Run leases and executes points until ctx is canceled or the server
@@ -97,9 +117,7 @@ func (w *Worker) Run(ctx context.Context) error {
 // declares the lease gone (the point is already re-queued; finishing would
 // only waste cycles).
 func (w *Worker) runJob(ctx context.Context, job *Job) {
-	if w.OnPoint != nil {
-		w.OnPoint(w.ID, job.Point)
-	}
+	w.logJob(job, "lease_granted")
 	prof, cfg, err := job.Spec.Resolve(job.Point)
 	if err != nil {
 		w.failJob(job, fmt.Sprintf("resolve: %v", err), nil)
@@ -154,6 +172,7 @@ func (w *Worker) runJob(ctx context.Context, job *Job) {
 		// The server presumed us dead and re-queued the point; someone
 		// else owns it now. Abandon silently.
 		w.logf("worker %s: lease %s gone, abandoning %s", w.ID, job.LeaseID, pointLabel(job.Point))
+		w.logJob(job, "lease_gone")
 		return
 	}
 	if runErr != nil {
@@ -171,21 +190,29 @@ func (w *Worker) runJob(ctx context.Context, job *Job) {
 	defer cancel()
 	if err := w.Client.Result(dctx, job, w.ID, res, time.Since(start)); err != nil {
 		w.logf("worker %s: result delivery for %s failed: %v", w.ID, pointLabel(job.Point), err)
+		w.logJob(job, "result_delivery_failed", "error", err.Error())
 		return
 	}
 	w.logf("worker %s: completed %s (attempt %d)", w.ID, pointLabel(job.Point), job.Attempt)
+	w.logJob(job, "completed")
 }
 
 // runPoint executes the simulation with panic isolation: a panic becomes a
-// *CrashError carrying the crash report, exactly like the in-process sweep
-// worker's recovery.
+// *CrashError carrying the crash report (stamped with the sweep's
+// correlation ID), exactly like the in-process sweep worker's recovery.
+// OnPoint runs inside this scope, so a test hook that panics produces a
+// genuine crash bundle rather than killing the worker.
 func (w *Worker) runPoint(ctx context.Context, job *Job, prof scalablebulk.Profile, cfg scalablebulk.Config) (res *scalablebulk.Result, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			report := scalablebulk.NewCrashReport(job.Point, cfg, r)
+			report.Corr = job.Corr
 			res, err = nil, &scalablebulk.CrashError{Point: job.Point, Report: report}
 		}
 	}()
+	if w.OnPoint != nil {
+		w.OnPoint(w.ID, job.Point)
+	}
 	return scalablebulk.RunWithRetry(ctx, prof, cfg, job.Spec.RetryPolicy())
 }
 
@@ -197,4 +224,5 @@ func (w *Worker) failJob(job *Job, msg string, crash *scalablebulk.CrashReport) 
 		w.logf("worker %s: fail report for %s lost: %v", w.ID, pointLabel(job.Point), err)
 	}
 	w.logf("worker %s: failed %s: %s", w.ID, pointLabel(job.Point), msg)
+	w.logJob(job, "run_failed", "error", msg, "crashed", crash != nil)
 }

@@ -21,10 +21,11 @@ var (
 
 // Serve exposes the registry over HTTP on addr (the -telemetry flag):
 //
-//	/metrics      deterministic JSON snapshot of the registry
-//	/debug/vars   expvar (Go runtime memstats + the registry under
-//	              "scalablebulk")
-//	/debug/pprof  live CPU/heap/goroutine profiling for multi-hour soaks
+//	/metrics       deterministic JSON snapshot of the registry
+//	/metrics.prom  Prometheus text exposition (version 0.0.4)
+//	/debug/vars    expvar (Go runtime memstats + the registry under
+//	               "scalablebulk")
+//	/debug/pprof   live CPU/heap/goroutine profiling for multi-hour soaks
 //
 // It returns the bound address (useful with ":0") and a shutdown func. The
 // server runs on its own goroutine and never touches the simulator's
@@ -56,6 +57,7 @@ func Handler(reg *Registry) *http.ServeMux {
 	})
 
 	mux := http.NewServeMux()
+	mux.HandleFunc("/metrics.prom", PromHandler(reg))
 	mux.HandleFunc("/metrics", func(w http.ResponseWriter, r *http.Request) {
 		w.Header().Set("Content-Type", "application/json")
 		data, err := json.MarshalIndent(reg.Snapshot(), "", "  ")

@@ -1,0 +1,179 @@
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// PromContentType is the Prometheus text exposition format version this
+// package writes.
+const PromContentType = "text/plain; version=0.0.4; charset=utf-8"
+
+// summaryQuantiles are the quantiles estimated from each histogram's buckets
+// and emitted as a sibling summary metric (<name>_approx). Bucket counts only
+// bound a quantile to its bucket, so the estimate interpolates linearly
+// inside the bucket — good enough to watch a soak, not a substitute for the
+// raw buckets (which are exported in full).
+var summaryQuantiles = []float64{0.5, 0.9, 0.99}
+
+// WritePrometheus renders the snapshot in the Prometheus text exposition
+// format (version 0.0.4): counters and gauges as single samples, histograms
+// as cumulative le-labeled buckets with _sum and _count, plus an estimated
+// quantile summary under <name>_approx. Output is deterministic — metrics
+// sort by name within each section — so it can be golden-tested.
+func WritePrometheus(w io.Writer, s Snapshot) error {
+	names := make([]string, 0, len(s.Counters))
+	for name := range s.Counters {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s counter\n%s %d\n", n, n, s.Counters[name]); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Gauges {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		n := promName(name)
+		if _, err := fmt.Fprintf(w, "# TYPE %s gauge\n%s %s\n", n, n, promFloat(s.Gauges[name])); err != nil {
+			return err
+		}
+	}
+
+	names = names[:0]
+	for name := range s.Histograms {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	for _, name := range names {
+		if err := writePromHistogram(w, promName(name), s.Histograms[name]); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func writePromHistogram(w io.Writer, name string, h HistogramSnapshot) error {
+	if _, err := fmt.Fprintf(w, "# TYPE %s histogram\n", name); err != nil {
+		return err
+	}
+	// Buckets are cumulative in the exposition format; the registry keeps
+	// them disjoint, so accumulate while walking the bounds.
+	cum := uint64(0)
+	for i, bound := range h.Bounds {
+		cum += h.Counts[i]
+		if _, err := fmt.Fprintf(w, "%s_bucket{le=%q} %d\n", name, promFloat(bound), cum); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_bucket{le=\"+Inf\"} %d\n", name, h.Count); err != nil {
+		return err
+	}
+	if _, err := fmt.Fprintf(w, "%s_sum %s\n%s_count %d\n", name, promFloat(h.Sum), name, h.Count); err != nil {
+		return err
+	}
+	// The estimated quantile summary rides alongside under a distinct name
+	// (a summary and a histogram cannot share one).
+	if _, err := fmt.Fprintf(w, "# TYPE %s_approx summary\n", name); err != nil {
+		return err
+	}
+	for _, q := range summaryQuantiles {
+		v := h.Quantile(q)
+		if _, err := fmt.Fprintf(w, "%s_approx{quantile=%q} %s\n",
+			name, strconv.FormatFloat(q, 'g', -1, 64), promFloat(v)); err != nil {
+			return err
+		}
+	}
+	if _, err := fmt.Fprintf(w, "%s_approx_sum %s\n%s_approx_count %d\n",
+		name, promFloat(h.Sum), name, h.Count); err != nil {
+		return err
+	}
+	return nil
+}
+
+// Quantile estimates the q-quantile (0 ≤ q ≤ 1) from the snapshot's buckets,
+// interpolating linearly inside the bucket the rank lands in. An empty
+// histogram reports NaN; ranks past the last bound report the last bound
+// (the overflow bucket has no upper edge to interpolate toward).
+func (h HistogramSnapshot) Quantile(q float64) float64 {
+	if h.Count == 0 {
+		return math.NaN()
+	}
+	rank := q * float64(h.Count)
+	cum := uint64(0)
+	lower := 0.0
+	for i, bound := range h.Bounds {
+		prev := cum
+		cum += h.Counts[i]
+		if float64(cum) >= rank {
+			in := h.Counts[i]
+			if in == 0 {
+				return bound
+			}
+			frac := (rank - float64(prev)) / float64(in)
+			return lower + frac*(bound-lower)
+		}
+		lower = bound
+	}
+	if len(h.Bounds) == 0 {
+		return math.NaN()
+	}
+	return h.Bounds[len(h.Bounds)-1]
+}
+
+// promFloat formats a float the way the exposition format expects: shortest
+// round-trip representation, with +Inf/-Inf/NaN spelled out.
+func promFloat(v float64) string {
+	switch {
+	case math.IsInf(v, 1):
+		return "+Inf"
+	case math.IsInf(v, -1):
+		return "-Inf"
+	case math.IsNaN(v):
+		return "NaN"
+	}
+	return strconv.FormatFloat(v, 'g', -1, 64)
+}
+
+// promName sanitizes a registry name into a legal exposition metric name
+// ([a-zA-Z_:][a-zA-Z0-9_:]*). Registry names are snake_case already; this
+// only defends against the odd dotted or dashed name.
+func promName(name string) string {
+	var b strings.Builder
+	for i, r := range name {
+		ok := r == '_' || r == ':' ||
+			(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+			(i > 0 && r >= '0' && r <= '9')
+		if ok {
+			b.WriteRune(r)
+		} else {
+			b.WriteByte('_')
+		}
+	}
+	return b.String()
+}
+
+// PromHandler serves the registry in the Prometheus text exposition format —
+// the /metrics.prom endpoint, next to the JSON /metrics.
+func PromHandler(reg *Registry) http.HandlerFunc {
+	return func(w http.ResponseWriter, r *http.Request) {
+		w.Header().Set("Content-Type", PromContentType)
+		var b strings.Builder
+		if err := WritePrometheus(&b, reg.Snapshot()); err != nil {
+			http.Error(w, err.Error(), http.StatusInternalServerError)
+			return
+		}
+		io.WriteString(w, b.String())
+	}
+}

@@ -1,0 +1,183 @@
+package metrics
+
+import (
+	"flag"
+	"fmt"
+	"io"
+	"math"
+	"net/http"
+	"os"
+	"path/filepath"
+	"strconv"
+	"strings"
+	"testing"
+)
+
+var updateProm = flag.Bool("update", false, "rewrite the exposition golden file")
+
+// promTestRegistry is a registry with one of everything, values chosen so
+// bucket accumulation, float formatting and quantile interpolation all show
+// up in the golden.
+func promTestRegistry() *Registry {
+	r := NewRegistry()
+	r.Counter("farm_results_ok").Add(12)
+	r.Counter("farm_leases_granted").Add(34)
+	r.Gauge("farm_points_per_sec").Set(2.5)
+	r.Gauge("queue_depth").Set(0)
+	h := r.Histogram("farm_lease_age_ms", []float64{10, 100, 1000})
+	for _, v := range []float64{5, 10, 50, 70, 500, 5000} {
+		h.Observe(v)
+	}
+	return r
+}
+
+// TestPromGolden pins the exposition output byte for byte. Regenerate with
+//
+//	go test ./internal/metrics -run TestPromGolden -update
+func TestPromGolden(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, promTestRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	got := b.String()
+	golden := filepath.Join("testdata", "exposition.prom")
+	if *updateProm {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(golden, []byte(got), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	want, err := os.ReadFile(golden)
+	if err != nil {
+		t.Fatalf("%v (run with -update to regenerate)", err)
+	}
+	if got != string(want) {
+		t.Errorf("exposition drifted from golden (run with -update to regenerate):\ngot:\n%s\nwant:\n%s", got, want)
+	}
+}
+
+// TestPromParses walks the output with a minimal exposition parser: every
+// non-comment line must be `name{labels} value` with a parseable float, every
+// # TYPE must name a valid type, and histogram buckets must be cumulative.
+func TestPromParses(t *testing.T) {
+	var b strings.Builder
+	if err := WritePrometheus(&b, promTestRegistry().Snapshot()); err != nil {
+		t.Fatal(err)
+	}
+	var lastBucket float64 = -1
+	var lastBucketCum uint64
+	for _, line := range strings.Split(strings.TrimRight(b.String(), "\n"), "\n") {
+		if strings.HasPrefix(line, "# TYPE ") {
+			parts := strings.Fields(line)
+			if len(parts) != 4 {
+				t.Fatalf("malformed TYPE line %q", line)
+			}
+			switch parts[3] {
+			case "counter", "gauge", "histogram", "summary":
+			default:
+				t.Errorf("invalid metric type %q in %q", parts[3], line)
+			}
+			lastBucket, lastBucketCum = -1, 0
+			continue
+		}
+		sp := strings.LastIndexByte(line, ' ')
+		if sp < 0 {
+			t.Fatalf("sample line %q has no value", line)
+		}
+		name, value := line[:sp], line[sp+1:]
+		v, err := strconv.ParseFloat(value, 64)
+		if err != nil && value != "+Inf" && value != "NaN" {
+			t.Errorf("unparseable value %q in %q", value, line)
+		}
+		if i := strings.IndexByte(name, '{'); i >= 0 {
+			if !strings.HasSuffix(name, "}") {
+				t.Errorf("unbalanced label braces in %q", line)
+			}
+			name = name[:i]
+		}
+		for i, r := range name {
+			ok := r == '_' || r == ':' ||
+				(r >= 'a' && r <= 'z') || (r >= 'A' && r <= 'Z') ||
+				(i > 0 && r >= '0' && r <= '9')
+			if !ok {
+				t.Errorf("invalid metric name %q in %q", name, line)
+				break
+			}
+		}
+		if strings.HasSuffix(name, "_bucket") {
+			le := line[strings.Index(line, `le="`)+4:]
+			le = le[:strings.IndexByte(le, '"')]
+			bound := math.Inf(1)
+			if le != "+Inf" {
+				bound, err = strconv.ParseFloat(le, 64)
+				if err != nil {
+					t.Fatalf("unparseable le %q in %q", le, line)
+				}
+			}
+			cum := uint64(v)
+			if bound <= lastBucket {
+				t.Errorf("bucket bounds not increasing at %q", line)
+			}
+			if cum < lastBucketCum {
+				t.Errorf("bucket counts not cumulative at %q", line)
+			}
+			lastBucket, lastBucketCum = bound, cum
+		}
+	}
+}
+
+func TestHistogramQuantile(t *testing.T) {
+	h := HistogramSnapshot{
+		Bounds: []float64{10, 100},
+		Counts: []uint64{4, 4, 2}, // [0,10) ×4, [10,100) ×4, overflow ×2
+		Count:  10,
+	}
+	// Median rank 5 lands in the second bucket, one observation in: 10 +
+	// (5-4)/4 × 90 = 32.5.
+	if got := h.Quantile(0.5); math.Abs(got-32.5) > 1e-9 {
+		t.Errorf("p50 = %v, want 32.5", got)
+	}
+	// Rank 9.9 lands in the overflow bucket: clamped to the last bound.
+	if got := h.Quantile(0.99); got != 100 {
+		t.Errorf("p99 = %v, want 100 (clamped)", got)
+	}
+	if got := (HistogramSnapshot{}).Quantile(0.5); !math.IsNaN(got) {
+		t.Errorf("empty-histogram quantile = %v, want NaN", got)
+	}
+}
+
+func TestPromEndpoint(t *testing.T) {
+	addr, closeFn, err := Serve("127.0.0.1:0", promTestRegistry())
+	if err != nil {
+		t.Skipf("cannot listen: %v", err)
+	}
+	defer closeFn()
+	resp, err := http.Get("http://" + addr + "/metrics.prom")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	body, _ := io.ReadAll(resp.Body)
+	if resp.StatusCode != http.StatusOK {
+		t.Fatalf("GET /metrics.prom = %d", resp.StatusCode)
+	}
+	if ct := resp.Header.Get("Content-Type"); ct != PromContentType {
+		t.Errorf("content type = %q, want %q", ct, PromContentType)
+	}
+	if !strings.Contains(string(body), "farm_results_ok 12") {
+		t.Errorf("exposition missing counter sample:\n%s", body)
+	}
+}
+
+func ExampleWritePrometheus() {
+	r := NewRegistry()
+	r.Counter("points_done").Add(3)
+	var b strings.Builder
+	WritePrometheus(&b, r.Snapshot())
+	fmt.Print(b.String())
+	// Output:
+	// # TYPE points_done counter
+	// points_done 3
+}

@@ -85,19 +85,23 @@ func FingerprintSHA(r *Result) string { return fingerprintHash(ResultFingerprint
 // diagnose one panicking sweep point. Written as JSON under the crash
 // directory while the remaining points keep running.
 type CrashReport struct {
-	Time         string              `json:"time"`
-	App          string              `json:"app"`
-	Protocol     string              `json:"protocol"`
-	Cores        int                 `json:"cores"`
-	Seed         int64               `json:"seed"`
-	FaultProfile string              `json:"fault_profile,omitempty"`
-	FaultSeed    int64               `json:"fault_seed,omitempty"`
-	ConfigHash   string              `json:"config_hash"`
-	Cycle        event.Time          `json:"cycle_reached,omitempty"`
-	Panic        string              `json:"panic"`
-	MachineDump  string              `json:"machine_dump,omitempty"` // truncated (system.MaxDumpLines)
-	Stack        string              `json:"stack"`
-	Attempts     []system.RunAttempt `json:"attempts,omitempty"`
+	Time         string `json:"time"`
+	App          string `json:"app"`
+	Protocol     string `json:"protocol"`
+	Cores        int    `json:"cores"`
+	Seed         int64  `json:"seed"`
+	FaultProfile string `json:"fault_profile,omitempty"`
+	FaultSeed    int64  `json:"fault_seed,omitempty"`
+	ConfigHash   string `json:"config_hash"`
+	// Corr is the farm correlation ID of the sweep that ran the point, when
+	// the crash happened under a farm lease — the grep key tying this bundle
+	// to the client log, server event log and journal entry.
+	Corr        string              `json:"corr,omitempty"`
+	Cycle       event.Time          `json:"cycle_reached,omitempty"`
+	Panic       string              `json:"panic"`
+	MachineDump string              `json:"machine_dump,omitempty"` // truncated (system.MaxDumpLines)
+	Stack       string              `json:"stack"`
+	Attempts    []system.RunAttempt `json:"attempts,omitempty"`
 	// FlightRecorder is the trace ring's tail (oldest first) when the run had
 	// Config.FlightRecorder enabled: the last events before the crash.
 	FlightRecorder []string `json:"flight_recorder,omitempty"`
@@ -265,7 +269,10 @@ type journalEntry struct {
 	Fingerprint string              `json:"fingerprint_sha256"`
 	WallMS      float64             `json:"wall_ms"`
 	Attempts    []system.RunAttempt `json:"attempts,omitempty"`
-	Result      *resultJSON         `json:"result"`
+	// Corr is the farm correlation ID of the sweep that recorded the entry
+	// ("" for in-process sweeps).
+	Corr   string      `json:"corr,omitempty"`
+	Result *resultJSON `json:"result"`
 }
 
 type journalKey struct {
@@ -387,12 +394,20 @@ func (j *Journal) Lookup(p Point, configHash string) (res *Result, attempts []sy
 // Record appends one completed point, fsyncing so a subsequent kill cannot
 // lose it.
 func (j *Journal) Record(p Point, configHash string, res *Result, wall time.Duration) error {
+	return j.RecordCorr(p, configHash, res, wall, "")
+}
+
+// RecordCorr is Record with a correlation ID stamped into the entry — the
+// farm server records through this so `grep <corr>` finds the journal line
+// alongside the event log and crash bundles.
+func (j *Journal) RecordCorr(p Point, configHash string, res *Result, wall time.Duration, corr string) error {
 	e := &journalEntry{
 		V: 1, App: p.App, Protocol: p.Protocol, Cores: p.Cores,
 		ConfigHash:  configHash,
 		Fingerprint: fingerprintHash(ResultFingerprint(res)),
 		WallMS:      float64(wall.Microseconds()) / 1000,
 		Attempts:    res.Attempts,
+		Corr:        corr,
 		Result:      toResultJSON(res),
 	}
 	data, err := json.Marshal(e)
