@@ -19,9 +19,16 @@ const detChunks = 1
 // serialFingerprint runs one point exactly the way Session.run does and
 // fingerprints it.
 func serialFingerprint(t *testing.T, app, protocol string, cores int, seed int64) string {
+	return fingerprintWith(t, app, protocol, cores, 0, seed)
+}
+
+// fingerprintWith is serialFingerprint with an explicit engine choice:
+// shards = 0 runs the serial calendar, N > 0 the sharded engine.
+func fingerprintWith(t *testing.T, app, protocol string, cores, shards int, seed int64) string {
 	t.Helper()
 	cfg := DefaultConfig(cores, protocol)
 	cfg.Seed = seed
+	cfg.Shards = shards
 	prof, ok := AppByName(app)
 	if !ok {
 		// Registered workload sources (the adversarial family) fingerprint
@@ -33,9 +40,39 @@ func serialFingerprint(t *testing.T, app, protocol string, cores int, seed int64
 	}
 	r, err := RunScaled(prof, cfg, 64*detChunks)
 	if err != nil {
-		t.Fatalf("%s/%s/%d: %v", app, protocol, cores, err)
+		t.Fatalf("%s/%s/%d shards=%d: %v", app, protocol, cores, shards, err)
 	}
 	return ResultFingerprint(r)
+}
+
+// TestDeterminismShardedEveryProtocol is the tentpole gate of the sharded
+// engine: every registered protocol (variants included) × every registered
+// workload source, run serially and at Shards ∈ {2, 4, 8}, must produce
+// byte-identical ResultFingerprints — results are independent of the shard
+// count and of OS scheduling.
+func TestDeterminismShardedEveryProtocol(t *testing.T) {
+	const cores, seed = 16, 7
+	apps := []string{"Barnes", "FFT"}
+	for _, w := range RegisteredWorkloads() {
+		if w.Name != "synthetic" {
+			apps = append(apps, w.Name)
+		}
+	}
+	for _, p := range RegisteredProtocols() {
+		for _, app := range apps {
+			protocol, app := p.Name, app
+			t.Run(fmt.Sprintf("%s/%s", protocol, app), func(t *testing.T) {
+				t.Parallel()
+				want := fingerprintWith(t, app, protocol, cores, 0, seed)
+				for _, shards := range []int{2, 4, 8} {
+					if got := fingerprintWith(t, app, protocol, cores, shards, seed); got != want {
+						t.Errorf("shards=%d differs from serial:\n--- serial\n%s--- shards=%d\n%s",
+							shards, want, shards, got)
+					}
+				}
+			})
+		}
+	}
 }
 
 // TestDeterminismEveryProtocol runs every protocol at 16 and 64 processors

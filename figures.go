@@ -259,6 +259,7 @@ func (s *Session) run(ctx context.Context, k runKey) (res *Result, err error) {
 			s.nRestored.Add(1)
 			if s.Metrics != nil {
 				metrics.ObserveRun(s.Metrics, r.Coll, r.Traffic)
+				metrics.ObserveSharding(s.Metrics, r.Sharding, r.RingResidency)
 			}
 			return r, nil
 		}
@@ -297,6 +298,7 @@ func (s *Session) run(ctx context.Context, k runKey) (res *Result, err error) {
 	}
 	if s.Metrics != nil {
 		metrics.ObserveRun(s.Metrics, res.Coll, res.Traffic)
+		metrics.ObserveSharding(s.Metrics, res.Sharding, res.RingResidency)
 	}
 	return res, nil
 }

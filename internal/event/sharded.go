@@ -1,0 +1,604 @@
+// Sharded execution: a deterministic parallel wrapper over the calendar
+// queue. The simulated machine is partitioned by tile into S shards, each
+// with its own calendar; the coordinator advances a global lockstep clock one
+// populated cycle at a time and classifies each cycle's due set:
+//
+//   - A round containing only *local* events (read-path traffic and per-tile
+//     timers, which touch nothing outside their own tile) fans out across S
+//     worker goroutines. Side effects that cross tiles — network sends,
+//     observer callbacks — are staged with ordering keys and replayed by the
+//     coordinator at the epoch barrier, in key order.
+//   - A round containing any *global* event (commit-protocol messages and
+//     timers, which reach the shared protocol engines, workload generator and
+//     statistics) executes entirely on the coordinator, in merged key order —
+//     exactly the serial engine's semantics.
+//
+// Ordering keys make the whole construction schedule-invariant: every event
+// carries a (parent fire index, child index) composite — "the i-th event to
+// fire spawned me as its j-th action" — packed into the calendar's 64-bit seq
+// field. Events fire in (time, key) order. A straightforward induction shows
+// this order equals the serial engine's (time, scalar seq) order: the serial
+// counter assigns consecutive seqs to each firing event's children, and
+// parents fire in seq order, so comparing (parent fire index, child index)
+// lexicographically reproduces the scalar comparison. Keys are assigned from
+// deterministic round state, never from OS scheduling, so every fingerprint
+// is byte-identical to the serial engine's for any shard count.
+package event
+
+import (
+	"fmt"
+	"sync"
+)
+
+// childBits sizes the child-index field of the packed ordering key: up to
+// ~1M scheduling actions per firing event (a 1024-core broadcast is ~1K),
+// leaving 44 bits of parent fire index (~1.7e13 events per run).
+const (
+	childBits = 20
+	childMask = (1 << childBits) - 1
+)
+
+// keyCtx is the ordering-key generator for the currently executing event.
+type keyCtx struct {
+	parent uint64
+	child  uint64
+}
+
+func (c *keyCtx) next() uint64 {
+	if c.child > childMask {
+		panic(fmt.Sprintf("event: event %d exceeded %d scheduling actions", c.parent, childMask))
+	}
+	k := c.parent<<childBits | c.child
+	c.child++
+	return k
+}
+
+// stagedAction is one cross-tile side effect recorded during a parallel
+// round, replayed by the coordinator at the barrier in key order.
+type stagedAction struct {
+	key uint64
+	fn  func(any)
+	arg any
+}
+
+// ShardStats are the sharded engine's execution counters. They are
+// observability only — deliberately excluded from result fingerprints, which
+// must be independent of the shard count.
+type ShardStats struct {
+	// Shards is the shard count the engine ran with.
+	Shards int
+	// Rounds counts lockstep rounds (populated cycles, including re-rounds
+	// when a handler schedules into the current cycle).
+	Rounds uint64
+	// SerialRounds counts rounds serialized on the coordinator because the
+	// due set contained a global event.
+	SerialRounds uint64
+	// ParallelRounds counts rounds fanned out across the shard workers.
+	ParallelRounds uint64
+	// BarrierStalls counts coordinator waits at epoch barriers (one per
+	// parallel round that dispatched work).
+	BarrierStalls uint64
+	// StagedActions counts cross-tile side effects handed off through the
+	// barrier (sends and observer callbacks staged during parallel rounds).
+	StagedActions uint64
+}
+
+// ShardedEngine runs one simulated machine across S shard calendars in
+// deterministic lockstep. Construct with NewSharded, hand each component the
+// Sched view for its tile's shard (Views) or the coordinator's GlobalView
+// (Global), drive with RoundStep, and Stop when done. All coordinator-side
+// methods (RoundStep, DeliverAt, Stop) must be called from one goroutine.
+type ShardedEngine struct {
+	clock Time
+	cals  []*Engine
+	views []*ShardView
+
+	fireIdx uint64 // next parent fire index; 0 is the build/start phase
+	fired   uint64
+
+	parallel  bool   // a parallel round is executing on the workers
+	sctx      keyCtx // key generator for serialized/build execution
+	replay    bool   // replaying staged actions at a barrier
+	replayKey uint64
+
+	// Per-shard round scratch: due items, their assigned fire indices, the
+	// merged execution order (shard index per merged position), and the
+	// reusable per-shard cursors.
+	due   [][]*item
+	fids  [][]uint64
+	order []int32
+	heads []int
+
+	stats ShardStats
+
+	// BeginParallelRound/EndParallelRound, when non-nil, bracket every
+	// parallel round (coordinator side). The system layer uses them to arm
+	// and check the page-mapper's first-touch collision detector.
+	BeginParallelRound func()
+	EndParallelRound   func()
+
+	// Halt, when non-nil, is consulted after every serialized-round event.
+	// When it reports true the round suspends with its remaining due items
+	// intact: the next RoundStep resumes exactly where the round stopped.
+	// This reproduces the serial driver's stop-between-events semantics —
+	// the run ends at the event that finishes the last processor, not at the
+	// cycle boundary — so stats never include post-completion stragglers the
+	// serial engine would have left unfired. Completion can only flip inside
+	// a serialized round (commit completion is a global event), so parallel
+	// rounds never consult it.
+	Halt func() bool
+
+	// Suspended serialized-round state (see Halt): resumeAt indexes the
+	// merged order; heads retains the per-shard cursors across the suspend.
+	suspended bool
+	resumeAt  int
+
+	workers sync.WaitGroup
+	work    []chan struct{}
+	done    chan int
+	started bool
+	stopped bool
+	panics  []any // per-shard recovered panic values, re-raised at the barrier
+}
+
+// NewSharded returns a sharded engine with S shard calendars and the clock
+// at cycle 0. S must be at least 1.
+func NewSharded(shards int) *ShardedEngine {
+	if shards < 1 {
+		panic("event: NewSharded needs at least one shard")
+	}
+	se := &ShardedEngine{
+		cals:   make([]*Engine, shards),
+		views:  make([]*ShardView, shards),
+		due:    make([][]*item, shards),
+		fids:   make([][]uint64, shards),
+		panics: make([]any, shards),
+	}
+	se.fireIdx = 1 // fire index 0 is the virtual build/start parent
+	se.stats.Shards = shards
+	for i := range se.cals {
+		se.cals[i] = New()
+		se.views[i] = &ShardView{se: se, idx: i, cal: se.cals[i]}
+	}
+	return se
+}
+
+// Shards returns the shard count.
+func (se *ShardedEngine) Shards() int { return len(se.cals) }
+
+// Now returns the global lockstep clock.
+func (se *ShardedEngine) Now() Time { return se.clock }
+
+// Fired returns the total number of events fired across all shards.
+func (se *ShardedEngine) Fired() uint64 { return se.fired }
+
+// Stats returns the engine's execution counters.
+func (se *ShardedEngine) Stats() ShardStats { return se.stats }
+
+// RingResidency sums the retained calendar-ring capacity across all shard
+// calendars (see Engine.RingResidency).
+func (se *ShardedEngine) RingResidency() uint64 {
+	var total uint64
+	for _, cal := range se.cals {
+		total += cal.RingResidency()
+	}
+	return total
+}
+
+// Views returns the per-shard Sched views, indexed by shard.
+func (se *ShardedEngine) Views() []*ShardView { return se.views }
+
+// View returns the Sched view for one shard.
+func (se *ShardedEngine) View(shard int) *ShardView { return se.views[shard] }
+
+// Global returns the coordinator's Sched view: everything scheduled through
+// it is a global event, serialized into coordinator rounds. The protocol
+// engines and the commit kernel hold this view.
+func (se *ShardedEngine) Global() *GlobalView { return &GlobalView{se: se} }
+
+// curKey returns the ordering key for the next scheduling action of the
+// current coordinator-side execution context: the staged action's own key
+// during barrier replay, else the next child of the executing event.
+func (se *ShardedEngine) curKey() uint64 {
+	if se.replay {
+		return se.replayKey
+	}
+	return se.sctx.next()
+}
+
+// DeliverAt schedules fn(arg) at absolute time t on the given shard's
+// calendar with the current execution context's ordering key. It is the
+// cross-shard handoff the network layer uses to land a message delivery on
+// the destination tile's shard; local=false marks the delivery global. Must
+// only be called from coordinator-side execution (serialized rounds, barrier
+// replay, or the build phase) — parallel-round handlers hand cross-tile work
+// off by staging it instead.
+func (se *ShardedEngine) DeliverAt(shard int, t Time, local bool, fn func(any), arg any) Ticket {
+	if se.parallel {
+		panic("event: DeliverAt during a parallel round")
+	}
+	return se.cals[shard].put(t, se.curKey(), !local, nil, fn, arg)
+}
+
+// nextTime finds the earliest pending event time across all shards.
+func (se *ShardedEngine) nextTime() (Time, bool) {
+	var best Time
+	found := false
+	for _, cal := range se.cals {
+		if t, ok := cal.peek(); ok && (!found || t < best) {
+			best = t
+			found = true
+		}
+	}
+	return best, found
+}
+
+// RoundStep advances the clock to the earliest populated cycle and fires
+// that cycle's due events — serialized on the coordinator if any is global,
+// else in parallel across the shard workers with staged side effects
+// replayed at the barrier. It returns the number of events fired; 0 means
+// every calendar is empty.
+func (se *ShardedEngine) RoundStep() int {
+	if se.suspended {
+		se.suspended = false
+		if n := se.runSerialRound(se.resumeAt); n > 0 {
+			return n
+		}
+		// Every remaining item had been cancelled; fall through to a fresh
+		// round.
+	}
+	t, ok := se.nextTime()
+	if !ok {
+		return 0
+	}
+	se.clock = t
+	nDue, anyGlobal := 0, false
+	for i, cal := range se.cals {
+		cal.now = t
+		se.due[i] = cal.popDue(t, se.due[i][:0])
+		nDue += len(se.due[i])
+		for _, it := range se.due[i] {
+			if it.global {
+				anyGlobal = true
+			}
+		}
+	}
+	if nDue == 0 {
+		// Every due item at this cycle was cancelled (popDue released them);
+		// move on to the next populated cycle, or report empty.
+		return se.RoundStep()
+	}
+	se.mergeAssign(nDue)
+	se.stats.Rounds++
+	if anyGlobal {
+		se.stats.SerialRounds++
+		se.runSerialRound(0)
+	} else {
+		se.stats.ParallelRounds++
+		se.runParallelRound()
+	}
+	return nDue
+}
+
+// mergeAssign walks the shards' due lists (each already key-sorted) in
+// global key order, assigning each item its parent fire index and recording
+// the merged order for serialized execution. A linear min-scan per item is
+// right for the supported shard counts (a handful): it beats heap
+// bookkeeping and allocates nothing.
+func (se *ShardedEngine) mergeAssign(nDue int) {
+	se.order = se.order[:0]
+	heads := se.resetHeads()
+	for n := 0; n < nDue; n++ {
+		best := -1
+		var bestKey uint64
+		for s, list := range se.due {
+			if heads[s] >= len(list) {
+				continue
+			}
+			if k := list[heads[s]].seq; best < 0 || k < bestKey {
+				best, bestKey = s, k
+			}
+		}
+		se.assign(best, heads[best])
+		heads[best]++
+	}
+}
+
+// resetHeads returns the shared per-shard cursor scratch, zeroed.
+func (se *ShardedEngine) resetHeads() []int {
+	if se.heads == nil {
+		se.heads = make([]int, len(se.due))
+	}
+	for i := range se.heads {
+		se.heads[i] = 0
+	}
+	return se.heads
+}
+
+func (se *ShardedEngine) assign(shard, pos int) {
+	if pos == 0 {
+		se.fids[shard] = se.fids[shard][:0]
+	}
+	se.fids[shard] = append(se.fids[shard], se.fireIdx)
+	se.fireIdx++
+	se.order = append(se.order, int32(shard))
+}
+
+// runSerialRound executes the merged due set on the coordinator in key
+// order — byte-for-byte the serial engine's behavior for this cycle —
+// starting at position from in the merged order (nonzero when resuming a
+// Halt-suspended round). It returns the number of items processed.
+func (se *ShardedEngine) runSerialRound(from int) int {
+	if from == 0 {
+		se.resetHeads()
+	}
+	heads := se.heads
+	processed := 0
+	for oi := from; oi < len(se.order); oi++ {
+		s := int(se.order[oi])
+		it := se.due[s][heads[s]]
+		fid := se.fids[s][heads[s]]
+		heads[s]++
+		processed++
+		if it.dead {
+			se.cals[s].release(it)
+			continue
+		}
+		se.sctx = keyCtx{parent: fid}
+		se.fired++
+		fn, afn, arg := it.fn, it.afn, it.arg
+		se.cals[s].release(it)
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
+		if oi+1 < len(se.order) && se.Halt != nil && se.Halt() {
+			se.suspended, se.resumeAt = true, oi+1
+			return processed
+		}
+	}
+	return processed
+}
+
+// runParallelRound fans the due lists out to the shard workers, waits at the
+// barrier, re-raises any worker panic, then replays the staged cross-tile
+// actions in merged key order.
+func (se *ShardedEngine) runParallelRound() {
+	if se.BeginParallelRound != nil {
+		se.BeginParallelRound()
+	}
+	se.parallel = true
+	if !se.started {
+		se.startWorkers()
+	}
+	dispatched := 0
+	for s := range se.due {
+		if len(se.due[s]) > 0 {
+			dispatched++
+			se.work[s] <- struct{}{}
+		}
+	}
+	for i := 0; i < dispatched; i++ {
+		se.fired += uint64(<-se.done)
+	}
+	if dispatched > 0 {
+		se.stats.BarrierStalls++
+	}
+	se.parallel = false
+	for s, v := range se.panics {
+		if v != nil {
+			se.panics[s] = nil
+			panic(v)
+		}
+	}
+	se.replayStaged()
+	if se.EndParallelRound != nil {
+		se.EndParallelRound()
+	}
+}
+
+// replayStaged applies the parallel round's staged actions in key order: the
+// order the serial engine would have produced these side effects in.
+func (se *ShardedEngine) replayStaged() {
+	se.replay = true
+	heads := se.resetHeads()
+	for {
+		best := -1
+		var bestKey uint64
+		for s, v := range se.views {
+			if heads[s] >= len(v.stage) {
+				continue
+			}
+			if k := v.stage[heads[s]].key; best < 0 || k < bestKey {
+				best, bestKey = s, k
+			}
+		}
+		if best < 0 {
+			break
+		}
+		a := se.views[best].stage[heads[best]]
+		heads[best]++
+		se.stats.StagedActions++
+		se.replayKey = a.key
+		a.fn(a.arg)
+	}
+	se.replay = false
+	for _, v := range se.views {
+		for i := range v.stage {
+			v.stage[i] = stagedAction{}
+		}
+		v.stage = v.stage[:0]
+	}
+}
+
+// startWorkers launches the long-lived shard goroutines (lazily, at the
+// first parallel round).
+func (se *ShardedEngine) startWorkers() {
+	se.started = true
+	se.work = make([]chan struct{}, len(se.cals))
+	se.done = make(chan int, len(se.cals))
+	for s := range se.cals {
+		se.work[s] = make(chan struct{})
+		se.workers.Add(1)
+		go se.worker(s)
+	}
+}
+
+func (se *ShardedEngine) worker(s int) {
+	defer se.workers.Done()
+	for range se.work[s] {
+		se.done <- se.runShard(s)
+	}
+}
+
+// runShard executes one shard's due list in key order on its worker
+// goroutine, returning the number of events fired (the coordinator folds it
+// into the engine's counter at the barrier). A panic is captured and
+// re-raised by the coordinator at the barrier so the standard RunPanic
+// machinery still sees it.
+func (se *ShardedEngine) runShard(s int) (fired int) {
+	defer func() {
+		if r := recover(); r != nil {
+			se.panics[s] = r
+		}
+	}()
+	v := se.views[s]
+	cal := se.cals[s]
+	for j, it := range se.due[s] {
+		if it.dead {
+			cal.release(it)
+			continue
+		}
+		v.pctx = keyCtx{parent: se.fids[s][j]}
+		fired++
+		fn, afn, arg := it.fn, it.afn, it.arg
+		cal.release(it)
+		if afn != nil {
+			afn(arg)
+		} else {
+			fn()
+		}
+	}
+	return fired
+}
+
+// Stop shuts the worker goroutines down. Idempotent; the engine must not be
+// stepped afterwards.
+func (se *ShardedEngine) Stop() {
+	if se.stopped {
+		return
+	}
+	se.stopped = true
+	if se.started {
+		for _, ch := range se.work {
+			close(ch)
+		}
+		se.workers.Wait()
+	}
+}
+
+// ShardView is one shard's scheduling face. During serialized rounds (and
+// the build phase) it runs on the coordinator; during parallel rounds it
+// must only be used by its own shard's worker — which holds by construction,
+// because only the shard's tiles reference it.
+type ShardView struct {
+	se    *ShardedEngine
+	idx   int
+	cal   *Engine
+	pctx  keyCtx // key generator during parallel rounds (worker-local)
+	stage []stagedAction
+}
+
+// Shard returns the view's shard index.
+func (v *ShardView) Shard() int { return v.idx }
+
+// Now returns the global lockstep clock.
+func (v *ShardView) Now() Time { return v.se.clock }
+
+// Parallel reports whether a parallel round is executing — the signal for
+// the network layer to stage sends instead of routing them immediately.
+func (v *ShardView) Parallel() bool { return v.se.parallel }
+
+func (v *ShardView) key() uint64 {
+	if v.se.parallel {
+		return v.pctx.next()
+	}
+	return v.se.curKey()
+}
+
+// At schedules fn at absolute time t on this shard, as a local event.
+func (v *ShardView) At(t Time, fn Handler) Ticket {
+	return v.cal.put(t, v.key(), false, fn, nil, nil)
+}
+
+// AtArg schedules fn(arg) at absolute time t on this shard, as a local event.
+func (v *ShardView) AtArg(t Time, fn func(any), arg any) Ticket {
+	return v.cal.put(t, v.key(), false, nil, fn, arg)
+}
+
+// After schedules fn at Now()+d on this shard, as a local event.
+func (v *ShardView) After(d Time, fn Handler) Ticket { return v.At(v.se.clock+d, fn) }
+
+// AfterArg is AtArg relative to now.
+func (v *ShardView) AfterArg(d Time, fn func(any), arg any) Ticket {
+	return v.AtArg(v.se.clock+d, fn, arg)
+}
+
+// AfterGlobal schedules fn at Now()+d as a global event: it stays on this
+// shard's calendar but forces its round to serialize on the coordinator.
+// Tile code uses it for the timers whose handlers reach shared state (commit
+// submission, commit-retry backoff).
+func (v *ShardView) AfterGlobal(d Time, fn Handler) Ticket {
+	return v.cal.put(v.se.clock+d, v.key(), true, fn, nil, nil)
+}
+
+// Stage records a cross-tile side effect during a parallel round, keyed into
+// the event's action sequence; the coordinator replays it at the barrier in
+// global key order. Outside a parallel round the effect applies immediately
+// (the coordinator is the only executor, so ordering is already serial).
+func (v *ShardView) Stage(fn func(any), arg any) {
+	if !v.se.parallel {
+		fn(arg)
+		return
+	}
+	v.stage = append(v.stage, stagedAction{key: v.pctx.next(), fn: fn, arg: arg})
+}
+
+// GlobalView is the coordinator's scheduling face: every event scheduled
+// through it is global (serialized round) and lands on shard 0's calendar —
+// which shard holds it is irrelevant, because global events execute on the
+// coordinator in merged key order. Scheduling through it during a parallel
+// round panics: that would mean protocol code ran outside a serialized
+// round, which the shard classification must prevent.
+type GlobalView struct{ se *ShardedEngine }
+
+// Now returns the global lockstep clock.
+func (g *GlobalView) Now() Time { return g.se.clock }
+
+func (g *GlobalView) put(t Time, fn Handler, afn func(any), arg any) Ticket {
+	se := g.se
+	if se.parallel {
+		panic("event: global schedule during a parallel round")
+	}
+	return se.cals[0].put(t, se.curKey(), true, fn, afn, arg)
+}
+
+// At schedules fn at absolute time t as a global event.
+func (g *GlobalView) At(t Time, fn Handler) Ticket { return g.put(t, fn, nil, nil) }
+
+// AtArg schedules fn(arg) at absolute time t as a global event.
+func (g *GlobalView) AtArg(t Time, fn func(any), arg any) Ticket {
+	return g.put(t, nil, fn, arg)
+}
+
+// After schedules fn at Now()+d as a global event.
+func (g *GlobalView) After(d Time, fn Handler) Ticket { return g.put(g.se.clock+d, fn, nil, nil) }
+
+// AfterArg is AtArg relative to now.
+func (g *GlobalView) AfterArg(d Time, fn func(any), arg any) Ticket {
+	return g.put(g.se.clock+d, nil, fn, arg)
+}
+
+// AfterGlobal is After (already global).
+func (g *GlobalView) AfterGlobal(d Time, fn Handler) Ticket { return g.After(d, fn) }

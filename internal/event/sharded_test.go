@@ -1,0 +1,270 @@
+package event
+
+import (
+	"fmt"
+	"hash/maphash"
+	"testing"
+)
+
+// The sharded engine's contract is bit-exact equivalence with the serial
+// Engine: per-tile firing order, the coordinator-side order of cross-tile
+// side effects (the "wire"), the final clock and the fired count must all be
+// independent of the shard count. These tests drive a scripted multi-tile
+// workload — local timers, cross-tile messages (staged during parallel
+// rounds), global timers, cancellations, same-cycle re-rounds and
+// overflow-horizon events — through the serial Engine and through
+// ShardedEngine at several shard counts, and require identical traces.
+
+const shTiles = 12
+
+// shPkt is a scripted cross-tile message.
+type shPkt struct {
+	id     string
+	src    int
+	dst    int
+	d      Time
+	global bool
+	depth  int
+}
+
+// shHash derives all scripted behavior from (seed, id): the script must be a
+// pure function of event identity so every engine executes the same tree.
+func shHash(seed uint64, id string) uint64 {
+	var h maphash.Hash
+	h.SetSeed(shSeed)
+	var b [8]byte
+	for i := range b {
+		b[i] = byte(seed >> (8 * i))
+	}
+	h.Write(b[:])
+	h.WriteString(id)
+	return h.Sum64()
+}
+
+var shSeed = maphash.MakeSeed()
+
+// runShardScript executes the scripted workload; shards == 0 runs the serial
+// Engine, otherwise a ShardedEngine with that many shards. It returns the
+// per-tile firing traces, the wire trace, and the final (clock, fired) pair.
+func runShardScript(t *testing.T, seed uint64, shards int) ([][]string, []string, Time, uint64) {
+	t.Helper()
+	tileTr := make([][]string, shTiles)
+	var wire []string
+
+	var se *ShardedEngine
+	var eng *Engine
+	shardOf := make([]int, shTiles)
+	if shards > 0 {
+		se = NewSharded(shards)
+		defer se.Stop()
+		for i := range shardOf {
+			shardOf[i] = i * shards / shTiles
+		}
+	} else {
+		eng = New()
+	}
+	now := func() Time {
+		if se != nil {
+			return se.Now()
+		}
+		return eng.Now()
+	}
+
+	var fire func(tile int, id string, depth int)
+	var lastTicket [shTiles]Ticket
+	var lastID [shTiles]string
+
+	schedLocal := func(tile int, d Time, id string, depth int) Ticket {
+		fn := func() { fire(tile, id, depth) }
+		if se != nil {
+			return se.View(shardOf[tile]).After(d, fn)
+		}
+		return eng.After(d, fn)
+	}
+	schedGlobal := func(tile int, d Time, id string, depth int) {
+		fn := func() {
+			// Global handler: touches shared state, then schedules local
+			// follow-ups on other tiles (as protocol engines poke cores).
+			wire = append(wire, fmt.Sprintf("g %s@%d", id, now()))
+			fire(tile, id, depth)
+		}
+		if se != nil {
+			se.View(shardOf[tile]).AfterGlobal(d, fn)
+		} else {
+			eng.AfterGlobal(d, fn)
+		}
+	}
+	deliver := func(a any) {
+		p := a.(*shPkt)
+		fire(p.dst, p.id, p.depth)
+	}
+	route := func(a any) {
+		p := a.(*shPkt)
+		wire = append(wire, fmt.Sprintf("s %s %d->%d@%d", p.id, p.src, p.dst, now()))
+		at := now() + p.d
+		if se != nil {
+			se.DeliverAt(shardOf[p.dst], at, !p.global, deliver, p)
+		} else {
+			eng.AtArg(at, deliver, p)
+		}
+	}
+	send := func(p *shPkt) {
+		if se != nil {
+			if v := se.View(shardOf[p.src]); v.Parallel() {
+				v.Stage(route, p)
+				return
+			}
+		}
+		route(p)
+	}
+
+	delays := []Time{0, 1, 2, 2, 7, 7, 13, 48, 300, 2000, 5000, 200_000}
+	fire = func(tile int, id string, depth int) {
+		tileTr[tile] = append(tileTr[tile], fmt.Sprintf("%s@%d", id, now()))
+		if depth >= 4 {
+			return
+		}
+		x := shHash(seed, id)
+		n := int(x % 4) // 0..3 children
+		for c := 0; c < n; c++ {
+			cid := fmt.Sprintf("%s.%d", id, c)
+			y := shHash(seed, cid)
+			d := delays[y%uint64(len(delays))]
+			switch (y / 7) % 5 {
+			case 0, 1:
+				lastTicket[tile] = schedLocal(tile, d, cid, depth+1)
+				lastID[tile] = cid
+				tileTr[tile] = append(tileTr[tile], "S "+cid)
+			case 2:
+				dst := int((y / 31) % shTiles)
+				send(&shPkt{id: cid, src: tile, dst: dst, d: d + 1,
+					global: (y/63)%4 == 0, depth: depth + 1})
+			case 3:
+				schedGlobal(tile, d, cid, depth+1)
+			case 4:
+				lastTicket[tile].Cancel()
+				tileTr[tile] = append(tileTr[tile], "K "+lastID[tile]+" by "+cid)
+				lastTicket[tile] = Ticket{}
+				lastID[tile] = ""
+			}
+		}
+	}
+
+	for tile := 0; tile < shTiles; tile++ {
+		id := fmt.Sprintf("r%d", tile)
+		schedLocal(tile, Time(1+(tile*5)%9), id, 0)
+	}
+
+	if se != nil {
+		for se.RoundStep() > 0 {
+		}
+		return tileTr, wire, se.Now(), se.Fired()
+	}
+	eng.Run()
+	return tileTr, wire, eng.Now(), eng.Fired()
+}
+
+// TestShardedMatchesSerial drives the script through the serial Engine and
+// sharded engines at 1..12 shards and requires bit-identical traces.
+func TestShardedMatchesSerial(t *testing.T) {
+	for seed := uint64(0); seed < 12; seed++ {
+		tiles, wire, end, fired := runShardScript(t, seed, 0)
+		for _, shards := range []int{1, 2, 3, 4, 5, 8, 12} {
+			sTiles, sWire, sEnd, sFired := runShardScript(t, seed, shards)
+			if sEnd != end || sFired != fired {
+				t.Errorf("seed %d shards %d: end=%d fired=%d, serial end=%d fired=%d",
+					seed, shards, sEnd, sFired, end, fired)
+			}
+			for tile := range tiles {
+				if len(sTiles[tile]) != len(tiles[tile]) {
+					t.Fatalf("seed %d shards %d tile %d: %d events vs serial %d",
+						seed, shards, tile, len(sTiles[tile]), len(tiles[tile]))
+				}
+				for i := range tiles[tile] {
+					if sTiles[tile][i] != tiles[tile][i] {
+						t.Fatalf("seed %d shards %d tile %d event %d: %q vs serial %q",
+							seed, shards, tile, i, sTiles[tile][i], tiles[tile][i])
+					}
+				}
+			}
+			if len(sWire) != len(wire) {
+				t.Fatalf("seed %d shards %d: wire %d entries vs serial %d",
+					seed, shards, len(sWire), len(wire))
+			}
+			for i := range wire {
+				if sWire[i] != wire[i] {
+					t.Fatalf("seed %d shards %d wire %d: %q vs serial %q",
+						seed, shards, i, sWire[i], wire[i])
+				}
+			}
+		}
+	}
+}
+
+// TestShardedHaltResume suspends serialized rounds after every event via the
+// Halt hook and verifies the resumed execution still matches an unhalted run.
+func TestShardedHaltResume(t *testing.T) {
+	run := func(haltEvery uint64) (Time, uint64) {
+		se := NewSharded(3)
+		defer se.Stop()
+		var count uint64
+		var chain func(i int) Handler
+		chain = func(i int) Handler {
+			return func() {
+				count++
+				if i < 6 {
+					// Fan same-cycle global events to build multi-event
+					// serialized rounds worth suspending.
+					se.View(i%3).AfterGlobal(3, chain(i+1))
+					se.View((i+1)%3).AfterGlobal(3, chain(i+1))
+				} else if i < 40 {
+					se.View(i%3).AfterGlobal(3, chain(i+1))
+				}
+			}
+		}
+		if haltEvery > 0 {
+			n := uint64(0)
+			se.Halt = func() bool { n++; return n%haltEvery == 0 }
+		}
+		se.View(0).AfterGlobal(1, chain(0))
+		steps := 0
+		for se.RoundStep() > 0 {
+			steps++
+			if steps > 1_000_000 {
+				t.Fatal("runaway")
+			}
+		}
+		return se.Now(), count
+	}
+	end, count := run(0)
+	for _, every := range []uint64{1, 2, 3} {
+		e, c := run(every)
+		if e != end || c != count {
+			t.Errorf("halt every %d: end=%d count=%d, want end=%d count=%d", every, e, c, end, count)
+		}
+	}
+}
+
+// TestShardedStats sanity-checks the execution counters: a run with both
+// local and global activity must count serial and parallel rounds, barrier
+// stalls, and staged actions.
+func TestShardedStats(t *testing.T) {
+	_, _, _, fired := runShardScript(t, 3, 4)
+	if fired == 0 {
+		t.Fatal("script fired nothing")
+	}
+	se := NewSharded(2)
+	defer se.Stop()
+	se.View(0).After(1, func() {})
+	se.View(1).After(1, func() {})
+	se.View(0).AfterGlobal(2, func() {})
+	for se.RoundStep() > 0 {
+	}
+	st := se.Stats()
+	if st.Shards != 2 || st.ParallelRounds != 1 || st.SerialRounds != 1 || st.Rounds != 2 {
+		t.Errorf("stats = %+v", st)
+	}
+	if st.BarrierStalls == 0 {
+		t.Errorf("expected barrier stalls, got %+v", st)
+	}
+}

@@ -1,6 +1,7 @@
 package metrics
 
 import (
+	"scalablebulk/internal/event"
 	"scalablebulk/internal/mesh"
 	"scalablebulk/internal/msg"
 	"scalablebulk/internal/stats"
@@ -51,4 +52,24 @@ func ObserveRun(r *Registry, coll *stats.Collector, traffic mesh.Stats) {
 	for _, v := range coll.QueueSamples {
 		queue.Observe(float64(v))
 	}
+}
+
+// ObserveSharding folds one run's sharded-engine execution counters into the
+// registry: round mix, epoch-barrier stalls, staged cross-shard actions and
+// the calendar ring's retained capacity. sh is nil for serial runs — only the
+// residency gauge (meaningful for both engines) is published then.
+func ObserveSharding(r *Registry, sh *event.ShardStats, ringResidency uint64) {
+	if r == nil {
+		return
+	}
+	r.Gauge("engine_ring_residency_items").Set(float64(ringResidency))
+	if sh == nil {
+		return
+	}
+	r.Counter("shard_rounds_total").Add(sh.Rounds)
+	r.Counter("shard_serial_rounds_total").Add(sh.SerialRounds)
+	r.Counter("shard_parallel_rounds_total").Add(sh.ParallelRounds)
+	r.Counter("shard_barrier_stalls_total").Add(sh.BarrierStalls)
+	r.Counter("shard_staged_actions_total").Add(sh.StagedActions)
+	r.Gauge("shard_count").Set(float64(sh.Shards))
 }

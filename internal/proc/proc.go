@@ -53,6 +53,10 @@ type Config struct {
 	// order: (core, chunk sequence). A pure observer — it must not touch
 	// simulator state.
 	OnCommit func(core int, seq uint64)
+	// OnDone, when non-nil, fires once when this core commits its last
+	// target chunk (the done transition). The system layer uses it to keep
+	// an O(1) all-done counter instead of scanning every core per step.
+	OnDone func(core int)
 }
 
 // DefaultConfig returns the ScalableBulk processor configuration.
@@ -292,7 +296,9 @@ func (p *Proc) step(epoch uint64) {
 	}
 	local += gap
 	ck.ExecUseful += uint64(gap)
-	p.env.Eng.After(local, func() { p.finishExecution(epoch) })
+	// Global: finishExecution reaches the mapper (signature finalization
+	// first-touch), the workload generator and the protocol engine.
+	p.env.Eng.AfterGlobal(local, func() { p.finishExecution(epoch) })
 }
 
 // issueRead sends the miss to the line's home directory.
@@ -450,6 +456,9 @@ func (p *Proc) countCommit(ck *chunk.Chunk) {
 		p.finished = nil
 		p.execEpoch++
 		p.pendingRead = nil
+		if p.cfg.OnDone != nil {
+			p.cfg.OnDone(p.ID)
+		}
 	}
 }
 
@@ -471,7 +480,8 @@ func (p *Proc) CommitRefused(tag msg.CTag) {
 		shift = 5
 	}
 	backoff := p.cfg.RetryBackoff<<uint(shift) + event.Time(p.rng.Intn(64))
-	p.env.Eng.After(backoff, func() {
+	// Global: the retry re-enters the protocol engine.
+	p.env.Eng.AfterGlobal(backoff, func() {
 		if p.committing == ck {
 			p.commitReqAt = p.env.Eng.Now()
 			p.awaiting = true

@@ -377,3 +377,63 @@ func TestJournalLockContended(t *testing.T) {
 	}
 	j2.Close()
 }
+
+// TestShardsExcludedFromIdentity: Config.Shards selects an execution engine,
+// not an experiment — every identity artifact (ConfigHash v3, journal keys,
+// ResultFingerprint) must be byte-identical whether a point ran serially or
+// sharded, so a journal written by a serial sweep satisfies a sharded resume
+// and vice versa.
+func TestShardsExcludedFromIdentity(t *testing.T) {
+	prof, _ := AppByName("FFT")
+	cfg := DefaultConfig(8, ProtoScalableBulk)
+	cfg.Seed = 11
+	cfg.ChunksPerCore = 4
+
+	sig0, hash0 := configSignature(cfg), ConfigHash(cfg)
+	if strings.Contains(sig0, "shard") {
+		t.Fatalf("configSignature mentions sharding: %q", sig0)
+	}
+	for _, s := range []int{2, 4, 8} {
+		c := cfg
+		c.Shards = s
+		if got := configSignature(c); got != sig0 {
+			t.Errorf("Shards=%d perturbs configSignature:\n  %q\n  %q", s, got, sig0)
+		}
+		if got := ConfigHash(c); got != hash0 {
+			t.Errorf("Shards=%d perturbs ConfigHash: %s != %s", s, got, hash0)
+		}
+	}
+
+	// A serial run's journal entry must satisfy a lookup keyed by a sharded
+	// config, and the sharded run's own fingerprint must verify against it.
+	serial, err := Run(prof, cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p := Point{"FFT", ProtoScalableBulk, 8}
+	j, err := OpenJournal(filepath.Join(t.TempDir(), "j.jsonl"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer j.Close()
+	if err := j.Record(p, hash0, serial, time.Second); err != nil {
+		t.Fatal(err)
+	}
+
+	sharded := cfg
+	sharded.Shards = 2
+	res2, err := Run(prof, sharded)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if ResultFingerprint(res2) != ResultFingerprint(serial) {
+		t.Fatal("sharded fingerprint differs from serial; identity test is moot")
+	}
+	got, _, ok := j.Lookup(p, ConfigHash(sharded))
+	if !ok {
+		t.Fatal("sharded ConfigHash misses the serial journal entry")
+	}
+	if FingerprintSHA(got) != FingerprintSHA(res2) {
+		t.Error("journaled serial result does not verify against the sharded run")
+	}
+}
